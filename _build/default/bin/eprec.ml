@@ -1,0 +1,173 @@
+(* eprec: command-line driver for the Effective PRE optimizer.
+
+   Subcommands:
+     compile   compile a source file, optimize at a chosen level, dump ILOC
+     run       compile, optimize, interpret; report result and dynamic counts
+     table1    regenerate the paper's Table 1
+     table2    regenerate the paper's Table 2 (forward-propagation expansion)
+     hierarchy regenerate the Section 5.3 CSE-hierarchy comparison
+     workloads list the built-in workload suite *)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let compile_source path =
+  try Epre_frontend.Frontend.compile_string (read_file path) with
+  | Epre_frontend.Frontend.Error { line; message } ->
+    Fmt.epr "%s:%d: %s@." path line message;
+    exit 1
+
+let level_conv =
+  let parse s =
+    match Epre.Pipeline.level_of_string s with
+    | Some l -> Ok l
+    | None -> Error (`Msg (Printf.sprintf "unknown level %S" s))
+  in
+  let print ppf l = Fmt.string ppf (Epre.Pipeline.level_to_string l) in
+  Arg.conv (parse, print)
+
+let level_arg =
+  Arg.(
+    value
+    & opt (some level_conv) None
+    & info [ "O"; "level" ] ~docv:"LEVEL"
+        ~doc:
+          "Optimization level: $(b,baseline), $(b,partial), \
+           $(b,reassociation) or $(b,distribution). Omit for unoptimized \
+           output.")
+
+let file_arg = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE")
+
+let trace_arg =
+  Arg.(
+    value & flag
+    & info [ "trace" ] ~doc:"Dump the IR after every optimizer pass (to stderr).")
+
+let passes_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "passes" ] ~docv:"P1,P2,..."
+        ~doc:
+          "Run a custom comma-separated pass sequence instead of a level; \
+           see $(b,eprec passes) for the registry.")
+
+let optimize ?level ?passes ~trace prog =
+  (match passes with
+  | Some spec -> begin
+    match Epre.Passes.parse_sequence spec with
+    | Ok ps -> Epre.Passes.run_sequence ps prog
+    | Error name ->
+      Fmt.epr "unknown pass %S (see `eprec passes`)@." name;
+      exit 1
+  end
+  | None -> ());
+  match level with
+  | Some level when passes = None ->
+    let hooks =
+      if trace then
+        { Epre.Pipeline.dump =
+            (fun pass r ->
+              Fmt.epr "=== after %s ===@.%a@.@." pass Epre_ir.Pp.routine r)
+        }
+      else Epre.Pipeline.no_hooks
+    in
+    ignore (Epre.Pipeline.optimize ~hooks ~level prog);
+    prog
+  | Some _ | None -> prog
+
+let format_arg =
+  Arg.(
+    value
+    & opt (enum [ ("pretty", `Pretty); ("text", `Text); ("dot", `Dot) ]) `Pretty
+    & info [ "format" ] ~docv:"FMT"
+        ~doc:
+          "Output syntax: $(b,pretty) (the paper-style printer), $(b,text) \
+           (the round-tripping Ir_text format) or $(b,dot) (Graphviz).")
+
+let compile_cmd =
+  let doc = "compile a source file and print the resulting ILOC" in
+  let run file level trace passes format =
+    let prog = optimize ?level ?passes ~trace (compile_source file) in
+    match format with
+    | `Pretty -> Fmt.pr "%a@." Epre_ir.Pp.program prog
+    | `Text -> print_string (Epre_ir.Ir_text.print_program prog)
+    | `Dot -> print_string (Epre_ir.Cfg_dot.program prog)
+  in
+  Cmd.v (Cmd.info "compile" ~doc)
+    Term.(const run $ file_arg $ level_arg $ trace_arg $ passes_arg $ format_arg)
+
+let run_cmd =
+  let doc = "compile, optimize and interpret a program (entry: main)" in
+  let entry_arg =
+    Arg.(value & opt string "main" & info [ "entry" ] ~docv:"NAME" ~doc:"Entry routine.")
+  in
+  let run file level trace passes entry =
+    let prog = optimize ?level ?passes ~trace (compile_source file) in
+    match Epre_interp.Interp.run prog ~entry ~args:[] with
+    | result ->
+      List.iter
+        (fun v -> Fmt.pr "emit %a@." Epre_ir.Value.pp v)
+        result.Epre_interp.Interp.trace;
+      (match result.Epre_interp.Interp.return_value with
+      | Some v -> Fmt.pr "result: %a@." Epre_ir.Value.pp v
+      | None -> ());
+      Fmt.pr "dynamic operations: %a@." Epre_interp.Counts.pp
+        result.Epre_interp.Interp.counts
+    | exception Epre_interp.Interp.Runtime_error msg ->
+      Fmt.epr "runtime error: %s@." msg;
+      exit 1
+  in
+  Cmd.v (Cmd.info "run" ~doc)
+    Term.(const run $ file_arg $ level_arg $ trace_arg $ passes_arg $ entry_arg)
+
+let table1_cmd =
+  let doc = "regenerate Table 1 (dynamic counts at all optimization levels)" in
+  let run () = print_string (Epre.Experiments.render_table1 (Epre.Experiments.table1 ())) in
+  Cmd.v (Cmd.info "table1" ~doc) Term.(const run $ const ())
+
+let table2_cmd =
+  let doc = "regenerate Table 2 (code expansion from forward propagation)" in
+  let run () = print_string (Epre.Experiments.render_table2 (Epre.Experiments.table2 ())) in
+  Cmd.v (Cmd.info "table2" ~doc) Term.(const run $ const ())
+
+let hierarchy_cmd =
+  let doc = "regenerate the Section 5.3 redundancy-elimination hierarchy" in
+  let run () =
+    print_string (Epre.Experiments.render_hierarchy (Epre.Experiments.hierarchy ()))
+  in
+  Cmd.v (Cmd.info "hierarchy" ~doc) Term.(const run $ const ())
+
+let passes_cmd =
+  let doc = "list the optimizer pass registry (for --passes)" in
+  let run () =
+    List.iter
+      (fun p ->
+        Printf.printf "%-16s %s\n" p.Epre.Passes.name p.Epre.Passes.description)
+      Epre.Passes.all
+  in
+  Cmd.v (Cmd.info "passes" ~doc) Term.(const run $ const ())
+
+let workloads_cmd =
+  let doc = "list the built-in workload suite" in
+  let run () =
+    List.iter
+      (fun w ->
+        Printf.printf "%-12s %s\n" w.Epre_workloads.Workloads.name
+          w.Epre_workloads.Workloads.description)
+      Epre_workloads.Workloads.all
+  in
+  Cmd.v (Cmd.info "workloads" ~doc) Term.(const run $ const ())
+
+let main =
+  let doc = "effective partial redundancy elimination (Briggs & Cooper, PLDI 1994)" in
+  Cmd.group (Cmd.info "eprec" ~doc)
+    [ compile_cmd; run_cmd; table1_cmd; table2_cmd; hierarchy_cmd; passes_cmd;
+      workloads_cmd ]
+
+let () = exit (Cmd.eval main)

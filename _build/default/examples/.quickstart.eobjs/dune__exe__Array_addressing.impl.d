@@ -1,0 +1,1 @@
+examples/array_addressing.ml: Epre Epre_frontend Epre_interp Epre_ir Fmt Hashtbl List

@@ -1,0 +1,1 @@
+examples/array_addressing.mli:

@@ -1,0 +1,1 @@
+examples/cse_hierarchy.ml: Epre_frontend Epre_interp Epre_ir Epre_opt Epre_pre Fmt List Program Routine Value

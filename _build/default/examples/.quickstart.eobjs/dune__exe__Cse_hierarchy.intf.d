@@ -1,0 +1,1 @@
+examples/cse_hierarchy.mli:

@@ -1,0 +1,1 @@
+examples/custom_pass.ml: Array Block Cfg Epre_analysis Epre_frontend Epre_interp Epre_ir Epre_opt Epre_pre Epre_ssa Fmt Instr List Op Pp Program Routine Value

@@ -1,0 +1,1 @@
+examples/paper_example.ml: Epre_frontend Epre_gvn Epre_interp Epre_ir Epre_opt Epre_pre Epre_reassoc Epre_ssa Fmt List Pp Program Routine Value

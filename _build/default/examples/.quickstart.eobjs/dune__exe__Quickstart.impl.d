@@ -1,0 +1,1 @@
+examples/quickstart.ml: Epre Epre_frontend Epre_interp Epre_ir Fmt List Option

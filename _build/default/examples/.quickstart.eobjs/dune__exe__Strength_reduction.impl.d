@@ -1,0 +1,1 @@
+examples/strength_reduction.ml: Epre Epre_frontend Epre_interp Epre_ir Epre_opt Fmt List Pp Program

@@ -1,0 +1,1 @@
+examples/strength_reduction.mli:

@@ -1,0 +1,1 @@
+lib/analysis/dataflow.ml: Array Bitset Cfg Epre_ir Epre_util List Order

@@ -1,0 +1,1 @@
+lib/analysis/dataflow.mli: Bitset Cfg Epre_ir Epre_util

@@ -1,0 +1,1 @@
+lib/analysis/defuse.ml: Array Block Cfg Epre_ir Fun Instr List Routine

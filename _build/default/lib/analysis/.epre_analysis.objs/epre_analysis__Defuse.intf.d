@@ -1,0 +1,1 @@
+lib/analysis/defuse.mli: Epre_ir Instr Routine

@@ -1,0 +1,1 @@
+lib/analysis/dom.ml: Array Cfg Epre_ir List Order

@@ -1,0 +1,1 @@
+lib/analysis/dom.mli: Cfg Epre_ir Order

@@ -1,0 +1,1 @@
+lib/analysis/liveness.ml: Array Bitset Block Cfg Epre_ir Epre_util Instr List Option Order Routine

@@ -1,0 +1,1 @@
+lib/analysis/liveness.mli: Bitset Epre_ir Epre_util Routine

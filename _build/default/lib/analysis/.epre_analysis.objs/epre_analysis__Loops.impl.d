@@ -1,0 +1,1 @@
+lib/analysis/loops.ml: Array Block Cfg Dom Epre_ir Hashtbl List Order

@@ -1,0 +1,1 @@
+lib/analysis/order.ml: Array Cfg Epre_ir List

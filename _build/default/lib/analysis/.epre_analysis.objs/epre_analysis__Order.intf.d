@@ -1,0 +1,1 @@
+lib/analysis/order.mli: Cfg Epre_ir

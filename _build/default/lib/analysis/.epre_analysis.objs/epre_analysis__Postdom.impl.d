@@ -1,0 +1,1 @@
+lib/analysis/postdom.ml: Array Block Cfg Epre_ir Instr List

@@ -1,0 +1,1 @@
+lib/analysis/postdom.mli: Cfg Epre_ir

@@ -1,0 +1,55 @@
+(** Definition and use sites per register.
+
+    In SSA form every register has at most one definition site; [def_site]
+    exposes that directly and is what the GVN partitioning and the
+    forward-propagation tree builder walk. *)
+
+open Epre_ir
+
+type site =
+  | Param  (** defined by routine entry *)
+  | At of { block : int; index : int }  (** [index]th instruction of [block] *)
+
+type t = {
+  def_site : site option array;  (** indexed by register *)
+  def_instr : Instr.t option array;
+  use_count : int array;
+  multiple_defs : bool array;  (** register has >1 definition (non-SSA) *)
+}
+
+let compute (r : Routine.t) =
+  let width = r.Routine.next_reg in
+  let def_site = Array.make width None in
+  let def_instr = Array.make width None in
+  let use_count = Array.make width 0 in
+  let multiple_defs = Array.make width false in
+  List.iter
+    (fun p ->
+      def_site.(p) <- Some Param)
+    r.Routine.params;
+  Cfg.iter_blocks
+    (fun b ->
+      List.iteri
+        (fun index i ->
+          (match Instr.def i with
+          | Some d ->
+            if def_site.(d) <> None then multiple_defs.(d) <- true;
+            def_site.(d) <- Some (At { block = b.Block.id; index });
+            def_instr.(d) <- Some i
+          | None -> ());
+          List.iter (fun u -> use_count.(u) <- use_count.(u) + 1) (Instr.uses i))
+        b.Block.instrs;
+      List.iter (fun u -> use_count.(u) <- use_count.(u) + 1) (Instr.term_uses b.Block.term))
+    r.Routine.cfg;
+  { def_site; def_instr; use_count; multiple_defs }
+
+let def_site t reg = t.def_site.(reg)
+
+let def_instr t reg = t.def_instr.(reg)
+
+let use_count t reg = t.use_count.(reg)
+
+let has_multiple_defs t reg = t.multiple_defs.(reg)
+
+let is_ssa t =
+  not (Array.exists Fun.id t.multiple_defs)

@@ -1,0 +1,29 @@
+(** Definition and use sites per register.
+
+    In SSA form every register has at most one definition site; [def_site]
+    exposes that directly, and GVN's partitioning and forward propagation's
+    tree builder walk it. *)
+
+open Epre_ir
+
+type site =
+  | Param  (** defined by routine entry *)
+  | At of { block : int; index : int }
+      (** the [index]th instruction of [block] *)
+
+type t
+
+val compute : Routine.t -> t
+
+(** Last definition site recorded (the unique one in SSA). *)
+val def_site : t -> Instr.reg -> site option
+
+(** The defining instruction, when there is one (not a parameter). *)
+val def_instr : t -> Instr.reg -> Instr.t option
+
+val use_count : t -> Instr.reg -> int
+
+val has_multiple_defs : t -> Instr.reg -> bool
+
+(** No register has more than one definition. *)
+val is_ssa : t -> bool

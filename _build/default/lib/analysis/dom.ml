@@ -1,0 +1,100 @@
+(** Dominators and dominance frontiers.
+
+    Immediate dominators via the Cooper–Harvey–Kennedy iterative algorithm
+    over reverse postorder; dominance frontiers per Cytron et al., which the
+    SSA construction pass consumes for phi placement. *)
+
+open Epre_ir
+
+type t = {
+  order : Order.t;
+  idom : int array;
+      (** [idom.(id)] is the immediate dominator of block [id]; the entry is
+          its own idom; -1 for unreachable blocks. *)
+  children : int list array;  (** dominator-tree children *)
+  frontier : int list array;  (** dominance frontier DF(id) *)
+}
+
+let intersect ~po_number idom a b =
+  (* Walk both fingers up the (partially built) dominator tree; the block
+     with the *smaller* postorder number is deeper, so advance it. *)
+  let rec go a b =
+    if a = b then a
+    else if po_number.(a) < po_number.(b) then go idom.(a) b
+    else go a idom.(b)
+  in
+  go a b
+
+let compute cfg =
+  let order = Order.compute cfg in
+  let n = Cfg.num_blocks cfg in
+  let po_number = Array.init n (fun id -> Order.postorder_number order id) in
+  let idom = Array.make n (-1) in
+  let entry = Cfg.entry cfg in
+  idom.(entry) <- entry;
+  let preds = Cfg.preds cfg in
+  let rpo = Order.reverse_postorder order in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Array.iter
+      (fun b ->
+        if b <> entry then begin
+          let processed = List.filter (fun p -> idom.(p) >= 0) preds.(b) in
+          match processed with
+          | [] -> ()
+          | first :: rest ->
+            let new_idom =
+              List.fold_left
+                (fun acc p -> intersect ~po_number idom acc p)
+                first rest
+            in
+            if idom.(b) <> new_idom then begin
+              idom.(b) <- new_idom;
+              changed := true
+            end
+        end)
+      rpo
+  done;
+  let children = Array.make n [] in
+  Array.iter
+    (fun b -> if b <> entry && idom.(b) >= 0 then children.(idom.(b)) <- b :: children.(idom.(b)))
+    rpo;
+  Array.iteri (fun i cs -> children.(i) <- List.rev cs) children;
+  let frontier = Array.make n [] in
+  Array.iter
+    (fun b ->
+      let ps = List.filter (fun p -> idom.(p) >= 0) preds.(b) in
+      if List.length ps >= 2 then
+        List.iter
+          (fun p ->
+            let runner = ref p in
+            while !runner <> idom.(b) do
+              if not (List.mem b frontier.(!runner)) then
+                frontier.(!runner) <- b :: frontier.(!runner);
+              runner := idom.(!runner)
+            done)
+          ps)
+    rpo;
+  { order; idom; children; frontier }
+
+let idom t id = t.idom.(id)
+
+let children t id = t.children.(id)
+
+let frontier t id = t.frontier.(id)
+
+let order t = t.order
+
+(** [dominates t a b]: does [a] dominate [b] (reflexively)? *)
+let dominates t a b =
+  let rec climb b = if b = a then true else if t.idom.(b) = b || t.idom.(b) < 0 then false else climb t.idom.(b) in
+  if t.idom.(b) < 0 then false else climb b
+
+(** Preorder walk of the dominator tree from the entry. *)
+let iter_tree t ~entry f =
+  let rec go id =
+    f id;
+    List.iter go t.children.(id)
+  in
+  go entry

@@ -1,0 +1,31 @@
+(** Dominators and dominance frontiers.
+
+    Immediate dominators via the Cooper–Harvey–Kennedy iterative algorithm
+    over reverse postorder; dominance frontiers per Cytron et al., consumed
+    by SSA phi placement. *)
+
+open Epre_ir
+
+type t
+
+val compute : Cfg.t -> t
+
+(** Immediate dominator; the entry is its own idom; [-1] for unreachable
+    blocks. *)
+val idom : t -> int -> int
+
+(** Dominator-tree children. *)
+val children : t -> int -> int list
+
+(** Dominance frontier DF(id). *)
+val frontier : t -> int -> int list
+
+(** The depth-first order the computation used. *)
+val order : t -> Order.t
+
+(** [dominates t a b]: does [a] dominate [b] (reflexively)? False when [b]
+    is unreachable. *)
+val dominates : t -> int -> int -> bool
+
+(** Preorder walk of the dominator tree rooted at [entry]. *)
+val iter_tree : t -> entry:int -> (int -> unit) -> unit

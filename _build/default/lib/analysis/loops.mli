@@ -1,0 +1,21 @@
+(** Natural loops and nesting depth.
+
+    A back edge is an edge [t -> h] where [h] dominates [t]; the natural
+    loop of that edge is [h] plus every block reaching [t] without passing
+    through [h]. Loops sharing a header are merged. *)
+
+open Epre_ir
+
+type loop = {
+  header : int;
+  body : int list;  (** includes the header *)
+}
+
+type t
+
+val compute : Cfg.t -> t
+
+val loops : t -> loop list
+
+(** Nesting depth of a block; 0 when outside every natural loop. *)
+val depth : t -> int -> int

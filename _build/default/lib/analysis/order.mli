@@ -1,0 +1,25 @@
+(** Depth-first orders over the reachable part of a CFG.
+
+    Reverse postorder is the traversal the paper uses both for the
+    dominator iteration and for assigning reassociation ranks
+    (Section 3.1). *)
+
+open Epre_ir
+
+type t
+
+val compute : Cfg.t -> t
+
+(** Reachable block ids in postorder. *)
+val postorder : t -> int array
+
+(** Reachable block ids in reverse postorder; the entry comes first. *)
+val reverse_postorder : t -> int array
+
+(** Postorder index of a block, [-1] when unreachable or removed. *)
+val postorder_number : t -> int -> int
+
+val is_reachable : t -> int -> bool
+
+(** Reverse-postorder position; the entry gets 0, [-1] when unreachable. *)
+val rpo_number : t -> int -> int

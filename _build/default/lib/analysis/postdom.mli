@@ -1,0 +1,25 @@
+(** Postdominators and control dependence.
+
+    Postdominators are dominators of the reverse CFG rooted at a virtual
+    exit collecting every [Ret] block; control dependence is the reverse
+    dominance frontier (Cytron et al.). Blocks that cannot reach an exit
+    have no postdominator and no control-dependence information — clients
+    must treat them conservatively. *)
+
+open Epre_ir
+
+type t
+
+val compute : Cfg.t -> t
+
+(** The virtual exit's id ([Cfg.num_blocks] at computation time). *)
+val exit_node : t -> int
+
+(** Immediate postdominator; [-1] when the block cannot reach an exit. *)
+val ipostdom : t -> int -> int
+
+(** Blocks whose branch decisions control whether [id] executes. *)
+val control_deps : t -> int -> int list
+
+(** [postdominates t a b]: every path from [b] to an exit passes [a]. *)
+val postdominates : t -> int -> int -> bool

@@ -1,0 +1,1 @@
+lib/core/experiments.ml: Buffer Epre_gvn Epre_ir Epre_opt Epre_pre Epre_reassoc Epre_workloads Float List Pipeline Printf Program Routine Workloads

@@ -1,0 +1,1 @@
+lib/core/passes.ml: Epre_gvn Epre_ir Epre_opt Epre_pre Epre_reassoc Epre_ssa List Pipeline Program Routine String

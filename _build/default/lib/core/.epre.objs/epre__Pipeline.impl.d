@@ -1,0 +1,1 @@
+lib/core/pipeline.ml: Epre_gvn Epre_ir Epre_opt Epre_pre Epre_reassoc List Program Routine

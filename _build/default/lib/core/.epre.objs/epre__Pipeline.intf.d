@@ -1,0 +1,1 @@
+lib/core/pipeline.mli: Epre_gvn Epre_ir Epre_pre Epre_reassoc Program Routine

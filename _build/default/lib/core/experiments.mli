@@ -1,0 +1,49 @@
+(** Regeneration of the paper's experimental study (Section 4) and the
+    Section 5.3 hierarchy. Absolute numbers differ from the paper's
+    (different suite and back end — DESIGN.md); the claims under test are
+    the shapes. Rendered tables are what [bench/main.exe] and the [eprec]
+    table subcommands print; EXPERIMENTS.md records paper-vs-measured. *)
+
+type table1_row = {
+  name : string;
+  baseline : int;
+  partial : int;
+  reassociation : int;
+  distribution : int;
+}
+
+val table1_row : Epre_workloads.Workloads.t -> table1_row
+
+val table1 : ?workloads:Epre_workloads.Workloads.t list -> unit -> table1_row list
+
+(** Percentage improvement of [now] over [prev]. *)
+val improvement : prev:int -> now:int -> float
+
+(** Table 1 with the paper's percentage columns, sorted by the [new]
+    column. *)
+val render_table1 : table1_row list -> string
+
+type table2_row = { name : string; before : int; after : int }
+
+(** Code growth factor, Table 2's third column. *)
+val expansion_factor : table2_row -> float
+
+val table2_row : Epre_workloads.Workloads.t -> table2_row
+
+val table2 : ?workloads:Epre_workloads.Workloads.t list -> unit -> table2_row list
+
+val render_table2 : table2_row list -> string
+
+type hierarchy_row = {
+  name : string;
+  dom_cse : int;
+  avail_cse : int;
+  pre : int;
+}
+
+val hierarchy_row : Epre_workloads.Workloads.t -> hierarchy_row
+
+val hierarchy :
+  ?workloads:Epre_workloads.Workloads.t list -> unit -> hierarchy_row list
+
+val render_hierarchy : hierarchy_row list -> string

@@ -1,0 +1,23 @@
+(** The pass registry: every optimizer pass under its command-line name,
+    powering [eprec --passes] and mirroring the paper's
+    passes-as-Unix-filters architecture. *)
+
+open Epre_ir
+
+type pass = {
+  name : string;
+  description : string;
+  run : Routine.t -> unit;
+}
+
+val all : pass list
+
+val find : string -> pass option
+
+(** Resolve a comma-separated sequence; [Error name] on the first unknown
+    pass. *)
+val parse_sequence : string -> (pass list, string) result
+
+(** Run passes over every routine, validating after each.
+    @raise Routine.Ill_formed if a pass breaks the IR. *)
+val run_sequence : pass list -> Program.t -> unit

@@ -1,0 +1,99 @@
+(** The optimizer pipelines of the paper's experimental study (Section 4).
+
+    Four optimization levels, each a strict extension of the previous:
+
+    - [Baseline]: global constant propagation, global peephole optimization,
+      global dead code elimination, coalescing, and empty-block removal;
+    - [Partial]: PRE first (over the front end's naming discipline,
+      re-normalized for safety), then the baseline sequence;
+    - [Reassociation]: global reassociation (without distribution) and
+      global value numbering before PRE and the rest;
+    - [Distribution]: reassociation including distribution of
+      multiplication over addition.
+
+    Every pass consumes and produces ILOC, exactly like the Unix-filter
+    passes of the paper's optimizer; passes that need SSA build and destroy
+    it internally. *)
+
+open Epre_ir
+
+type level = Baseline | Partial | Reassociation | Distribution
+
+let all_levels = [ Baseline; Partial; Reassociation; Distribution ]
+
+let level_to_string = function
+  | Baseline -> "baseline"
+  | Partial -> "partial"
+  | Reassociation -> "reassociation"
+  | Distribution -> "distribution"
+
+let level_of_string = function
+  | "baseline" -> Some Baseline
+  | "partial" -> Some Partial
+  | "reassociation" | "reassoc" -> Some Reassociation
+  | "distribution" | "distribute" -> Some Distribution
+  | _ -> None
+
+type routine_stats = {
+  routine : string;
+  reassoc : Epre_reassoc.Reassociate.stats option;
+  gvn : Epre_gvn.Gvn.stats option;
+  pre : Epre_pre.Pre.stats option;
+  constants_folded : int;
+  peephole_rewrites : int;
+  dce_removed : int;
+  copies_coalesced : int;
+}
+
+(* [dump] observes the routine after each named stage, for IR tracing (the
+   running example of Figures 2-10 uses it). *)
+type hooks = { dump : string -> Routine.t -> unit }
+
+let no_hooks = { dump = (fun _ _ -> ()) }
+
+let reassoc_config ~distribute =
+  { Epre_reassoc.Expr_tree.default_config with Epre_reassoc.Expr_tree.distribute }
+
+let optimize_routine ?(hooks = no_hooks) ~level (r : Routine.t) =
+  let dump name = hooks.dump name r in
+  let reassoc = ref None and gvn = ref None and pre = ref None in
+  (match level with
+  | Baseline -> ()
+  | Partial ->
+    ignore (Epre_opt.Naming.run r);
+    dump "naming";
+    pre := Some (Epre_pre.Pre.run r);
+    dump "pre"
+  | Reassociation | Distribution ->
+    let distribute = level = Distribution in
+    reassoc := Some (Epre_reassoc.Reassociate.run ~config:(reassoc_config ~distribute) r);
+    dump "reassociation";
+    gvn := Some (Epre_gvn.Gvn.run r);
+    dump "gvn";
+    pre := Some (Epre_pre.Pre.run r);
+    dump "pre");
+  let constants_folded = Epre_opt.Constprop.run r in
+  dump "constprop";
+  let peephole_rewrites =
+    Epre_opt.Peephole.run ~config:{ Epre_opt.Peephole.mul_to_shift = true } r
+  in
+  dump "peephole";
+  let dce_removed = Epre_opt.Dce.run r in
+  dump "dce";
+  let copies_coalesced = Epre_opt.Coalesce.run r in
+  dump "coalesce";
+  ignore (Epre_opt.Clean.run r);
+  dump "clean";
+  Routine.validate r;
+  { routine = r.Routine.name; reassoc = !reassoc; gvn = !gvn; pre = !pre;
+    constants_folded; peephole_rewrites; dce_removed; copies_coalesced }
+
+(** Optimize a whole program in place; returns per-routine statistics. *)
+let optimize ?hooks ~level (p : Program.t) =
+  List.map (optimize_routine ?hooks ~level) (Program.routines p)
+
+(** Convenience: copy, optimize the copy, return it with the stats. *)
+let optimized_copy ?hooks ~level (p : Program.t) =
+  let p' = Program.copy p in
+  let stats = optimize ?hooks ~level p' in
+  (p', stats)

@@ -1,0 +1,55 @@
+(** The optimizer pipelines of the paper's experimental study (Section 4).
+
+    Four levels, each a strict extension of the previous:
+    - [Baseline]: constant propagation, peephole, DCE, coalescing,
+      empty-block removal;
+    - [Partial]: naming normalization and PRE, then the baseline sequence;
+    - [Reassociation]: global reassociation (no distribution) and GVN
+      before PRE and the rest;
+    - [Distribution]: reassociation including distribution of [*] over
+      [+].
+
+    Every pass consumes and produces ILOC, like the Unix-filter passes of
+    the paper's optimizer; passes that need SSA build and destroy it
+    internally. *)
+
+open Epre_ir
+
+type level = Baseline | Partial | Reassociation | Distribution
+
+val all_levels : level list
+
+val level_to_string : level -> string
+
+val level_of_string : string -> level option
+
+type routine_stats = {
+  routine : string;
+  reassoc : Epre_reassoc.Reassociate.stats option;
+  gvn : Epre_gvn.Gvn.stats option;
+  pre : Epre_pre.Pre.stats option;
+  constants_folded : int;
+  peephole_rewrites : int;
+  dce_removed : int;
+  copies_coalesced : int;
+}
+
+(** [dump] observes the routine after each named stage (IR tracing; the
+    Figures 2-10 walkthrough uses it). Stage names: ["naming"],
+    ["reassociation"], ["gvn"], ["pre"], ["constprop"], ["peephole"],
+    ["dce"], ["coalesce"], ["clean"]. *)
+type hooks = { dump : string -> Routine.t -> unit }
+
+val no_hooks : hooks
+
+val reassoc_config : distribute:bool -> Epre_reassoc.Expr_tree.config
+
+(** Optimize one routine in place. *)
+val optimize_routine : ?hooks:hooks -> level:level -> Routine.t -> routine_stats
+
+(** Optimize a whole program in place; per-routine statistics. *)
+val optimize : ?hooks:hooks -> level:level -> Program.t -> routine_stats list
+
+(** Copy, optimize the copy, return it with the stats. *)
+val optimized_copy :
+  ?hooks:hooks -> level:level -> Program.t -> Program.t * routine_stats list

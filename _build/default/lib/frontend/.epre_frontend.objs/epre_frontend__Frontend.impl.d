@@ -1,0 +1,1 @@
+lib/frontend/frontend.ml: Lexer Lower Parser Sema

@@ -1,0 +1,1 @@
+lib/frontend/frontend.mli: Ast Epre_ir

@@ -1,0 +1,1 @@
+lib/frontend/lexer.ml: Hashtbl Lexing List Printf Token

@@ -1,0 +1,1 @@
+lib/frontend/lower.ml: Ast Builder Epre_ir Hashtbl Instr List Op Printf Program Sema Value

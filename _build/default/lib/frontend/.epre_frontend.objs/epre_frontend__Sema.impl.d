@@ -1,0 +1,1 @@
+lib/frontend/sema.ml: Ast Hashtbl List Option Printf

@@ -1,0 +1,69 @@
+(** Abstract syntax of the mini source language.
+
+    A small imperative language standing in for the paper's FORTRAN front
+    end: scalars of type [int]/[float], one- to three-dimensional arrays
+    with 1-based, row-major indexing (so subscript lowering produces the
+    [base + ((i-1)*n + (j-1))] address arithmetic of Section 2.1), FORTRAN
+    [DO]-style counted loops, and call-by-reference array parameters. *)
+
+type scalar_ty = TInt | TFlt
+
+type vtype =
+  | Scalar of scalar_ty
+  | Array of { elt : scalar_ty; dims : int list }
+      (** [dims] are compile-time extents, innermost last; 1-based. *)
+
+type binary =
+  | BAdd | BSub | BMul | BDiv | BRem
+  | BAnd | BOr  (** short-circuit *)
+  | BEq | BNe | BLt | BLe | BGt | BGe
+
+type unary = UNeg | UNot
+
+type expr =
+  | Int_lit of int
+  | Float_lit of float
+  | Var of string
+  | Index of string * expr list
+  | Binary of binary * expr * expr
+  | Unary of unary * expr
+  | Call of string * expr list
+      (** user routines and intrinsics: [sqrt], [abs], [min], [max], [mod],
+          [float], [int], [emit] *)
+
+type stmt = { desc : stmt_desc; line : int }
+
+and stmt_desc =
+  | Decl of string * vtype * expr option
+  | Assign of string * expr
+  | Assign_index of string * expr list * expr
+  | If of expr * stmt list * stmt list
+  | While of expr * stmt list
+  | For of {
+      var : string;
+      start : expr;
+      stop : expr;
+      step : expr option;
+      down : bool;  (** [downto] loops decrement and test [>=] *)
+      body : stmt list;
+    }
+  | Return of expr option
+  | Expr_stmt of expr
+
+type fndef = {
+  name : string;
+  params : (string * vtype) list;
+  ret : scalar_ty option;
+  body : stmt list;
+  line : int;
+}
+
+type program = fndef list
+
+let scalar_ty_to_string = function TInt -> "int" | TFlt -> "float"
+
+let vtype_to_string = function
+  | Scalar t -> scalar_ty_to_string t
+  | Array { elt; dims } ->
+    Printf.sprintf "%s[%s]" (scalar_ty_to_string elt)
+      (String.concat "," (List.map string_of_int dims))

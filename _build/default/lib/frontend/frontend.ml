@@ -1,0 +1,23 @@
+(** Front-end entry points: source text to ILOC. *)
+
+exception Error of { line : int; message : string }
+
+let wrap f x =
+  try f x with
+  | Lexer.Error { line; message } -> raise (Error { line; message = "lexical error: " ^ message })
+  | Parser.Error { line; message } -> raise (Error { line; message = "parse error: " ^ message })
+  | Sema.Error { line; message } -> raise (Error { line; message = "type error: " ^ message })
+  | Lower.Error { line; message } -> raise (Error { line; message = "lowering error: " ^ message })
+
+let parse_string source = wrap Parser.parse_string source
+
+(** Compile source text to an ILOC program with the front-end naming
+    discipline of Section 2.2 in place. *)
+let compile_string source =
+  wrap
+    (fun source ->
+      let ast = Parser.parse_string source in
+      let env = Sema.check_program ast in
+      Lower.lower_program env ast)
+    source
+

@@ -1,0 +1,14 @@
+(** Front-end entry points: source text to ILOC.
+
+    The language is a small FORTRAN-flavoured imperative language (see
+    [Ast]); lowering produces ILOC under the paper's Section 2.2
+    expression-naming discipline. *)
+
+(** Any front-end failure (lexical, syntactic, semantic, lowering), with a
+    1-based source line. *)
+exception Error of { line : int; message : string }
+
+val parse_string : string -> Ast.program
+
+(** Parse, type-check and lower. *)
+val compile_string : string -> Epre_ir.Program.t

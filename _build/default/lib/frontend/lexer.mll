@@ -1,0 +1,84 @@
+{
+(* Lexer for the mini source language; see [Ast] for the grammar it feeds. *)
+open Token
+
+exception Error of { line : int; message : string }
+
+let line_of lexbuf = lexbuf.Lexing.lex_curr_p.Lexing.pos_lnum
+
+let fail lexbuf fmt =
+  Printf.ksprintf (fun message -> raise (Error { line = line_of lexbuf; message })) fmt
+
+let keyword_table =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun (k, t) -> Hashtbl.replace tbl k t)
+    [ ("fn", FN); ("var", VAR); ("if", IF); ("else", ELSE); ("while", WHILE);
+      ("for", FOR); ("to", TO); ("downto", DOWNTO); ("step", STEP);
+      ("return", RETURN); ("int", TINT); ("float", TFLOAT) ];
+  tbl
+}
+
+let digit = ['0'-'9']
+let alpha = ['a'-'z' 'A'-'Z' '_']
+let ident = alpha (alpha | digit)*
+let int_lit = digit+
+let float_lit = digit+ '.' digit* (['e' 'E'] ['+' '-']? digit+)?
+              | digit+ ['e' 'E'] ['+' '-']? digit+
+
+rule token = parse
+  | [' ' '\t' '\r']      { token lexbuf }
+  | '\n'                 { Lexing.new_line lexbuf; token lexbuf }
+  | "//" [^ '\n']*       { token lexbuf }
+  | "/*"                 { comment lexbuf; token lexbuf }
+  | float_lit as f       { FLOAT (float_of_string f) }
+  | int_lit as i         { INT (int_of_string i) }
+  | ident as id          { match Hashtbl.find_opt keyword_table id with
+                           | Some t -> t
+                           | None -> IDENT id }
+  | "&&"                 { ANDAND }
+  | "||"                 { OROR }
+  | "=="                 { EQEQ }
+  | "!="                 { NEQ }
+  | "<="                 { LE }
+  | ">="                 { GE }
+  | '<'                  { LT }
+  | '>'                  { GT }
+  | '='                  { ASSIGN }
+  | '!'                  { BANG }
+  | '('                  { LPAREN }
+  | ')'                  { RPAREN }
+  | '{'                  { LBRACE }
+  | '}'                  { RBRACE }
+  | '['                  { LBRACKET }
+  | ']'                  { RBRACKET }
+  | ','                  { COMMA }
+  | ';'                  { SEMI }
+  | ':'                  { COLON }
+  | '+'                  { PLUS }
+  | '-'                  { MINUS }
+  | '*'                  { STAR }
+  | '/'                  { SLASH }
+  | '%'                  { PERCENT }
+  | eof                  { EOF }
+  | _ as c               { fail lexbuf "unexpected character %C" c }
+
+and comment = parse
+  | "*/"                 { () }
+  | '\n'                 { Lexing.new_line lexbuf; comment lexbuf }
+  | eof                  { fail lexbuf "unterminated comment" }
+  | _                    { comment lexbuf }
+
+{
+(* Tokenize a whole string, pairing each token with its source line. The
+   line is read after scanning the token, once the preceding newlines have
+   been consumed; no token spans a newline, so this is the token's line. *)
+let tokenize source =
+  let lexbuf = Lexing.from_string source in
+  let rec loop acc =
+    match token lexbuf with
+    | EOF -> List.rev ((EOF, line_of lexbuf) :: acc)
+    | t -> loop ((t, line_of lexbuf) :: acc)
+  in
+  loop []
+}

@@ -1,0 +1,13 @@
+(** Lowering to ILOC with the paper's naming discipline (Section 2.2).
+
+    Every occurrence of an expression still evaluates, but its destination
+    is the canonical name for that expression (a hash table of expressions,
+    exactly as the paper describes the front end); variables are targets of
+    copies only. Subscripts lower to 1-based row-major address arithmetic;
+    counted loops are emitted in the rotated guard + bottom-test shape of
+    the paper's Figure 3; locals are zero-initialized at entry so SSA
+    construction sees a strict program. *)
+
+exception Error of { line : int; message : string }
+
+val lower_program : Sema.env -> Ast.program -> Epre_ir.Program.t

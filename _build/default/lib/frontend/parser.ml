@@ -1,0 +1,374 @@
+(** Hand-written recursive-descent parser for the mini language.
+
+    Menhir is not available in this environment (see DESIGN.md), and the
+    grammar is small enough that predictive parsing with one token of
+    lookahead suffices. Precedence, loosest to tightest:
+    [||] < [&&] < comparisons < [+ -] < [* / %] < unary < postfix. *)
+
+open Ast
+
+exception Error of { line : int; message : string }
+
+type state = { tokens : (Token.t * int) array; mutable pos : int }
+
+let fail_at st pos fmt =
+  let line = snd st.tokens.(max 0 (min pos (Array.length st.tokens - 1))) in
+  Printf.ksprintf (fun message -> raise (Error { line; message })) fmt
+
+(* Report at the upcoming token (peek-style failures). *)
+let fail st fmt = fail_at st st.pos fmt
+
+(* Report at the token just consumed ([next]-style failures). *)
+let fail_prev st fmt = fail_at st (st.pos - 1) fmt
+
+let peek st = fst st.tokens.(st.pos)
+
+let line st = snd st.tokens.(st.pos)
+
+let advance st = st.pos <- st.pos + 1
+
+let next st =
+  let t = peek st in
+  advance st;
+  t
+
+let expect st tok =
+  let got = peek st in
+  if got = tok then advance st
+  else fail st "expected %s but found %s" (Token.to_string tok) (Token.to_string got)
+
+let expect_ident st =
+  match next st with
+  | Token.IDENT s -> s
+  | t -> fail_prev st "expected identifier but found %s" (Token.to_string t)
+
+(* ------------------------------------------------------------------ *)
+(* Types                                                               *)
+
+let parse_scalar_ty st =
+  match next st with
+  | Token.TINT -> TInt
+  | Token.TFLOAT -> TFlt
+  | t -> fail_prev st "expected a type but found %s" (Token.to_string t)
+
+let parse_vtype st =
+  let elt = parse_scalar_ty st in
+  if peek st = Token.LBRACKET then begin
+    advance st;
+    let rec dims acc =
+      match next st with
+      | Token.INT n ->
+        if n <= 0 then fail st "array dimension must be positive, got %d" n;
+        let acc = n :: acc in
+        (match next st with
+        | Token.COMMA -> dims acc
+        | Token.RBRACKET -> List.rev acc
+        | t -> fail_prev st "expected ',' or ']' in array type, found %s" (Token.to_string t))
+      | t -> fail_prev st "expected array dimension, found %s" (Token.to_string t)
+    in
+    let dims = dims [] in
+    if List.length dims > 3 then fail st "arrays of rank > 3 are not supported";
+    Array { elt; dims }
+  end
+  else Scalar elt
+
+(* ------------------------------------------------------------------ *)
+(* Expressions                                                         *)
+
+let rec parse_expr st = parse_or st
+
+and parse_or st =
+  let rec loop lhs =
+    if peek st = Token.OROR then begin
+      advance st;
+      let rhs = parse_and st in
+      loop (Binary (BOr, lhs, rhs))
+    end
+    else lhs
+  in
+  loop (parse_and st)
+
+and parse_and st =
+  let rec loop lhs =
+    if peek st = Token.ANDAND then begin
+      advance st;
+      let rhs = parse_cmp st in
+      loop (Binary (BAnd, lhs, rhs))
+    end
+    else lhs
+  in
+  loop (parse_cmp st)
+
+and parse_cmp st =
+  let lhs = parse_additive st in
+  let op =
+    match peek st with
+    | Token.EQEQ -> Some BEq
+    | Token.NEQ -> Some BNe
+    | Token.LT -> Some BLt
+    | Token.LE -> Some BLe
+    | Token.GT -> Some BGt
+    | Token.GE -> Some BGe
+    | _ -> None
+  in
+  match op with
+  | None -> lhs
+  | Some op ->
+    advance st;
+    let rhs = parse_additive st in
+    Binary (op, lhs, rhs)
+
+and parse_additive st =
+  let rec loop lhs =
+    match peek st with
+    | Token.PLUS ->
+      advance st;
+      loop (Binary (BAdd, lhs, parse_multiplicative st))
+    | Token.MINUS ->
+      advance st;
+      loop (Binary (BSub, lhs, parse_multiplicative st))
+    | _ -> lhs
+  in
+  loop (parse_multiplicative st)
+
+and parse_multiplicative st =
+  let rec loop lhs =
+    match peek st with
+    | Token.STAR ->
+      advance st;
+      loop (Binary (BMul, lhs, parse_unary st))
+    | Token.SLASH ->
+      advance st;
+      loop (Binary (BDiv, lhs, parse_unary st))
+    | Token.PERCENT ->
+      advance st;
+      loop (Binary (BRem, lhs, parse_unary st))
+    | _ -> lhs
+  in
+  loop (parse_unary st)
+
+and parse_unary st =
+  match peek st with
+  | Token.MINUS ->
+    advance st;
+    Unary (UNeg, parse_unary st)
+  | Token.BANG ->
+    advance st;
+    Unary (UNot, parse_unary st)
+  | _ -> parse_postfix st
+
+and parse_postfix st =
+  match next st with
+  | Token.INT i -> Int_lit i
+  | Token.FLOAT f -> Float_lit f
+  | Token.LPAREN ->
+    let e = parse_expr st in
+    expect st Token.RPAREN;
+    e
+  (* [float] and [int] double as conversion intrinsics: [float(i)]. *)
+  | Token.TFLOAT ->
+    expect st Token.LPAREN;
+    let e = parse_expr st in
+    expect st Token.RPAREN;
+    Call ("float", [ e ])
+  | Token.TINT ->
+    expect st Token.LPAREN;
+    let e = parse_expr st in
+    expect st Token.RPAREN;
+    Call ("int", [ e ])
+  | Token.IDENT name -> begin
+    match peek st with
+    | Token.LPAREN ->
+      advance st;
+      Call (name, parse_args st)
+    | Token.LBRACKET ->
+      advance st;
+      let subs = parse_subscripts st in
+      Index (name, subs)
+    | _ -> Var name
+  end
+  | t -> fail_prev st "expected an expression, found %s" (Token.to_string t)
+
+and parse_args st =
+  if peek st = Token.RPAREN then begin
+    advance st;
+    []
+  end
+  else begin
+    let rec loop acc =
+      let acc = parse_expr st :: acc in
+      match next st with
+      | Token.COMMA -> loop acc
+      | Token.RPAREN -> List.rev acc
+      | t -> fail_prev st "expected ',' or ')' in argument list, found %s" (Token.to_string t)
+    in
+    loop []
+  end
+
+and parse_subscripts st =
+  let rec loop acc =
+    let acc = parse_expr st :: acc in
+    match next st with
+    | Token.COMMA -> loop acc
+    | Token.RBRACKET -> List.rev acc
+    | t -> fail_prev st "expected ',' or ']' in subscript, found %s" (Token.to_string t)
+  in
+  loop []
+
+(* ------------------------------------------------------------------ *)
+(* Statements                                                          *)
+
+let rec parse_stmt st : stmt =
+  let ln = line st in
+  let mk desc = { desc; line = ln } in
+  match peek st with
+  | Token.VAR ->
+    advance st;
+    let name = expect_ident st in
+    expect st Token.COLON;
+    let ty = parse_vtype st in
+    let init =
+      if peek st = Token.ASSIGN then begin
+        advance st;
+        Some (parse_expr st)
+      end
+      else None
+    in
+    expect st Token.SEMI;
+    mk (Decl (name, ty, init))
+  | Token.IF ->
+    advance st;
+    expect st Token.LPAREN;
+    let cond = parse_expr st in
+    expect st Token.RPAREN;
+    let then_ = parse_block st in
+    let else_ =
+      if peek st = Token.ELSE then begin
+        advance st;
+        if peek st = Token.IF then [ parse_stmt st ] else parse_block st
+      end
+      else []
+    in
+    mk (If (cond, then_, else_))
+  | Token.WHILE ->
+    advance st;
+    expect st Token.LPAREN;
+    let cond = parse_expr st in
+    expect st Token.RPAREN;
+    let body = parse_block st in
+    mk (While (cond, body))
+  | Token.FOR ->
+    advance st;
+    let var = expect_ident st in
+    expect st Token.ASSIGN;
+    let start = parse_expr st in
+    let down =
+      match next st with
+      | Token.TO -> false
+      | Token.DOWNTO -> true
+      | t -> fail_prev st "expected 'to' or 'downto', found %s" (Token.to_string t)
+    in
+    let stop = parse_expr st in
+    let step =
+      if peek st = Token.STEP then begin
+        advance st;
+        Some (parse_expr st)
+      end
+      else None
+    in
+    let body = parse_block st in
+    mk (For { var; start; stop; step; down; body })
+  | Token.RETURN ->
+    advance st;
+    if peek st = Token.SEMI then begin
+      advance st;
+      mk (Return None)
+    end
+    else begin
+      let e = parse_expr st in
+      expect st Token.SEMI;
+      mk (Return (Some e))
+    end
+  | Token.IDENT name -> begin
+    advance st;
+    match peek st with
+    | Token.ASSIGN ->
+      advance st;
+      let e = parse_expr st in
+      expect st Token.SEMI;
+      mk (Assign (name, e))
+    | Token.LBRACKET ->
+      advance st;
+      let subs = parse_subscripts st in
+      expect st Token.ASSIGN;
+      let e = parse_expr st in
+      expect st Token.SEMI;
+      mk (Assign_index (name, subs, e))
+    | Token.LPAREN ->
+      advance st;
+      let args = parse_args st in
+      expect st Token.SEMI;
+      mk (Expr_stmt (Call (name, args)))
+    | t -> fail st "expected '=', '[' or '(' after %s, found %s" name (Token.to_string t)
+  end
+  | t -> fail st "expected a statement, found %s" (Token.to_string t)
+
+and parse_block st =
+  expect st Token.LBRACE;
+  let rec loop acc =
+    if peek st = Token.RBRACE then begin
+      advance st;
+      List.rev acc
+    end
+    else loop (parse_stmt st :: acc)
+  in
+  loop []
+
+(* ------------------------------------------------------------------ *)
+(* Top level                                                           *)
+
+let parse_fn st =
+  let ln = line st in
+  expect st Token.FN;
+  let name = expect_ident st in
+  expect st Token.LPAREN;
+  let params =
+    if peek st = Token.RPAREN then begin
+      advance st;
+      []
+    end
+    else begin
+      let rec loop acc =
+        let pname = expect_ident st in
+        expect st Token.COLON;
+        let ty = parse_vtype st in
+        let acc = (pname, ty) :: acc in
+        match next st with
+        | Token.COMMA -> loop acc
+        | Token.RPAREN -> List.rev acc
+        | t -> fail_prev st "expected ',' or ')' in parameter list, found %s" (Token.to_string t)
+      in
+      loop []
+    end
+  in
+  let ret =
+    if peek st = Token.COLON then begin
+      advance st;
+      Some (parse_scalar_ty st)
+    end
+    else None
+  in
+  let body = parse_block st in
+  { name; params; ret; body; line = ln }
+
+let parse_program tokens =
+  let st = { tokens = Array.of_list tokens; pos = 0 } in
+  let rec loop acc =
+    match peek st with
+    | Token.EOF -> List.rev acc
+    | Token.FN -> loop (parse_fn st :: acc)
+    | t -> fail st "expected 'fn' at top level, found %s" (Token.to_string t)
+  in
+  loop []
+
+let parse_string source = parse_program (Lexer.tokenize source)

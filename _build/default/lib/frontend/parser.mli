@@ -1,0 +1,10 @@
+(** Hand-written recursive-descent parser for the mini language (Menhir is
+    not available in this environment; see DESIGN.md). Precedence, loosest
+    to tightest: [||] < [&&] < comparisons < [+ -] < [* / %] < unary <
+    postfix. *)
+
+exception Error of { line : int; message : string }
+
+val parse_program : (Token.t * int) list -> Ast.program
+
+val parse_string : string -> Ast.program

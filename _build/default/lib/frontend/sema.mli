@@ -1,0 +1,32 @@
+(** Semantic analysis: symbol resolution and type checking.
+
+    FORTRAN-flavoured rules: one flat scope per routine, implicit [int] to
+    [float] widening, arrays passed by reference with shapes matching the
+    callee's declaration. [type_of_expr] is shared with the lowering pass
+    so the two cannot disagree. *)
+
+open Ast
+
+exception Error of { line : int; message : string }
+
+type fsig = { fparams : vtype list; fret : scalar_ty option }
+
+type env = { fsigs : (string, fsig) Hashtbl.t }
+
+type intrinsic = Sqrt | Abs | Min | Max | Mod | To_float | To_int | Emit
+
+val intrinsic_of_name : string -> intrinsic option
+
+val is_intrinsic : string -> bool
+
+(** Common type of two scalar operands (int widens to float). *)
+val join_scalar : int -> scalar_ty -> scalar_ty -> scalar_ty
+
+(** Type of an expression under [vars] (the routine's scope lookup).
+    @raise Error on ill-typed expressions. *)
+val type_of_expr :
+  env -> vars:(string -> vtype option) -> line:int -> expr -> vtype
+
+(** Check a whole program and return its routine signatures.
+    @raise Error on the first violation. *)
+val check_program : program -> env

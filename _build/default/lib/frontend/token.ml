@@ -1,0 +1,32 @@
+(** Tokens shared by the ocamllex lexer and the recursive-descent parser. *)
+
+type t =
+  | INT of int
+  | FLOAT of float
+  | IDENT of string
+  | FN | VAR | IF | ELSE | WHILE | FOR | TO | DOWNTO | STEP | RETURN
+  | TINT | TFLOAT
+  | LPAREN | RPAREN | LBRACE | RBRACE | LBRACKET | RBRACKET
+  | COMMA | SEMI | COLON
+  | PLUS | MINUS | STAR | SLASH | PERCENT
+  | ANDAND | OROR | BANG
+  | ASSIGN | EQEQ | NEQ | LT | LE | GT | GE
+  | EOF
+
+let to_string = function
+  | INT i -> string_of_int i
+  | FLOAT f -> string_of_float f
+  | IDENT s -> Printf.sprintf "identifier %S" s
+  | FN -> "'fn'" | VAR -> "'var'" | IF -> "'if'" | ELSE -> "'else'"
+  | WHILE -> "'while'" | FOR -> "'for'" | TO -> "'to'" | DOWNTO -> "'downto'"
+  | STEP -> "'step'" | RETURN -> "'return'"
+  | TINT -> "'int'" | TFLOAT -> "'float'"
+  | LPAREN -> "'('" | RPAREN -> "')'" | LBRACE -> "'{'" | RBRACE -> "'}'"
+  | LBRACKET -> "'['" | RBRACKET -> "']'"
+  | COMMA -> "','" | SEMI -> "';'" | COLON -> "':'"
+  | PLUS -> "'+'" | MINUS -> "'-'" | STAR -> "'*'" | SLASH -> "'/'"
+  | PERCENT -> "'%'"
+  | ANDAND -> "'&&'" | OROR -> "'||'" | BANG -> "'!'"
+  | ASSIGN -> "'='" | EQEQ -> "'=='" | NEQ -> "'!='"
+  | LT -> "'<'" | LE -> "'<='" | GT -> "'>'" | GE -> "'>='"
+  | EOF -> "end of input"

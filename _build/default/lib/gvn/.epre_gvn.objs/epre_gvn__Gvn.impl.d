@@ -1,0 +1,1 @@
+lib/gvn/gvn.ml: Array Block Cfg Epre_ir Epre_ssa Fun Hashtbl Instr List Partition Routine

@@ -1,0 +1,1 @@
+lib/gvn/gvn.mli: Epre_ir Partition Routine

@@ -1,0 +1,1 @@
+lib/gvn/partition.ml: Array Block Cfg Epre_ir Hashtbl Instr List Op Option Routine Value

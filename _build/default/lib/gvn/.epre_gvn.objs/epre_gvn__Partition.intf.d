@@ -1,0 +1,1 @@
+lib/gvn/partition.mli: Epre_ir Hashtbl Instr Routine

@@ -1,0 +1,66 @@
+(** Global renaming by value (Section 3.2).
+
+    Builds SSA (folding copies, so the programmer's variable names vanish),
+    computes AWZ congruence classes, and renames every register to its
+    class representative. "Renaming encodes the value equivalences into the
+    name space; this exposes new opportunities to PRE. It also constructs
+    the name space required by PRE": afterwards, lexically-identical
+    expressions have identical names, and only copies target the remaining
+    variable names. The names are the only thing changed — no instructions
+    are added, deleted, or moved (phis whose renamed arguments all equal
+    their renamed destination become vacuous and are the one deletion we
+    allow ourselves, as SSA destruction would only expand them into
+    self-copies).
+
+    Finally SSA is destroyed, leaving ILOC ready for PRE. *)
+
+open Epre_ir
+
+type stats = {
+  classes_merged : int;  (** congruence classes with more than one member *)
+  renamed : int;  (** registers renamed to another representative *)
+}
+
+let run ?(config = Partition.default_config) (r : Routine.t) =
+  let r = Epre_ssa.Ssa.build r in
+  let part = Partition.build ~config r in
+  (* Representative: smallest register of the class (parameters have the
+     smallest numbers, so a class containing a parameter keeps its name). *)
+  let classes = Partition.classes part in
+  let rep = Array.init part.Partition.nregs Fun.id in
+  let merged = ref 0 in
+  let renamed = ref 0 in
+  Hashtbl.iter
+    (fun _c members ->
+      match members with
+      | [] -> ()
+      | m :: ms ->
+        let leader = List.fold_left min m ms in
+        if ms <> [] then incr merged;
+        List.iter
+          (fun v ->
+            if v <> leader then begin
+              rep.(v) <- leader;
+              incr renamed
+            end)
+          members)
+    classes;
+  let rename v = rep.(v) in
+  Cfg.iter_blocks
+    (fun b ->
+      b.Block.instrs <-
+        List.filter_map
+          (fun i ->
+            let i = Instr.map_uses rename (Instr.map_def rename i) in
+            match i with
+            | Instr.Phi { dst; args } when List.for_all (fun (_, a) -> a = dst) args ->
+              (* Vacuous after renaming: every input is already the
+                 destination's value. *)
+              None
+            | i -> Some i)
+          b.Block.instrs;
+      b.Block.term <- Instr.map_term_uses rename b.Block.term)
+    r.Routine.cfg;
+  let r = Epre_ssa.Ssa.destroy r in
+  ignore r;
+  { classes_merged = !merged; renamed = !renamed }

@@ -1,0 +1,18 @@
+(** Global renaming by value (the paper's Section 3.2).
+
+    Builds SSA (folding copies), computes AWZ congruence classes
+    ([Partition]), renames every register to its class representative, and
+    destroys SSA. Afterwards lexically-identical expressions have identical
+    names and only copies target the remaining variable names — "renaming
+    encodes the value equivalences into the name space; this exposes new
+    opportunities to PRE". *)
+
+open Epre_ir
+
+type stats = {
+  classes_merged : int;  (** congruence classes with more than one member *)
+  renamed : int;  (** registers renamed to another representative *)
+}
+
+(** Requires non-SSA input; leaves non-SSA output. *)
+val run : ?config:Partition.config -> Routine.t -> stats

@@ -1,0 +1,155 @@
+(** Partition-based global value numbering — the congruence analysis of
+    Alpern, Wegman and Zadeck [2], which Section 3.2 adopts.
+
+    Works on SSA. Instead of building equalities up from facts (as
+    hash-based value numbering does), it starts from the optimistic
+    assumption that all values defined the same way are equivalent and lets
+    the statements of the program disprove equivalences: classes are
+    repeatedly split until each class is congruent — same defining operator,
+    congruent operands position by position (phis additionally must sit in
+    the same block).
+
+    [config.commutative] normalizes the operand order of commutative
+    operators before comparison. It is on by default: the Section 2.2
+    motivating example ([x = y + z; a = y; b = a + z]) presents the two
+    sums with opposite operand orders once SSA copy folding has run, and
+    the paper clearly expects value numbering to catch it. Setting it to
+    false gives the positional "simplest variation described by Alpern,
+    Wegman, and Zadeck". *)
+
+open Epre_ir
+
+type config = { commutative : bool }
+
+let default_config = { commutative = true }
+
+type label =
+  | LConst of Value.t
+  | LUnop of Op.unop
+  | LBinop of Op.binop
+  | LPhi of int  (** block id *)
+  | LOpaque of int
+      (** params, loads, calls, allocas: each its own congruence class *)
+
+type t = {
+  class_of : int array;  (** register -> class id *)
+  nregs : int;
+}
+
+let build ?(config = default_config) (r : Routine.t) =
+  if not r.Routine.in_ssa then invalid_arg "Partition.build: requires SSA form";
+  let width = max 1 r.Routine.next_reg in
+  let label = Array.make width None in
+  let operands = Array.make width [| |] in
+  let commutative_op = Array.make width false in
+  let opaque = ref 0 in
+  let fresh_opaque () =
+    incr opaque;
+    LOpaque !opaque
+  in
+  List.iter (fun p -> label.(p) <- Some (fresh_opaque ())) r.Routine.params;
+  Cfg.iter_blocks
+    (fun b ->
+      List.iter
+        (fun i ->
+          match i with
+          | Instr.Const { dst; value } -> label.(dst) <- Some (LConst value)
+          | Instr.Copy { dst; _ } ->
+            (* Copies are folded away by the SSA construction this library
+               performs; any survivor is treated opaquely, which is merely
+               conservative. *)
+            label.(dst) <- Some (fresh_opaque ())
+          | Instr.Unop { op; dst; src } ->
+            label.(dst) <- Some (LUnop op);
+            operands.(dst) <- [| src |]
+          | Instr.Binop { op; dst; a; b } ->
+            label.(dst) <- Some (LBinop op);
+            operands.(dst) <- [| a; b |];
+            commutative_op.(dst) <- Op.commutative op
+          | Instr.Load { dst; _ } | Instr.Alloca { dst; _ } ->
+            label.(dst) <- Some (fresh_opaque ())
+          | Instr.Call { dst = Some d; _ } -> label.(d) <- Some (fresh_opaque ())
+          | Instr.Call { dst = None; _ } | Instr.Store _ -> ()
+          | Instr.Phi { dst; args } ->
+            let args = List.sort (fun (p, _) (q, _) -> compare p q) args in
+            label.(dst) <- Some (LPhi b.Block.id);
+            operands.(dst) <- Array.of_list (List.map snd args))
+        b.Block.instrs)
+    r.Routine.cfg;
+  (* Initial optimistic partition: group by label alone. *)
+  let class_of = Array.make width (-1) in
+  let by_label : (label, int) Hashtbl.t = Hashtbl.create 64 in
+  let next_class = ref 0 in
+  for v = 0 to width - 1 do
+    match label.(v) with
+    | None -> ()  (* never defined: unreachable code or gaps *)
+    | Some l -> begin
+      match Hashtbl.find_opt by_label l with
+      | Some c -> class_of.(v) <- c
+      | None ->
+        let c = !next_class in
+        incr next_class;
+        Hashtbl.replace by_label l c;
+        class_of.(v) <- c
+    end
+  done;
+  (* Refinement: split classes whose members disagree on operand classes. *)
+  let signature v =
+    let sig_ = Array.map (fun o -> class_of.(o)) operands.(v) in
+    if config.commutative && commutative_op.(v) then Array.sort compare sig_;
+    sig_
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    (* Gather members per class. *)
+    let members = Hashtbl.create 64 in
+    for v = 0 to width - 1 do
+      if class_of.(v) >= 0 then
+        Hashtbl.replace members class_of.(v)
+          (v :: Option.value ~default:[] (Hashtbl.find_opt members class_of.(v)))
+    done;
+    Hashtbl.iter
+      (fun _c vs ->
+        match vs with
+        | [] | [ _ ] -> ()
+        | vs ->
+          let groups : (int array, int list) Hashtbl.t = Hashtbl.create 8 in
+          List.iter
+            (fun v ->
+              let s = signature v in
+              Hashtbl.replace groups s
+                (v :: Option.value ~default:[] (Hashtbl.find_opt groups s)))
+            vs;
+          if Hashtbl.length groups > 1 then begin
+            changed := true;
+            (* Keep the first group in the old class; new ids for the rest.
+               Sort group keys for determinism. *)
+            let keys =
+              List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) groups [])
+            in
+            List.iteri
+              (fun idx key ->
+                if idx > 0 then begin
+                  let c = !next_class in
+                  incr next_class;
+                  List.iter (fun v -> class_of.(v) <- c) (Hashtbl.find groups key)
+                end)
+              keys
+          end)
+      members
+  done;
+  { class_of; nregs = width }
+
+let class_of t reg = t.class_of.(reg)
+
+let congruent t a b = t.class_of.(a) >= 0 && t.class_of.(a) = t.class_of.(b)
+
+(** Members of each class, keyed by class id. *)
+let classes t =
+  let tbl = Hashtbl.create 64 in
+  Array.iteri
+    (fun v c ->
+      if c >= 0 then Hashtbl.replace tbl c (v :: Option.value ~default:[] (Hashtbl.find_opt tbl c)))
+    t.class_of;
+  tbl

@@ -1,0 +1,35 @@
+(** Partition-based global value numbering — the congruence analysis of
+    Alpern, Wegman and Zadeck, adopted by the paper's Section 3.2.
+
+    Starts from the optimistic assumption that values defined the same way
+    are equivalent and splits classes until each is congruent: same
+    operator, congruent operands position by position (phis additionally in
+    the same block). Loads, calls, allocas and parameters are opaque
+    singletons. *)
+
+open Epre_ir
+
+type config = {
+  commutative : bool;
+      (** normalize commutative operand order before comparison; on by
+          default (the Section 2.2 example needs it), off gives AWZ's
+          positional "simplest variation" *)
+}
+
+val default_config : config
+
+type t = private {
+  class_of : int array;  (** register -> class id, [-1] when never defined *)
+  nregs : int;
+}
+
+(** Requires SSA form. *)
+val build : ?config:config -> Routine.t -> t
+
+(** Class id of a register; [-1] for never-defined registers. *)
+val class_of : t -> Instr.reg -> int
+
+val congruent : t -> Instr.reg -> Instr.reg -> bool
+
+(** Members of each class, keyed by class id. *)
+val classes : t -> (int, Instr.reg list) Hashtbl.t

@@ -1,0 +1,1 @@
+lib/interp/counts.mli: Format

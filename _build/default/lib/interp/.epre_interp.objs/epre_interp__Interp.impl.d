@@ -1,0 +1,1 @@
+lib/interp/interp.ml: Array Block Cfg Counts Epre_ir Instr List Op Printf Program Routine Value

@@ -1,0 +1,1 @@
+lib/interp/interp.mli: Counts Epre_ir Program Value

@@ -1,0 +1,46 @@
+(** Dynamic ILOC operation counts.
+
+    The paper's Table 1 metric: "dynamic counts of ILOC operations",
+    including branches. Phis are SSA notation, not operations; they are
+    tallied separately and excluded from [total]. *)
+
+type t = {
+  mutable arith : int;  (** binary and unary computations *)
+  mutable mults : int;
+      (** multiplies and divides, also included in [arith]: the
+          "expensive" operations strength reduction targets *)
+  mutable consts : int;  (** loadI *)
+  mutable copies : int;
+  mutable loads : int;
+  mutable stores : int;
+  mutable branches : int;  (** jumps, conditional branches and returns *)
+  mutable calls : int;
+  mutable allocas : int;
+  mutable phis : int;  (** not included in [total] *)
+}
+
+let create () =
+  { arith = 0; mults = 0; consts = 0; copies = 0; loads = 0; stores = 0;
+    branches = 0; calls = 0; allocas = 0; phis = 0 }
+
+let total t =
+  t.arith + t.consts + t.copies + t.loads + t.stores + t.branches + t.calls
+  + t.allocas
+
+let add ~into t =
+  into.arith <- into.arith + t.arith;
+  into.mults <- into.mults + t.mults;
+  into.consts <- into.consts + t.consts;
+  into.copies <- into.copies + t.copies;
+  into.loads <- into.loads + t.loads;
+  into.stores <- into.stores + t.stores;
+  into.branches <- into.branches + t.branches;
+  into.calls <- into.calls + t.calls;
+  into.allocas <- into.allocas + t.allocas;
+  into.phis <- into.phis + t.phis
+
+let pp ppf t =
+  Fmt.pf ppf
+    "total=%d (arith=%d [mult/div=%d] consts=%d copies=%d loads=%d stores=%d branches=%d calls=%d allocas=%d phis=%d)"
+    (total t) t.arith t.mults t.consts t.copies t.loads t.stores t.branches
+    t.calls t.allocas t.phis

@@ -1,0 +1,27 @@
+(** Dynamic ILOC operation counts — the paper's Table 1 metric ("dynamic
+    counts of ILOC operations", branches included). Phis are SSA notation,
+    tallied separately and excluded from [total]. *)
+
+type t = {
+  mutable arith : int;  (** binary and unary computations *)
+  mutable mults : int;
+      (** multiplies and divides, also included in [arith]: the "expensive"
+          operations strength reduction targets *)
+  mutable consts : int;  (** loadI *)
+  mutable copies : int;
+  mutable loads : int;
+  mutable stores : int;
+  mutable branches : int;  (** jumps, conditional branches, returns *)
+  mutable calls : int;
+  mutable allocas : int;
+  mutable phis : int;  (** not included in [total] *)
+}
+
+val create : unit -> t
+
+val total : t -> int
+
+(** Accumulate [t] into [into]. *)
+val add : into:t -> t -> unit
+
+val pp : Format.formatter -> t -> unit

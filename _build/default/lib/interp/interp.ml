@@ -1,0 +1,204 @@
+(** Direct ILOC interpreter.
+
+    Stands in for the paper's instrumented ILOC-to-C back end: it executes a
+    program and accumulates dynamic operation counts (see [Counts]). Works
+    on both SSA and non-SSA routines — phi nodes are evaluated with
+    parallel-copy semantics using the edge the control transfer arrived on —
+    so optimized and unoptimized code can be differentially tested at every
+    pipeline stage.
+
+    The machine model: an unbounded word-addressed memory of tagged values
+    with a bump stack for [Alloca], one register frame per activation, and
+    an [emit] intrinsic that appends to an output trace (the observable
+    behaviour checked by the test suite, alongside the returned value). *)
+
+open Epre_ir
+
+exception Runtime_error of string
+
+exception Out_of_fuel
+
+let error fmt = Printf.ksprintf (fun s -> raise (Runtime_error s)) fmt
+
+type machine = {
+  program : Program.t;
+  mutable mem : Value.t array;
+  mutable sp : int;  (** next free memory word *)
+  counts : Counts.t;
+  mutable trace : Value.t list;  (** reversed [emit] output *)
+  mutable fuel : int;
+}
+
+type result = {
+  return_value : Value.t option;
+  counts : Counts.t;
+  trace : Value.t list;  (** [emit] outputs, in order *)
+}
+
+let default_fuel = 200_000_000
+
+let grow_mem m needed =
+  if needed > Array.length m.mem then begin
+    let cap = max needed (max 1024 (2 * Array.length m.mem)) in
+    let mem = Array.make cap (Value.I 0) in
+    Array.blit m.mem 0 mem 0 (Array.length m.mem);
+    m.mem <- mem
+  end
+
+let read_mem m addr =
+  if addr < 0 || addr >= m.sp then error "load from unallocated address %d" addr;
+  m.mem.(addr)
+
+let write_mem m addr v =
+  if addr < 0 || addr >= m.sp then error "store to unallocated address %d" addr;
+  m.mem.(addr) <- v
+
+let alloca m words init =
+  if words < 0 then error "alloca of negative size %d" words;
+  let base = m.sp in
+  grow_mem m (m.sp + words);
+  (* Fill with the element type's zero so reads before writes are both
+     deterministic and well-typed. *)
+  Array.fill m.mem base words init;
+  m.sp <- m.sp + words;
+  base
+
+let burn m =
+  m.fuel <- m.fuel - 1;
+  if m.fuel < 0 then raise Out_of_fuel
+
+(* One activation: registers are a [Value.t option array]; [None] means
+   never written, and reading it is a hard error — exactly the bug an
+   optimizer pass would want to hear about. *)
+type frame = { regs : Value.t option array; routine : Routine.t }
+
+let get_reg fr r =
+  match fr.regs.(r) with
+  | Some v -> v
+  | None -> error "%s: read of undefined register r%d" fr.routine.Routine.name r
+
+let set_reg fr r v = fr.regs.(r) <- Some v
+
+let rec call (m : machine) name args =
+  match name with
+  | "emit" -> begin
+    match args with
+    | [ v ] ->
+      m.trace <- v :: m.trace;
+      Some v
+    | _ -> error "emit expects one argument"
+  end
+  | _ -> begin
+    match Program.find m.program name with
+    | None -> error "call to unknown routine %s" name
+    | Some r -> run_routine m r args
+  end
+
+and run_routine m (r : Routine.t) args =
+  if List.length args <> List.length r.Routine.params then
+    error "%s: expected %d arguments, got %d" r.Routine.name
+      (List.length r.Routine.params) (List.length args);
+  let fr = { regs = Array.make (max 1 r.Routine.next_reg) None; routine = r } in
+  List.iter2 (fun p v -> set_reg fr p v) r.Routine.params args;
+  let saved_sp = m.sp in
+  let cfg = r.Routine.cfg in
+  let result = run_block m fr cfg ~prev:(-1) (Cfg.entry cfg) in
+  (* Pop this activation's allocas. *)
+  m.sp <- saved_sp;
+  result
+
+and run_block m fr cfg ~prev id =
+  let b = Cfg.block cfg id in
+  (* Phis first, in parallel: read all inputs before writing any output. *)
+  let phis = Block.phis b in
+  if phis <> [] then begin
+    let values =
+      List.map
+        (function
+          | Instr.Phi { dst; args } -> begin
+            match List.assoc_opt prev args with
+            | Some src -> (dst, get_reg fr src)
+            | None ->
+              error "%s: phi in B%d has no entry for predecessor B%d"
+                fr.routine.Routine.name id prev
+          end
+          | _ -> assert false)
+        phis
+    in
+    List.iter
+      (fun (dst, v) ->
+        m.counts.Counts.phis <- m.counts.Counts.phis + 1;
+        burn m;
+        set_reg fr dst v)
+      values
+  end;
+  List.iter (fun i -> exec_instr m fr i) (Block.non_phis b);
+  m.counts.Counts.branches <- m.counts.Counts.branches + 1;
+  burn m;
+  match b.Block.term with
+  | Instr.Jump l -> run_block m fr cfg ~prev:id l
+  | Instr.Cbr { cond; ifso; ifnot } ->
+    let c = Value.to_int (get_reg fr cond) in
+    run_block m fr cfg ~prev:id (if c <> 0 then ifso else ifnot)
+  | Instr.Ret None -> None
+  | Instr.Ret (Some r) -> Some (get_reg fr r)
+
+and exec_instr m fr i =
+  burn m;
+  let c = m.counts in
+  match i with
+  | Instr.Const { dst; value } ->
+    c.Counts.consts <- c.Counts.consts + 1;
+    set_reg fr dst value
+  | Instr.Copy { dst; src } ->
+    c.Counts.copies <- c.Counts.copies + 1;
+    set_reg fr dst (get_reg fr src)
+  | Instr.Unop { op; dst; src } ->
+    c.Counts.arith <- c.Counts.arith + 1;
+    set_reg fr dst (eval_unop fr op src)
+  | Instr.Binop { op; dst; a; b } ->
+    c.Counts.arith <- c.Counts.arith + 1;
+    (match op with
+    | Op.Mul | Op.FMul | Op.Div | Op.FDiv -> c.Counts.mults <- c.Counts.mults + 1
+    | _ -> ());
+    set_reg fr dst (eval_binop fr op a b)
+  | Instr.Load { dst; addr } ->
+    c.Counts.loads <- c.Counts.loads + 1;
+    set_reg fr dst (read_mem m (Value.to_int (get_reg fr addr)))
+  | Instr.Store { addr; src } ->
+    c.Counts.stores <- c.Counts.stores + 1;
+    write_mem m (Value.to_int (get_reg fr addr)) (get_reg fr src)
+  | Instr.Alloca { dst; words; init } ->
+    c.Counts.allocas <- c.Counts.allocas + 1;
+    set_reg fr dst (Value.I (alloca m words init))
+  | Instr.Call { dst; callee; args } -> begin
+    c.Counts.calls <- c.Counts.calls + 1;
+    let result = call m callee (List.map (get_reg fr) args) in
+    match dst, result with
+    | None, _ -> ()
+    | Some d, Some v -> set_reg fr d v
+    | Some _, None ->
+      error "%s: call to %s expected a return value" fr.routine.Routine.name callee
+  end
+  | Instr.Phi _ ->
+    error "%s: phi outside block head" fr.routine.Routine.name
+
+and eval_unop fr op src =
+  try Op.eval_unop op (get_reg fr src) with
+  | Value.Type_error msg -> error "%s: %s in %s" fr.routine.Routine.name msg (Op.unop_name op)
+
+and eval_binop fr op a b =
+  try Op.eval_binop op (get_reg fr a) (get_reg fr b) with
+  | Value.Type_error msg -> error "%s: %s in %s" fr.routine.Routine.name msg (Op.binop_name op)
+  | Op.Division_by_zero -> error "%s: division by zero" fr.routine.Routine.name
+
+let run ?(fuel = default_fuel) program ~entry ~args =
+  let m =
+    { program; mem = Array.make 1024 (Value.I 0); sp = 0;
+      counts = Counts.create (); trace = []; fuel }
+  in
+  match Program.find program entry with
+  | None -> error "no routine named %s" entry
+  | Some r ->
+    let return_value = run_routine m r args in
+    { return_value; counts = m.counts; trace = List.rev m.trace }

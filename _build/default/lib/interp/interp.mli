@@ -1,0 +1,32 @@
+(** Direct ILOC interpreter.
+
+    Stands in for the paper's instrumented ILOC-to-C back end: executes a
+    program and accumulates dynamic operation counts ([Counts]). Works on
+    SSA and non-SSA routines alike (phis are evaluated with parallel-copy
+    semantics on the arriving edge), so optimized and unoptimized code can
+    be differentially tested at every pipeline stage.
+
+    Machine model: an unbounded word-addressed memory of tagged values with
+    a bump stack for [Alloca] (released on routine return), one register
+    frame per activation, and an [emit] intrinsic appending to an output
+    trace — the observable behaviour, alongside the returned value. *)
+
+open Epre_ir
+
+(** Uninitialized register reads, unallocated memory accesses, division by
+    zero, type mismatches, unknown routines and arity errors. *)
+exception Runtime_error of string
+
+(** The instruction budget ([fuel]) ran out — the interpreter's
+    infinite-loop guard. *)
+exception Out_of_fuel
+
+type result = {
+  return_value : Value.t option;
+  counts : Counts.t;
+  trace : Value.t list;  (** [emit] outputs, in order *)
+}
+
+val default_fuel : int
+
+val run : ?fuel:int -> Program.t -> entry:string -> args:Value.t list -> result

@@ -1,0 +1,1 @@
+lib/ir/block.ml: Instr List

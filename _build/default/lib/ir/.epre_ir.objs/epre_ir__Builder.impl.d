@@ -1,0 +1,1 @@
+lib/ir/builder.ml: Block Cfg Fun Instr List Routine Value

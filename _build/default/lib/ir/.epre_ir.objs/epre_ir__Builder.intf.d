@@ -1,0 +1,1 @@
+lib/ir/builder.mli: Cfg Instr Op Routine Value

@@ -1,0 +1,1 @@
+lib/ir/cfg.ml: Array Bitset Block Epre_util Instr List Option Printf Vec

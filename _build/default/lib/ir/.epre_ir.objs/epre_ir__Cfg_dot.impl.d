@@ -1,0 +1,1 @@
+lib/ir/cfg_dot.ml: Block Buffer Cfg Fmt Instr List Pp Printf Program Routine String

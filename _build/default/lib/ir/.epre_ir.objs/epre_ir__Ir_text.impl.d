@@ -1,0 +1,1 @@
+lib/ir/ir_text.ml: Array Block Buffer Cfg Instr List Op Printf Program Routine String Value

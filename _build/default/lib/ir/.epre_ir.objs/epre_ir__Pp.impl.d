@@ -1,0 +1,1 @@
+lib/ir/pp.ml: Block Cfg Fmt Instr List Op Program Routine Value

@@ -1,0 +1,1 @@
+lib/ir/routine.ml: Array Block Cfg Instr List Printf String

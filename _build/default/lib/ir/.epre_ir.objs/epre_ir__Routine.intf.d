@@ -1,0 +1,1 @@
+lib/ir/routine.mli: Cfg Instr

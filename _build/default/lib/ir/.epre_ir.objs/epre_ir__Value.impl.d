@@ -1,0 +1,1 @@
+lib/ir/value.ml: Float Fmt Hashtbl Int Printf Ty

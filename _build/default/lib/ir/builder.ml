@@ -1,0 +1,94 @@
+(** Imperative construction of routines, used by the front end's lowering
+    and by tests that write CFGs directly.
+
+    Blocks are created with a placeholder [Ret None] terminator and must be
+    sealed with [set_term] (or left as returns); [finish] validates the
+    result. *)
+
+type t = {
+  routine : Routine.t;
+  mutable cur : int;  (** id of the block new instructions go to *)
+}
+
+let start ~name ~nparams =
+  let cfg = Cfg.create () in
+  let entry = Cfg.add_block ~term:(Instr.Ret None) cfg in
+  Cfg.set_entry cfg entry.Block.id;
+  let params = List.init nparams Fun.id in
+  let routine = Routine.create ~name ~params ~cfg ~next_reg:nparams in
+  { routine; cur = entry.Block.id }
+
+let cfg t = t.routine.Routine.cfg
+
+let fresh_reg t = Routine.fresh_reg t.routine
+
+let new_block t =
+  let b = Cfg.add_block ~term:(Instr.Ret None) (cfg t) in
+  b.Block.id
+
+let switch t id =
+  ignore (Cfg.block (cfg t) id);
+  t.cur <- id
+
+let current t = t.cur
+
+let emit t i = Block.append (Cfg.block (cfg t) t.cur) i
+
+let set_term t term = (Cfg.block (cfg t) t.cur).Block.term <- term
+
+(* Convenience emitters returning the destination register. *)
+
+let const t v =
+  let dst = fresh_reg t in
+  emit t (Instr.Const { dst; value = v });
+  dst
+
+let int t i = const t (Value.I i)
+
+let float t f = const t (Value.F f)
+
+let copy t src =
+  let dst = fresh_reg t in
+  emit t (Instr.Copy { dst; src });
+  dst
+
+let copy_to t ~dst ~src = emit t (Instr.Copy { dst; src })
+
+let unop t op src =
+  let dst = fresh_reg t in
+  emit t (Instr.Unop { op; dst; src });
+  dst
+
+let binop t op a b =
+  let dst = fresh_reg t in
+  emit t (Instr.Binop { op; dst; a; b });
+  dst
+
+let load t addr =
+  let dst = fresh_reg t in
+  emit t (Instr.Load { dst; addr });
+  dst
+
+let store t ~addr ~src = emit t (Instr.Store { addr; src })
+
+let alloca ?(init = Value.I 0) t words =
+  let dst = fresh_reg t in
+  emit t (Instr.Alloca { dst; words; init });
+  dst
+
+let call t ~callee args =
+  let dst = fresh_reg t in
+  emit t (Instr.Call { dst = Some dst; callee; args });
+  dst
+
+let call_void t ~callee args = emit t (Instr.Call { dst = None; callee; args })
+
+let jump t l = set_term t (Instr.Jump l)
+
+let cbr t ~cond ~ifso ~ifnot = set_term t (Instr.Cbr { cond; ifso; ifnot })
+
+let ret t r = set_term t (Instr.Ret r)
+
+let finish t =
+  Routine.validate t.routine;
+  t.routine

@@ -1,0 +1,67 @@
+(** Imperative construction of routines, used by the front end's lowering
+    and by tests that write CFGs directly.
+
+    Blocks are created with a placeholder [Ret None] terminator and must be
+    sealed with a [jump]/[cbr]/[ret] (or left as returns); [finish]
+    validates the result. *)
+
+type t = { routine : Routine.t; mutable cur : int }
+
+(** Fresh routine whose entry block is current; parameters occupy registers
+    [0 .. nparams-1]. *)
+val start : name:string -> nparams:int -> t
+
+val cfg : t -> Cfg.t
+
+val fresh_reg : t -> Instr.reg
+
+(** Create a block (placeholder terminator) and return its id; does not
+    switch to it. *)
+val new_block : t -> int
+
+(** Make [id] the block receiving subsequent emissions. *)
+val switch : t -> int -> unit
+
+val current : t -> int
+
+val emit : t -> Instr.t -> unit
+
+val set_term : t -> Instr.terminator -> unit
+
+(** {1 Convenience emitters} — return the destination register. *)
+
+val const : t -> Value.t -> Instr.reg
+
+val int : t -> int -> Instr.reg
+
+val float : t -> float -> Instr.reg
+
+val copy : t -> Instr.reg -> Instr.reg
+
+val copy_to : t -> dst:Instr.reg -> src:Instr.reg -> unit
+
+val unop : t -> Op.unop -> Instr.reg -> Instr.reg
+
+val binop : t -> Op.binop -> Instr.reg -> Instr.reg -> Instr.reg
+
+val load : t -> Instr.reg -> Instr.reg
+
+val store : t -> addr:Instr.reg -> src:Instr.reg -> unit
+
+val alloca : ?init:Value.t -> t -> int -> Instr.reg
+
+val call : t -> callee:string -> Instr.reg list -> Instr.reg
+
+val call_void : t -> callee:string -> Instr.reg list -> unit
+
+(** {1 Terminators} *)
+
+val jump : t -> int -> unit
+
+val cbr : t -> cond:Instr.reg -> ifso:int -> ifnot:int -> unit
+
+val ret : t -> Instr.reg option -> unit
+
+(** Validate and return the routine.
+    @raise Routine.Ill_formed when construction left the CFG broken. *)
+val finish : t -> Routine.t

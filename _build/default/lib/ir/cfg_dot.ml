@@ -1,0 +1,54 @@
+(** Graphviz (dot) rendering of routines, for inspecting CFGs while
+    developing passes: [eprec compile --format dot foo.mf | dot -Tpdf]. *)
+
+let escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\l"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let block_label (b : Block.t) =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "B%d\n" b.Block.id);
+  List.iter
+    (fun i -> Buffer.add_string buf (Pp.instr_to_string i ^ "\n"))
+    b.Block.instrs;
+  Buffer.add_string buf (Fmt.str "%a" Pp.terminator b.Block.term);
+  Buffer.contents buf
+
+let routine buf (r : Routine.t) =
+  let p fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  p "subgraph cluster_%s {\n" r.Routine.name;
+  p "  label=\"%s\";\n" (escape r.Routine.name);
+  p "  node [shape=box, fontname=\"monospace\", fontsize=9];\n";
+  let entry = Cfg.entry r.Routine.cfg in
+  Cfg.iter_blocks
+    (fun b ->
+      p "  \"%s_B%d\" [label=\"%s\\l\"%s];\n" r.Routine.name b.Block.id
+        (escape (block_label b))
+        (if b.Block.id = entry then ", penwidth=2" else ""))
+    r.Routine.cfg;
+  Cfg.iter_blocks
+    (fun b ->
+      match b.Block.term with
+      | Instr.Jump t -> p "  \"%s_B%d\" -> \"%s_B%d\";\n" r.Routine.name b.Block.id r.Routine.name t
+      | Instr.Cbr { ifso; ifnot; _ } ->
+        p "  \"%s_B%d\" -> \"%s_B%d\" [label=\"T\"];\n" r.Routine.name b.Block.id r.Routine.name ifso;
+        p "  \"%s_B%d\" -> \"%s_B%d\" [label=\"F\"];\n" r.Routine.name b.Block.id r.Routine.name ifnot
+      | Instr.Ret _ -> ())
+    r.Routine.cfg;
+  p "}\n"
+
+(** The whole program as one digraph, one cluster per routine. *)
+let program (prog : Program.t) =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "digraph program {\n";
+  List.iter (routine buf) (Program.routines prog);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

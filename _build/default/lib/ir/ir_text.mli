@@ -1,0 +1,15 @@
+(** Unambiguous textual ILOC: a parse/print pair that round-trips exactly
+    (named opcodes, hexadecimal float literals, explicit entry/register
+    headers, CFG holes preserved). Used by the CLI's [--format text], by
+    golden tests, and to state routines concisely in tests. [#] starts a
+    comment. *)
+
+exception Parse_error of { line : int; message : string }
+
+val print_program : Program.t -> string
+
+val routine_to_string : Routine.t -> string
+
+(** Parses and validates.
+    @raise Parse_error on malformed input (1-based line). *)
+val parse_program : string -> Program.t

@@ -1,0 +1,60 @@
+(** Textual ILOC, close to the paper's notation: [r2 <- r1 + r0]. *)
+
+let reg ppf r = Fmt.pf ppf "r%d" r
+
+let label ppf l = Fmt.pf ppf "B%d" l
+
+let binop_symbol = function
+  | Op.Add | Op.FAdd -> Some "+"
+  | Op.Sub | Op.FSub -> Some "-"
+  | Op.Mul | Op.FMul -> Some "*"
+  | Op.Div | Op.FDiv -> Some "/"
+  | _ -> None
+
+let instr ppf = function
+  | Instr.Const { dst; value } -> Fmt.pf ppf "%a <- %a" reg dst Value.pp value
+  | Instr.Copy { dst; src } -> Fmt.pf ppf "%a <- %a" reg dst reg src
+  | Instr.Unop { op; dst; src } ->
+    Fmt.pf ppf "%a <- %s %a" reg dst (Op.unop_name op) reg src
+  | Instr.Binop { op; dst; a; b } -> begin
+    match binop_symbol op with
+    | Some s -> Fmt.pf ppf "%a <- %a %s %a" reg dst reg a s reg b
+    | None -> Fmt.pf ppf "%a <- %s %a, %a" reg dst (Op.binop_name op) reg a reg b
+  end
+  | Instr.Load { dst; addr } -> Fmt.pf ppf "%a <- load %a" reg dst reg addr
+  | Instr.Store { addr; src } -> Fmt.pf ppf "store %a -> [%a]" reg src reg addr
+  | Instr.Alloca { dst; words; init } ->
+    Fmt.pf ppf "%a <- alloca %d, %a" reg dst words Value.pp init
+  | Instr.Call { dst = Some d; callee; args } ->
+    Fmt.pf ppf "%a <- call %s(%a)" reg d callee Fmt.(list ~sep:(any ", ") reg) args
+  | Instr.Call { dst = None; callee; args } ->
+    Fmt.pf ppf "call %s(%a)" callee Fmt.(list ~sep:(any ", ") reg) args
+  | Instr.Phi { dst; args } ->
+    let arg ppf (l, r) = Fmt.pf ppf "%a:%a" label l reg r in
+    Fmt.pf ppf "%a <- phi(%a)" reg dst Fmt.(list ~sep:(any ", ") arg) args
+
+let terminator ppf = function
+  | Instr.Jump l -> Fmt.pf ppf "jump -> %a" label l
+  | Instr.Cbr { cond; ifso; ifnot } ->
+    Fmt.pf ppf "cbr %a -> %a, %a" reg cond label ifso label ifnot
+  | Instr.Ret (Some r) -> Fmt.pf ppf "return %a" reg r
+  | Instr.Ret None -> Fmt.pf ppf "return"
+
+let block ppf (b : Block.t) =
+  Fmt.pf ppf "@[<v 2>%a:" label b.Block.id;
+  List.iter (fun i -> Fmt.pf ppf "@,%a" instr i) b.Block.instrs;
+  Fmt.pf ppf "@,%a@]" terminator b.Block.term
+
+let routine ppf (r : Routine.t) =
+  Fmt.pf ppf "@[<v>routine %s(%a):" r.Routine.name
+    Fmt.(list ~sep:(any ", ") reg)
+    r.Routine.params;
+  Cfg.iter_blocks (fun b -> Fmt.pf ppf "@,%a" block b) r.Routine.cfg;
+  Fmt.pf ppf "@]"
+
+let program ppf (p : Program.t) =
+  Fmt.pf ppf "@[<v>%a@]" Fmt.(list ~sep:(any "@,@,") routine) (Program.routines p)
+
+let routine_to_string r = Fmt.str "%a" routine r
+
+let instr_to_string i = Fmt.str "%a" instr i

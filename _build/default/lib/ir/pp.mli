@@ -1,0 +1,21 @@
+(** Paper-flavoured textual ILOC ([r2 <- r0 + r1]) for humans and the
+    Figures 2-10 walkthrough. Int and float arithmetic share symbols here;
+    use [Ir_text] when output must parse back. *)
+
+val reg : Format.formatter -> Instr.reg -> unit
+
+val label : Format.formatter -> int -> unit
+
+val instr : Format.formatter -> Instr.t -> unit
+
+val terminator : Format.formatter -> Instr.terminator -> unit
+
+val block : Format.formatter -> Block.t -> unit
+
+val routine : Format.formatter -> Routine.t -> unit
+
+val program : Format.formatter -> Program.t -> unit
+
+val routine_to_string : Routine.t -> string
+
+val instr_to_string : Instr.t -> string

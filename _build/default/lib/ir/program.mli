@@ -1,0 +1,22 @@
+(** A program unit: several routines; execution conventionally starts at
+    ["main"]. *)
+
+type t
+
+val create : Routine.t list -> t
+
+val find : t -> string -> Routine.t option
+
+(** @raise Invalid_argument when absent. *)
+val find_exn : t -> string -> Routine.t
+
+val routines : t -> Routine.t list
+
+(** Apply an ILOC -> ILOC routine transformation to every routine, as the
+    paper's optimizer passes do. *)
+val map_routines : (Routine.t -> Routine.t) -> t -> t
+
+val copy : t -> t
+
+(** Static operation count summed over all routines. *)
+val op_count : t -> int

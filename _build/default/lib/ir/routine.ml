@@ -1,0 +1,73 @@
+(** A compiled routine: parameters, CFG, and the virtual-register supply. *)
+
+type t = {
+  name : string;
+  params : Instr.reg list;
+  cfg : Cfg.t;
+  mutable next_reg : int;
+  mutable in_ssa : bool;
+      (** True between SSA construction and destruction; passes assert the
+          form they expect. *)
+}
+
+let create ~name ~params ~cfg ~next_reg =
+  { name; params; cfg; next_reg; in_ssa = false }
+
+(** Deep copy: blocks are rebuilt, so mutating the copy leaves the original
+    untouched (instruction lists are immutable values). *)
+let copy r =
+  { name = r.name; params = r.params; cfg = Cfg.copy r.cfg; next_reg = r.next_reg;
+    in_ssa = r.in_ssa }
+
+let fresh_reg r =
+  let v = r.next_reg in
+  r.next_reg <- v + 1;
+  v
+
+(** Static ILOC operation count (instructions + terminators), the metric of
+    the paper's Table 2. *)
+let op_count r = Cfg.fold_blocks (fun acc b -> acc + Block.op_count b) 0 r.cfg
+
+let instr_count r =
+  Cfg.fold_blocks (fun acc b -> acc + List.length b.Block.instrs) 0 r.cfg
+
+exception Ill_formed of string
+
+(* Structural well-formedness; the SSA checker in [Epre_ssa] does the
+   dominance-aware part. *)
+let validate r =
+  let fail fmt = Printf.ksprintf (fun s -> raise (Ill_formed (r.name ^ ": " ^ s))) fmt in
+  let cfg = r.cfg in
+  if not (Cfg.mem cfg (Cfg.entry cfg)) then fail "entry block missing";
+  let preds = Cfg.preds cfg in
+  Cfg.iter_blocks
+    (fun b ->
+      let id = b.Block.id in
+      List.iter
+        (fun s ->
+          if not (Cfg.mem cfg s) then fail "block %d jumps to missing block %d" id s)
+        (Block.succs b);
+      let seen_non_phi = ref false in
+      List.iter
+        (fun i ->
+          (match i with
+          | Instr.Phi { args; _ } ->
+            if !seen_non_phi then fail "block %d: phi after non-phi" id;
+            let expect = List.sort compare preds.(id) in
+            let got = List.sort compare (List.map fst args) in
+            if expect <> got then
+              fail "block %d: phi preds %s do not match CFG preds %s" id
+                (String.concat "," (List.map string_of_int got))
+                (String.concat "," (List.map string_of_int expect))
+          | _ -> seen_non_phi := true);
+          List.iter
+            (fun u -> if u < 0 || u >= r.next_reg then fail "block %d: use of r%d out of range" id u)
+            (Instr.uses i);
+          match Instr.def i with
+          | Some d when d < 0 || d >= r.next_reg -> fail "block %d: def of r%d out of range" id d
+          | _ -> ())
+        b.Block.instrs;
+      List.iter
+        (fun u -> if u < 0 || u >= r.next_reg then fail "block %d: terminator uses r%d out of range" id u)
+        (Instr.term_uses b.Block.term))
+    cfg

@@ -1,0 +1,9 @@
+(** Value types carried by ILOC registers: machine integers and floats. *)
+
+type t = Int | Flt
+
+let to_string = function Int -> "int" | Flt -> "flt"
+
+let equal (a : t) (b : t) = a = b
+
+let pp ppf t = Fmt.string ppf (to_string t)

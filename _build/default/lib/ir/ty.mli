@@ -1,0 +1,9 @@
+(** Value types carried by ILOC registers: machine integers and floats. *)
+
+type t = Int | Flt
+
+val to_string : t -> string
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit

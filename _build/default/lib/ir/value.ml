@@ -1,0 +1,38 @@
+(** Runtime/constant values: one word, either integer or float. *)
+
+type t = I of int | F of float
+
+exception Type_error of string
+
+let ty = function I _ -> Ty.Int | F _ -> Ty.Flt
+
+let to_int = function
+  | I i -> i
+  | F _ -> raise (Type_error "expected int value")
+
+let to_float = function
+  | F f -> f
+  | I _ -> raise (Type_error "expected float value")
+
+let equal a b =
+  match a, b with
+  | I x, I y -> x = y
+  | F x, F y -> Float.equal x y
+  | I _, F _ | F _, I _ -> false
+
+let compare a b =
+  match a, b with
+  | I x, I y -> Int.compare x y
+  | F x, F y -> Float.compare x y
+  | I _, F _ -> -1
+  | F _, I _ -> 1
+
+let hash = function I i -> Hashtbl.hash (0, i) | F f -> Hashtbl.hash (1, f)
+
+let to_string = function
+  | I i -> string_of_int i
+  | F f -> Printf.sprintf "%h" f
+
+let pp ppf = function
+  | I i -> Fmt.int ppf i
+  | F f -> Fmt.pf ppf "%g" f

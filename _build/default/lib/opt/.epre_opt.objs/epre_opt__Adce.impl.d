@@ -1,0 +1,1 @@
+lib/opt/adce.ml: Array Block Cfg Epre_analysis Epre_ir Hashtbl Instr List Option Order Postdom Queue Routine

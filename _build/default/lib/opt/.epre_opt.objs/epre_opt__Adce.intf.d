@@ -1,0 +1,1 @@
+lib/opt/adce.mli: Epre_ir Routine

@@ -1,0 +1,1 @@
+lib/opt/clean.ml: Array Block Cfg Epre_analysis Epre_ir Instr Order Routine

@@ -1,0 +1,1 @@
+lib/opt/clean.mli: Epre_ir Routine

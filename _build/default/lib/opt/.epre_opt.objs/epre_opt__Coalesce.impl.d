@@ -1,0 +1,1 @@
+lib/opt/coalesce.ml: Array Bitset Block Cfg Epre_analysis Epre_ir Epre_util Instr List Liveness Routine Union_find

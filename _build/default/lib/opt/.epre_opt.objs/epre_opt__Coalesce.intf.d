@@ -1,0 +1,1 @@
+lib/opt/coalesce.mli: Epre_ir Routine

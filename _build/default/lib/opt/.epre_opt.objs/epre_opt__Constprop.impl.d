@@ -1,0 +1,1 @@
+lib/opt/constprop.ml: Array Block Cfg Epre_ir Epre_ssa Epre_util Hashtbl Instr List Op Queue Routine Value

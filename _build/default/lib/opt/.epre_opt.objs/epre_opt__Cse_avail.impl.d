@@ -1,0 +1,1 @@
+lib/opt/cse_avail.ml: Array Bitset Block Cfg Dataflow Epre_analysis Epre_ir Epre_util Expr_universe Instr List Routine

@@ -1,0 +1,1 @@
+lib/opt/cse_avail.mli: Epre_ir Routine

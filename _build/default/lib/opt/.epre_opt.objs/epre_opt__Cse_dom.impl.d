@@ -1,0 +1,1 @@
+lib/opt/cse_dom.ml: Block Cfg Dom Epre_analysis Epre_ir Epre_ssa Hashtbl Instr List Op Routine Value

@@ -1,0 +1,1 @@
+lib/opt/cse_dom.mli: Epre_ir Routine

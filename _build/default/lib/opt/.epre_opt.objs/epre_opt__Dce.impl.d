@@ -1,0 +1,1 @@
+lib/opt/dce.ml: Array Bitset Block Cfg Epre_ir Epre_util Instr List Option Queue Routine

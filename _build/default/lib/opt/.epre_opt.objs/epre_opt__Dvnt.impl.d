@@ -1,0 +1,1 @@
+lib/opt/dvnt.ml: Array Block Cfg Dom Epre_analysis Epre_ir Epre_ssa Fun Hashtbl Instr List Op Routine Value

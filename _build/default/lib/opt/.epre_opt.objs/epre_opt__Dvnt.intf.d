@@ -1,0 +1,1 @@
+lib/opt/dvnt.mli: Epre_ir Routine

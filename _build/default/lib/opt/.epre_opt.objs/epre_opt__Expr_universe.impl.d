@@ -1,0 +1,1 @@
+lib/opt/expr_universe.ml: Array Bitset Block Cfg Epre_ir Epre_util Hashtbl Instr List Op Option Routine Value

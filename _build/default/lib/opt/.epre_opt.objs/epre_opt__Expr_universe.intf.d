@@ -1,0 +1,1 @@
+lib/opt/expr_universe.mli: Bitset Epre_ir Epre_util Instr Op Routine Value

@@ -1,0 +1,1 @@
+lib/opt/naming.ml: Block Cfg Epre_ir Hashtbl Instr List Op Option Routine Value

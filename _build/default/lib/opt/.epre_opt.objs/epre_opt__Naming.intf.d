@@ -1,0 +1,1 @@
+lib/opt/naming.mli: Epre_ir Routine

@@ -1,0 +1,1 @@
+lib/opt/peephole.ml: Block Cfg Epre_ir Hashtbl Instr List Op Option Routine Value

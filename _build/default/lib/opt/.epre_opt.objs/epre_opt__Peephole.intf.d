@@ -1,0 +1,1 @@
+lib/opt/peephole.mli: Epre_ir Routine

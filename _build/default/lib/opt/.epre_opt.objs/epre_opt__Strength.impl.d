@@ -1,0 +1,1 @@
+lib/opt/strength.ml: Array Block Cfg Defuse Epre_analysis Epre_ir Epre_ssa Hashtbl Instr List Loops Op Routine

@@ -1,0 +1,1 @@
+lib/opt/strength.mli: Epre_ir Routine

@@ -1,0 +1,156 @@
+(** Aggressive dead code elimination — the control-dependence formulation
+    of Cytron et al. Section 7.1, the paper's citation for its baseline
+    DCE, provided as an extension next to the conservative [Dce].
+
+    Where [Dce] keeps every branch, this pass marks branches live only when
+    something live is control-dependent on them; a dead branch is rewritten
+    into a jump to the block's nearest live postdominator, deleting whole
+    dead control-flow regions (classically: a loop computing only unused
+    values disappears entirely, induction variable, test and all).
+
+    Runs on non-SSA code, so branch retargeting needs no phi repair; use
+    [Clean] afterwards to collect the unreachable carcasses. Marking is
+    per-register (all definitions of a used register are live), which is
+    exact on code derived from SSA destruction and safely conservative
+    otherwise. *)
+
+open Epre_ir
+open Epre_analysis
+
+let run (r : Routine.t) =
+  if r.Routine.in_ssa then invalid_arg "Adce.run: requires non-SSA code";
+  let cfg = r.Routine.cfg in
+  let pdom = Postdom.compute cfg in
+  let order = Order.compute cfg in
+  let width = max 1 r.Routine.next_reg in
+  (* defs_of.(v): instructions defining v, with their blocks *)
+  let defs_of = Array.make width [] in
+  Cfg.iter_blocks
+    (fun b ->
+      List.iter
+        (fun i ->
+          Option.iter (fun d -> defs_of.(d) <- (b.Block.id, i) :: defs_of.(d)) (Instr.def i))
+        b.Block.instrs)
+    cfg;
+  (* live instructions (by identity within their block), live branches (by
+     block id), live registers *)
+  let live_instr : (int * Instr.t, unit) Hashtbl.t = Hashtbl.create 64 in
+  let live_branch : (int, unit) Hashtbl.t = Hashtbl.create 16 in
+  let live_reg = Array.make width false in
+  let work = Queue.create () in
+  (* Live content inside a region that cannot reach an exit has no control
+     dependence information; in that case branch rewriting is unsafe and
+     the pass degrades to conservative behaviour. *)
+  let degrade = ref false in
+  let mark_reg v = if not live_reg.(v) then begin
+      live_reg.(v) <- true;
+      Queue.add (`Reg v) work
+    end
+  in
+  let mark_block_live b =
+    (* something in b is live: the branches b is control-dependent on
+       become live *)
+    if Postdom.ipostdom pdom b < 0 then degrade := true;
+    List.iter
+      (fun dep ->
+        if not (Hashtbl.mem live_branch dep) then begin
+          Hashtbl.replace live_branch dep ();
+          Queue.add (`Branch dep) work
+        end)
+      (Postdom.control_deps pdom b)
+  in
+  let mark_instr blk i =
+    if not (Hashtbl.mem live_instr (blk, i)) then begin
+      Hashtbl.replace live_instr (blk, i) ();
+      List.iter mark_reg (Instr.uses i);
+      mark_block_live blk
+    end
+  in
+  (* roots: side effects, and every return's operand + its block *)
+  Cfg.iter_blocks
+    (fun b ->
+      let id = b.Block.id in
+      if Order.is_reachable order id then begin
+        List.iter (fun i -> if Instr.has_side_effect i then mark_instr id i) b.Block.instrs;
+        (match b.Block.term with
+        | Instr.Ret ro ->
+          Option.iter mark_reg ro;
+          mark_block_live id
+        | Instr.Jump _ -> ()
+        | Instr.Cbr _ ->
+          (* blocks that cannot reach an exit (infinite loops) keep their
+             branches: nothing postdominates them *)
+          if Postdom.ipostdom pdom id < 0 then begin
+            Hashtbl.replace live_branch id ();
+            Queue.add (`Branch id) work
+          end)
+      end)
+    cfg;
+  let drain () =
+    while not (Queue.is_empty work) do
+      match Queue.take work with
+      | `Reg v -> List.iter (fun (blk, i) -> mark_instr blk i) defs_of.(v)
+      | `Branch blk -> begin
+        (* the branch's condition and its own control dependences are live *)
+        match (Cfg.block cfg blk).Block.term with
+        | Instr.Cbr { cond; _ } ->
+          mark_reg cond;
+          mark_block_live blk
+        | Instr.Jump _ | Instr.Ret _ -> ()
+      end
+    done
+  in
+  drain ();
+  if !degrade then begin
+    (* conservative fallback: every branch (and hence every condition) is
+       live, exactly like [Dce] *)
+    Cfg.iter_blocks
+      (fun b ->
+        match b.Block.term with
+        | Instr.Cbr _ when not (Hashtbl.mem live_branch b.Block.id) ->
+          Hashtbl.replace live_branch b.Block.id ();
+          Queue.add (`Branch b.Block.id) work
+        | _ -> ())
+      cfg;
+    drain ()
+  end;
+  (* sweep *)
+  let removed = ref 0 in
+  Cfg.iter_blocks
+    (fun b ->
+      let id = b.Block.id in
+      if Order.is_reachable order id then begin
+        b.Block.instrs <-
+          List.filter
+            (fun i ->
+              let keep = Hashtbl.mem live_instr (id, i) in
+              if not keep then incr removed;
+              keep)
+            b.Block.instrs;
+        match b.Block.term with
+        | Instr.Cbr _ when (not (Hashtbl.mem live_branch id)) && not !degrade ->
+          (* redirect to the nearest live postdominator *)
+          let is_live_block blk =
+            blk = Postdom.exit_node pdom
+            || Hashtbl.mem live_branch blk
+            || (match (Cfg.block cfg blk).Block.term with Instr.Ret _ -> true | _ -> false)
+            || List.exists (fun i -> Hashtbl.mem live_instr (blk, i))
+                 (Cfg.block cfg blk).Block.instrs
+          in
+          let rec nearest blk =
+            let p = Postdom.ipostdom pdom blk in
+            if p < 0 || p = Postdom.exit_node pdom then None
+            else if is_live_block p then Some p
+            else nearest p
+          in
+          (match nearest id with
+          | Some target ->
+            b.Block.term <- Instr.Jump target;
+            incr removed
+          | None ->
+            (* no live postdominator short of the exit: keep the branch *)
+            ())
+        | Instr.Cbr _ | Instr.Jump _ | Instr.Ret _ -> ()
+      end)
+    cfg;
+  !removed

@@ -1,0 +1,15 @@
+(** Aggressive dead code elimination — the control-dependence formulation
+    of Cytron et al. Section 7.1 (the paper's citation for its DCE),
+    provided as an extension next to the conservative [Dce].
+
+    Branches are live only when live code is control-dependent on them;
+    dead branches are rewritten into jumps to the nearest live
+    postdominator, so whole dead regions (a loop computing only unused
+    values, its test and induction variable included) disappear. Degrades
+    to conservative branch handling when live code sits in a region that
+    cannot reach an exit. Requires non-SSA code; run [Clean] afterwards.
+    Returns the number of instructions/branches removed. *)
+
+open Epre_ir
+
+val run : Routine.t -> int

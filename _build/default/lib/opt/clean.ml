@@ -1,0 +1,112 @@
+(** CFG cleanup (the paper's "final pass to eliminate empty basic blocks",
+    in the style of Cooper–Torczon's Clean).
+
+    Repeats until stable:
+    - removes unreachable blocks;
+    - folds conditional branches whose arms coincide into jumps;
+    - skips empty blocks (a block containing only a jump is bypassed);
+    - merges a block into its unique successor when that successor has no
+      other predecessors.
+
+    Runs on non-SSA code only: retargeting edges would otherwise have to
+    rewrite phi predecessor labels. *)
+
+open Epre_ir
+open Epre_analysis
+
+let has_phis b = Block.phis b <> []
+
+let remove_unreachable (r : Routine.t) =
+  let cfg = r.Routine.cfg in
+  let order = Order.compute cfg in
+  let changed = ref false in
+  Cfg.iter_blocks
+    (fun b ->
+      if (not (Order.is_reachable order b.Block.id)) && b.Block.id <> Cfg.entry cfg then begin
+        Cfg.remove_block cfg b.Block.id;
+        changed := true
+      end)
+    cfg;
+  !changed
+
+let fold_branches (r : Routine.t) =
+  let changed = ref false in
+  Cfg.iter_blocks
+    (fun b ->
+      match b.Block.term with
+      | Instr.Cbr { cond = _; ifso; ifnot } when ifso = ifnot ->
+        b.Block.term <- Instr.Jump ifso;
+        changed := true
+      | _ -> ())
+    r.Routine.cfg;
+  !changed
+
+(* Bypass empty blocks: if [b] is instruction-free and ends in [jump t],
+   redirect b's predecessors straight to [t]. *)
+let skip_empty (r : Routine.t) =
+  let cfg = r.Routine.cfg in
+  let changed = ref false in
+  Cfg.iter_blocks
+    (fun b ->
+      match b.Block.instrs, b.Block.term with
+      | [], Instr.Jump t when b.Block.id <> Cfg.entry cfg && t <> b.Block.id ->
+        let id = b.Block.id in
+        if not (has_phis (Cfg.block cfg t)) then begin
+          Cfg.iter_blocks
+            (fun p ->
+              let retargeted =
+                Instr.map_term_succs (fun s -> if s = id then t else s) p.Block.term
+              in
+              if retargeted <> p.Block.term then begin
+                p.Block.term <- retargeted;
+                changed := true
+              end)
+            cfg
+        end
+      | _ -> ())
+    cfg;
+  !changed
+
+(* Merge [b] with its unique successor [t] when [t]'s only predecessor is
+   [b]. *)
+let merge_straightline (r : Routine.t) =
+  let cfg = r.Routine.cfg in
+  let changed = ref false in
+  let continue_ = ref true in
+  while !continue_ do
+    continue_ := false;
+    let preds = Cfg.preds cfg in
+    let merged = ref false in
+    Cfg.iter_blocks
+      (fun b ->
+        if not !merged then
+          match b.Block.term with
+          | Instr.Jump t
+            when t <> b.Block.id
+                 && preds.(t) = [ b.Block.id ]
+                 && t <> Cfg.entry cfg
+                 && not (has_phis (Cfg.block cfg t)) ->
+            let tb = Cfg.block cfg t in
+            b.Block.instrs <- b.Block.instrs @ tb.Block.instrs;
+            b.Block.term <- tb.Block.term;
+            Cfg.remove_block cfg t;
+            merged := true;
+            continue_ := true;
+            changed := true
+          | _ -> ())
+      cfg
+  done;
+  !changed
+
+let run (r : Routine.t) =
+  if r.Routine.in_ssa then invalid_arg "Clean.run: requires non-SSA code";
+  let continue_ = ref true in
+  while !continue_ do
+    let c1 = fold_branches r in
+    let c2 = remove_unreachable r in
+    let c3 = skip_empty r in
+    let c4 = remove_unreachable r in
+    let c5 = merge_straightline r in
+    continue_ := c1 || c2 || c3 || c4 || c5
+  done;
+  r

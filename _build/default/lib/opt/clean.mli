@@ -1,0 +1,8 @@
+(** CFG cleanup (the paper's "final pass to eliminate empty basic blocks"):
+    removes unreachable blocks, folds same-target branches, bypasses empty
+    blocks, merges straight-line pairs; repeats until stable. Requires
+    non-SSA code. *)
+
+open Epre_ir
+
+val run : Routine.t -> Routine.t

@@ -1,0 +1,247 @@
+(** Sparse conditional constant propagation (Wegman–Zadeck), the paper's
+    baseline "global constant propagation [26]".
+
+    The analysis runs on SSA built internally (the pass is an ILOC -> ILOC
+    filter like every other). Lattice per register: Top (no evidence yet),
+    Const v, Bottom. Flow edges become executable as branches are decided;
+    phi meets only consider executable incoming edges. After the fixpoint,
+    constant registers are rematerialized as [Const], decided branches
+    become jumps, newly unreachable blocks are dropped (with phi arguments
+    filtered to the surviving predecessors), and SSA is destroyed. *)
+
+open Epre_ir
+
+type lattice = Top | Known of Value.t | Bottom
+
+let meet a b =
+  match a, b with
+  | Top, x | x, Top -> x
+  | Bottom, _ | _, Bottom -> Bottom
+  | Known u, Known v -> if Value.equal u v then Known u else Bottom
+
+type state = {
+  routine : Routine.t;
+  value : lattice array;
+  edge_executable : (int * int, unit) Hashtbl.t;
+  block_visited : bool array;
+  (* uses per register: instructions (with their block) and terminators *)
+  use_sites : (int * [ `Instr of Instr.t | `Term ]) list array;
+  flow_work : (int * int) Queue.t;  (** edges (pred, succ); pred = -1 for entry *)
+  ssa_work : Instr.reg Queue.t;
+}
+
+let lattice_equal a b =
+  match a, b with
+  | Top, Top | Bottom, Bottom -> true
+  | Known u, Known v -> Value.equal u v
+  | Top, (Known _ | Bottom) | Known _, (Top | Bottom) | Bottom, (Top | Known _) -> false
+
+(* Monotone update: meet with the old value, so registers only ever move
+   down the lattice. [Value.equal] treats NaN as equal to itself, keeping
+   the fixpoint finite even for float constants. *)
+let set_value st reg v =
+  let v = meet st.value.(reg) v in
+  if not (lattice_equal st.value.(reg) v) then begin
+    st.value.(reg) <- v;
+    Queue.add reg st.ssa_work
+  end
+
+let add_flow_edge st ~from_ ~to_ =
+  if not (Hashtbl.mem st.edge_executable (from_, to_)) then begin
+    Hashtbl.replace st.edge_executable (from_, to_) ();
+    Queue.add (from_, to_) st.flow_work
+  end
+
+let eval_phi st ~block dst args =
+  let v =
+    List.fold_left
+      (fun acc (p, src) ->
+        if Hashtbl.mem st.edge_executable (p, block) then meet acc st.value.(src)
+        else acc)
+      Top args
+  in
+  set_value st dst v
+
+let eval_instr st ~block i =
+  match i with
+  | Instr.Const { dst; value = v } -> set_value st dst (Known v)
+  | Instr.Copy { dst; src } -> set_value st dst st.value.(src)
+  | Instr.Unop { op; dst; src } -> begin
+    match st.value.(src) with
+    | Top -> ()
+    | Bottom -> set_value st dst Bottom
+    | Known v -> begin
+      match Op.eval_unop op v with
+      | v' -> set_value st dst (Known v')
+      | exception Value.Type_error _ -> set_value st dst Bottom
+    end
+  end
+  | Instr.Binop { op; dst; a; b } -> begin
+    match st.value.(a), st.value.(b) with
+    | Top, _ | _, Top -> ()
+    | Known va, Known vb -> begin
+      match Op.eval_binop op va vb with
+      | v -> set_value st dst (Known v)
+      | exception (Op.Division_by_zero | Value.Type_error _) -> set_value st dst Bottom
+    end
+    | _, _ -> set_value st dst Bottom
+  end
+  | Instr.Load { dst; _ } | Instr.Alloca { dst; _ } -> set_value st dst Bottom
+  | Instr.Call { dst = Some d; _ } -> set_value st d Bottom
+  | Instr.Call { dst = None; _ } | Instr.Store _ -> ()
+  | Instr.Phi { dst; args } -> eval_phi st ~block dst args
+
+let eval_term st ~block term =
+  match term with
+  | Instr.Jump l -> add_flow_edge st ~from_:block ~to_:l
+  | Instr.Ret _ -> ()
+  | Instr.Cbr { cond; ifso; ifnot } -> begin
+    match st.value.(cond) with
+    | Top -> ()
+    | Known (Value.I c) ->
+      add_flow_edge st ~from_:block ~to_:(if c <> 0 then ifso else ifnot)
+    | Known (Value.F _) | Bottom ->
+      add_flow_edge st ~from_:block ~to_:ifso;
+      add_flow_edge st ~from_:block ~to_:ifnot
+  end
+
+let visit_block st block =
+  let b = Cfg.block st.routine.Routine.cfg block in
+  List.iter (fun i -> eval_instr st ~block i) b.Block.instrs;
+  eval_term st ~block b.Block.term
+
+let analyze (r : Routine.t) =
+  let cfg = r.Routine.cfg in
+  let width = max 1 r.Routine.next_reg in
+  let st =
+    {
+      routine = r;
+      value = Array.make width Top;
+      edge_executable = Hashtbl.create 64;
+      block_visited = Array.make (Cfg.num_blocks cfg) false;
+      use_sites = Array.make width [];
+      flow_work = Queue.create ();
+      ssa_work = Queue.create ();
+    }
+  in
+  List.iter (fun p -> st.value.(p) <- Bottom) r.Routine.params;
+  Cfg.iter_blocks
+    (fun b ->
+      let id = b.Block.id in
+      List.iter
+        (fun i ->
+          List.iter
+            (fun u -> st.use_sites.(u) <- (id, `Instr i) :: st.use_sites.(u))
+            (Instr.uses i))
+        b.Block.instrs;
+      List.iter
+        (fun u -> st.use_sites.(u) <- (id, `Term) :: st.use_sites.(u))
+        (Instr.term_uses b.Block.term))
+    cfg;
+  add_flow_edge st ~from_:(-1) ~to_:(Cfg.entry cfg);
+  while not (Queue.is_empty st.flow_work && Queue.is_empty st.ssa_work) do
+    while not (Queue.is_empty st.flow_work) do
+      let _, s = Queue.take st.flow_work in
+      if not st.block_visited.(s) then begin
+        st.block_visited.(s) <- true;
+        visit_block st s
+      end
+      else begin
+        (* Re-evaluate only the phis: a new incoming edge can change them. *)
+        let b = Cfg.block cfg s in
+        List.iter
+          (function
+            | Instr.Phi { dst; args } -> eval_phi st ~block:s dst args
+            | _ -> ())
+          b.Block.instrs
+      end
+    done;
+    while not (Queue.is_empty st.ssa_work) do
+      let reg = Queue.take st.ssa_work in
+      List.iter
+        (fun (block, site) ->
+          if st.block_visited.(block) then
+            match site with
+            | `Instr i -> eval_instr st ~block i
+            | `Term -> eval_term st ~block (Cfg.block cfg block).Block.term)
+        st.use_sites.(reg)
+    done
+  done;
+  st
+
+(* ------------------------------------------------------------------ *)
+(* Rewriting                                                           *)
+
+let rewrite (r : Routine.t) (st : state) =
+  let cfg = r.Routine.cfg in
+  let replaced = ref 0 in
+  Cfg.iter_blocks
+    (fun b ->
+      (* Phis may become constants; keep block layout legal by splitting
+         into (phis, everything else) and putting constants between. *)
+      let phis, consts, rest =
+        List.fold_left
+          (fun (phis, consts, rest) i ->
+            match i, Instr.def i with
+            | Instr.Phi _, Some d -> begin
+              match st.value.(d) with
+              | Known v ->
+                incr replaced;
+                (phis, Instr.Const { dst = d; value = v } :: consts, rest)
+              | Top | Bottom -> (i :: phis, consts, rest)
+            end
+            | (Instr.Call _ | Instr.Store _ | Instr.Alloca _), _ ->
+              (phis, consts, i :: rest)
+            | Instr.Const _, _ -> (phis, consts, i :: rest)
+            | _, Some d -> begin
+              match st.value.(d) with
+              | Known v ->
+                incr replaced;
+                (phis, consts, Instr.Const { dst = d; value = v } :: rest)
+              | Top | Bottom -> (phis, consts, i :: rest)
+            end
+            | _, None -> (phis, consts, i :: rest))
+          ([], [], []) b.Block.instrs
+      in
+      b.Block.instrs <- List.rev phis @ List.rev consts @ List.rev rest;
+      match b.Block.term with
+      | Instr.Cbr { cond; ifso; ifnot } -> begin
+        match st.value.(cond) with
+        | Known (Value.I c) ->
+          b.Block.term <- Instr.Jump (if c <> 0 then ifso else ifnot)
+        | Known (Value.F _) | Top | Bottom -> ()
+      end
+      | Instr.Jump _ | Instr.Ret _ -> ())
+    cfg;
+  (* Decided branches may strand blocks; drop them and trim phi arguments
+     down to the surviving predecessors. *)
+  let reachable = Cfg.reachable cfg in
+  Cfg.iter_blocks
+    (fun b ->
+      if (not (Epre_util.Bitset.mem reachable b.Block.id)) && b.Block.id <> Cfg.entry cfg
+      then Cfg.remove_block cfg b.Block.id)
+    cfg;
+  let preds = Cfg.preds cfg in
+  Cfg.iter_blocks
+    (fun b ->
+      b.Block.instrs <-
+        List.map
+          (function
+            | Instr.Phi { dst; args } ->
+              let args = List.filter (fun (p, _) -> List.mem p preds.(b.Block.id)) args in
+              (match args with
+              | [ (_, src) ] -> Instr.Copy { dst; src }
+              | _ -> Instr.Phi { dst; args })
+            | i -> i)
+          b.Block.instrs)
+    cfg;
+  !replaced
+
+(** The pass: ILOC in, ILOC out. *)
+let run (r : Routine.t) =
+  let r = Epre_ssa.Ssa.build r in
+  let st = analyze r in
+  let replaced = rewrite r st in
+  let r = Epre_ssa.Ssa.destroy r in
+  ignore r;
+  replaced

@@ -1,0 +1,11 @@
+(** Sparse conditional constant propagation (Wegman–Zadeck), the paper's
+    baseline "global constant propagation".
+
+    An ILOC -> ILOC filter: SSA is built internally, the conditional
+    lattice fixpoint computed, constant registers rematerialized, decided
+    branches turned into jumps, stranded blocks dropped, SSA destroyed.
+    Returns how many instructions became constants. *)
+
+open Epre_ir
+
+val run : Routine.t -> int

@@ -1,0 +1,62 @@
+(** Dominator-based redundancy elimination — method 1 of the paper's
+    Section 5.3 hierarchy (Alpern–Wegman–Zadeck's suggestion: "if a value x
+    is computed at two points p and q, and p dominates q, then the
+    computation at q is redundant and may be deleted").
+
+    Realized as a preorder dominator-tree walk over SSA with a scoped table
+    of expressions: SSA operands are never redefined, so an expression seen
+    on the walk is valid throughout the subtree and any re-computation below
+    is replaced by a copy. Loads are excluded — memory kills are path
+    properties that dominance cannot see. The weakest member of the
+    hierarchy: it misses the if-then-else join redundancy of Section 2 that
+    available-expression CSE catches. *)
+
+open Epre_ir
+open Epre_analysis
+
+type key =
+  | KConst of Value.t
+  | KUnop of Op.unop * Instr.reg
+  | KBinop of Op.binop * Instr.reg * Instr.reg
+
+let key_of = function
+  | Instr.Const { value; _ } -> Some (KConst value)
+  | Instr.Unop { op; src; _ } -> Some (KUnop (op, src))
+  | Instr.Binop { op; a; b; _ } ->
+    let a, b = if Op.commutative op && b < a then (b, a) else (a, b) in
+    Some (KBinop (op, a, b))
+  | Instr.Load _ | Instr.Copy _ | Instr.Store _ | Instr.Alloca _ | Instr.Call _
+  | Instr.Phi _ -> None
+
+let run (r : Routine.t) =
+  let r = Epre_ssa.Ssa.build r in
+  let cfg = r.Routine.cfg in
+  let dom = Dom.compute cfg in
+  let table : (key, Instr.reg) Hashtbl.t = Hashtbl.create 64 in
+  let deleted = ref 0 in
+  let rec walk id =
+    let b = Cfg.block cfg id in
+    let added = ref [] in
+    b.Block.instrs <-
+      List.map
+        (fun i ->
+          match key_of i, Instr.def i with
+          | Some key, Some dst -> begin
+            match Hashtbl.find_opt table key with
+            | Some earlier ->
+              incr deleted;
+              Instr.Copy { dst; src = earlier }
+            | None ->
+              Hashtbl.add table key dst;
+              added := key :: !added;
+              i
+          end
+          | _ -> i)
+        b.Block.instrs;
+    List.iter walk (Dom.children dom id);
+    List.iter (fun key -> Hashtbl.remove table key) !added
+  in
+  walk (Cfg.entry cfg);
+  let r = Epre_ssa.Ssa.destroy r in
+  ignore r;
+  !deleted

@@ -1,0 +1,10 @@
+(** Dominator-based redundancy elimination — method 1 of the paper's
+    Section 5.3 hierarchy (AWZ: a computation dominated by an equal one is
+    redundant). A preorder dominator-tree walk over internally-built SSA
+    with a scoped expression table; loads are excluded (memory kills are
+    path properties dominance cannot see). Returns the number of
+    replacements. *)
+
+open Epre_ir
+
+val run : Routine.t -> int

@@ -1,0 +1,59 @@
+(** Dead code elimination (the paper's baseline DCE, cf. Cytron et al. §7.1
+    in spirit).
+
+    Mark/sweep over def-use: roots are instructions with side effects
+    (stores, calls), terminator operands, and phi arguments feeding live
+    phis. Everything transitively feeding a root is live; the rest —
+    including dead loads and allocas, which have no side effects here — is
+    swept. Branches are conservatively kept, so control flow is untouched.
+
+    Works on SSA and non-SSA code alike: marking is per-register, which is
+    exact for SSA and safely conservative for multi-def registers. *)
+
+open Epre_util
+open Epre_ir
+
+let run (r : Routine.t) =
+  let cfg = r.Routine.cfg in
+  let width = max 1 r.Routine.next_reg in
+  let live = Bitset.create width in
+  let work = Queue.create () in
+  let mark reg =
+    if not (Bitset.mem live reg) then begin
+      Bitset.add live reg;
+      Queue.add reg work
+    end
+  in
+  (* defs_of.(v) = instructions defining v (to propagate through). *)
+  let defs_of = Array.make width [] in
+  Cfg.iter_blocks
+    (fun b ->
+      List.iter
+        (fun i ->
+          Option.iter (fun d -> defs_of.(d) <- i :: defs_of.(d)) (Instr.def i);
+          if Instr.has_side_effect i then List.iter mark (Instr.uses i))
+        b.Block.instrs;
+      List.iter mark (Instr.term_uses b.Block.term))
+    cfg;
+  while not (Queue.is_empty work) do
+    let v = Queue.take work in
+    List.iter (fun i -> List.iter mark (Instr.uses i)) defs_of.(v)
+  done;
+  let removed = ref 0 in
+  Cfg.iter_blocks
+    (fun b ->
+      b.Block.instrs <-
+        List.filter
+          (fun i ->
+            let keep =
+              Instr.has_side_effect i
+              ||
+              match Instr.def i with
+              | Some d -> Bitset.mem live d
+              | None -> true
+            in
+            if not keep then incr removed;
+            keep)
+          b.Block.instrs)
+    cfg;
+  !removed

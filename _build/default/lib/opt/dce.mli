@@ -1,0 +1,8 @@
+(** Dead code elimination (a baseline pass): mark/sweep over def-use from
+    the side-effecting roots (stores, calls, terminator operands). Control
+    flow is conservatively kept. Works on SSA and non-SSA code. Returns
+    the number of instructions removed. *)
+
+open Epre_ir
+
+val run : Routine.t -> int

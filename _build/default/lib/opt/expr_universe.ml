@@ -1,0 +1,173 @@
+(** The expression universe shared by PRE and available-expression CSE.
+
+    Under the Section 2.2 naming discipline each expression has exactly one
+    name, so an expression is identified by its canonical destination
+    register. This module collects the universe for a routine and the
+    block-local properties every bit-vector pass needs:
+
+    - [ANTLOC] (locally anticipable): evaluated in the block before any
+      operand is (re)defined;
+    - [COMP] (locally available): evaluated, and no operand is redefined
+      afterwards;
+    - [KILL] (transparency's complement): some operand is redefined, or the
+      expression is a load and the block contains a store or a call.
+
+    Registers violating the discipline — several keys per name, or a name
+    also targeted by a copy/call/phi — are conservatively excluded; running
+    [Naming.run] first makes the universe total. *)
+
+open Epre_util
+open Epre_ir
+
+type key =
+  | KConst of Value.t
+  | KUnop of Op.unop * Instr.reg
+  | KBinop of Op.binop * Instr.reg * Instr.reg
+  | KLoad of Instr.reg
+
+let key_of = function
+  | Instr.Const { value; _ } -> Some (KConst value)
+  | Instr.Unop { op; src; _ } -> Some (KUnop (op, src))
+  | Instr.Binop { op; a; b; _ } ->
+    (* Canonical commutative order, consistent with [Naming.key_of]. *)
+    let a, b = if Op.commutative op && b < a then (b, a) else (a, b) in
+    Some (KBinop (op, a, b))
+  | Instr.Load { addr; _ } -> Some (KLoad addr)
+  | Instr.Copy _ | Instr.Store _ | Instr.Alloca _ | Instr.Call _ | Instr.Phi _ -> None
+
+let key_operands = function
+  | KConst _ -> []
+  | KUnop (_, a) | KLoad a -> [ a ]
+  | KBinop (_, a, b) -> if a = b then [ a ] else [ a; b ]
+
+let is_load = function KLoad _ -> true | KConst _ | KUnop _ | KBinop _ -> false
+
+type expr = {
+  index : int;  (** dense index into the bit vectors *)
+  name : Instr.reg;  (** the canonical destination *)
+  key : key;
+}
+
+type t = {
+  exprs : expr array;
+  of_name : expr option array;  (** indexed by register *)
+  (* killed_by.(reg) = indices of expressions with reg as an operand *)
+  killed_by : int list array;
+  loads : int list;  (** indices of load expressions *)
+}
+
+let size t = Array.length t.exprs
+
+let exprs t = t.exprs
+
+let expr_of_name t reg = t.of_name.(reg)
+
+let build (r : Routine.t) =
+  let width = max 1 r.Routine.next_reg in
+  (* keys_of.(reg): every key evaluated into reg, [None] for non-expression
+     defs. *)
+  let keys_of : (Instr.reg, key option list) Hashtbl.t = Hashtbl.create 64 in
+  let note reg k =
+    let prev = Option.value ~default:[] (Hashtbl.find_opt keys_of reg) in
+    Hashtbl.replace keys_of reg (k :: prev)
+  in
+  List.iter (fun p -> note p None) r.Routine.params;
+  Cfg.iter_blocks
+    (fun b ->
+      List.iter (fun i -> Option.iter (fun d -> note d (key_of i)) (Instr.def i)) b.Block.instrs)
+    r.Routine.cfg;
+  let of_name = Array.make width None in
+  let exprs = ref [] in
+  let n = ref 0 in
+  Hashtbl.iter
+    (fun name keys ->
+      match keys with
+      | Some key :: rest when List.for_all (fun k -> k = Some key) rest ->
+        let e = { index = !n; name; key } in
+        incr n;
+        of_name.(name) <- Some e;
+        exprs := e :: !exprs
+      | _ -> ())
+    keys_of;
+  let exprs = Array.of_list (List.rev !exprs) in
+  (* Hashtbl.iter order is unspecified; re-index densely and sort by name so
+     the universe is deterministic. *)
+  Array.sort (fun a b -> compare a.name b.name) exprs;
+  Array.iteri
+    (fun i e ->
+      let e = { e with index = i } in
+      exprs.(i) <- e;
+      of_name.(e.name) <- Some e)
+    exprs;
+  let killed_by = Array.make width [] in
+  let loads = ref [] in
+  Array.iter
+    (fun e ->
+      List.iter (fun operand -> killed_by.(operand) <- e.index :: killed_by.(operand)) (key_operands e.key);
+      if is_load e.key then loads := e.index :: !loads)
+    exprs;
+  { exprs; of_name; killed_by; loads = !loads }
+
+(* ------------------------------------------------------------------ *)
+(* Block-local properties                                              *)
+
+type local = {
+  antloc : Bitset.t array;
+  comp : Bitset.t array;
+  kill : Bitset.t array;
+}
+
+(* Indices killed by an instruction's definition/side effect. *)
+let kills_of_instr t i =
+  let reg_kills =
+    match Instr.def i with
+    | Some d -> t.killed_by.(d)
+    | None -> []
+  in
+  let mem_kills =
+    match i with
+    | Instr.Store _ | Instr.Call _ -> t.loads
+    | _ -> []
+  in
+  (reg_kills, mem_kills)
+
+let compute_local t (r : Routine.t) =
+  let nblocks = Cfg.num_blocks r.Routine.cfg in
+  let width = Array.length t.exprs in
+  let antloc = Array.init nblocks (fun _ -> Bitset.create width) in
+  let comp = Array.init nblocks (fun _ -> Bitset.create width) in
+  let kill = Array.init nblocks (fun _ -> Bitset.create width) in
+  Cfg.iter_blocks
+    (fun b ->
+      let id = b.Block.id in
+      let killed_so_far = Bitset.create width in
+      List.iter
+        (fun i ->
+          (* Evaluation first: an instruction that evaluates e and defines
+             one of e's operands (impossible under the discipline, but be
+             safe) counts the evaluation before the kill. *)
+          (match key_of i, Instr.def i with
+          | Some _, Some dst -> begin
+            match t.of_name.(dst) with
+            | Some e ->
+              if not (Bitset.mem killed_so_far e.index) then Bitset.add antloc.(id) e.index;
+              Bitset.add comp.(id) e.index
+            | None -> ()
+          end
+          | _ -> ());
+          let reg_kills, mem_kills = kills_of_instr t i in
+          List.iter
+            (fun idx ->
+              Bitset.add killed_so_far idx;
+              Bitset.add kill.(id) idx;
+              Bitset.remove comp.(id) idx)
+            reg_kills;
+          List.iter
+            (fun idx ->
+              Bitset.add killed_so_far idx;
+              Bitset.add kill.(id) idx;
+              Bitset.remove comp.(id) idx)
+            mem_kills)
+        b.Block.instrs)
+    r.Routine.cfg;
+  { antloc; comp; kill }

@@ -1,0 +1,16 @@
+(** Expression-name normalization — the Section 2.2 discipline, and the
+    Section 5.1 safety net.
+
+    Establishes the invariant PRE and the CSE passes rely on: a bijection
+    between expression names and expressions. An existing register is
+    reused as a canonical name only when that cannot change what any use
+    observes (single evaluation site, or no upward-exposed uses);
+    violators — like the paper's sqrt example, where a name is live across
+    a block boundary — get a fresh canonical name with per-site copies.
+
+    A no-op on front-end output and (normally) on GVN output. Returns the
+    number of rewritten evaluation sites. Requires non-SSA code. *)
+
+open Epre_ir
+
+val run : Routine.t -> int

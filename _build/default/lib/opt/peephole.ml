@@ -1,0 +1,210 @@
+(** Global peephole optimization (one of the paper's baseline passes).
+
+    Block-local rewriting driven by a running map from registers to their
+    most recent in-block definition:
+    - constant folding of unops/binops whose operands are known constants;
+    - algebraic identities ([x+0], [x*1], [x*0], [x-x], [x^x]);
+    - reconstruction of subtraction from Frailey's [x + (-y)] form, undoing
+      the reassociation pass's normalization where profitable (Section 3.1:
+      "we rely on a later pass, a form of global peephole optimization, to
+      reconstruct the original operations when profitable");
+    - conditional branches on known conditions become jumps;
+    - optionally, multiplication by a power of two becomes a shift. The
+      flag exists because Section 5.2 warns that shifts are not associative:
+      performing this rewrite *before* global reassociation destroys
+      reassociation opportunities, so the pipeline enables it only in the
+      final peephole run. *)
+
+open Epre_ir
+
+type config = { mul_to_shift : bool }
+
+let default_config = { mul_to_shift = false }
+
+let log2_exact n =
+  if n <= 0 then None
+  else begin
+    let rec go k v = if v = 1 then Some k else if v land 1 = 1 then None else go (k + 1) (v asr 1) in
+    go 0 n
+  end
+
+(* Most recent in-block definition per register, with a version counter per
+   register so a recorded definition can be checked for staleness: a
+   [neg b] is only usable for subtraction reconstruction while [b] has not
+   been redefined since. Constants carry their value, so they can never go
+   stale. *)
+type local = {
+  defs : (Instr.reg, Instr.t * int list) Hashtbl.t;
+      (** definition, with the versions its operands had at the time *)
+  version : (Instr.reg, int) Hashtbl.t;
+}
+
+let version_of local r = Option.value ~default:0 (Hashtbl.find_opt local.version r)
+
+let record local i =
+  match Instr.def i with
+  | None -> ()
+  | Some d ->
+    Hashtbl.replace local.defs d (i, List.map (version_of local) (Instr.uses i));
+    Hashtbl.replace local.version d (version_of local d + 1)
+
+(* The recorded definition of [r], only if none of its operands has been
+   redefined since. *)
+let fresh_def local r =
+  match Hashtbl.find_opt local.defs r with
+  | Some (i, versions)
+    when List.for_all2 (fun u v -> version_of local u = v) (Instr.uses i) versions ->
+    Some i
+  | Some _ | None -> None
+
+let lookup_const local r =
+  match Hashtbl.find_opt local.defs r with
+  | Some (Instr.Const { value; _ }, _) -> Some value
+  | _ -> None
+
+let lookup_neg local r =
+  match fresh_def local r with
+  | Some (Instr.Unop { op = Op.Neg; src; _ }) -> Some (Op.Sub, src)
+  | Some (Instr.Unop { op = Op.FNeg; src; _ }) -> Some (Op.FSub, src)
+  | _ -> None
+
+let simplify_binop local ~dst op a b =
+  let const_a = lookup_const local a and const_b = lookup_const local b in
+  let konst value = Some (Instr.Const { dst; value }) in
+  match const_a, const_b with
+  | Some va, Some vb -> begin
+    match Op.eval_binop op va vb with
+    | v -> konst v
+    | exception (Op.Division_by_zero | Value.Type_error _) -> None
+  end
+  | _ -> begin
+    (* Identity on the right operand: x op e = x. *)
+    let right_identity () =
+      match Op.identity op, const_b with
+      | Some e, Some vb when Value.equal e vb -> Some (Instr.Copy { dst; src = a })
+      | _ -> None
+    in
+    let left_identity () =
+      match Op.identity op, const_a with
+      | Some e, Some va when Op.commutative op && Value.equal e va ->
+        Some (Instr.Copy { dst; src = b })
+      | _ -> None
+    in
+    let annihilate () =
+      match Op.annihilator op, const_a, const_b with
+      | Some z, _, Some vb when Value.equal z vb -> konst z
+      | Some z, Some va, _ when Op.commutative op && Value.equal z va -> konst z
+      | _ -> None
+    in
+    let self_cancel () =
+      if a = b then
+        match op with
+        | Op.Sub | Op.Xor -> konst (Value.I 0)
+        | Op.Eq | Op.Le | Op.Ge -> konst (Value.I 1)
+        | Op.Ne | Op.Lt | Op.Gt -> konst (Value.I 0)
+        | Op.And | Op.Or | Op.Min | Op.Max -> Some (Instr.Copy { dst; src = a })
+        | _ -> None
+      else None
+    in
+    (* x + (-y) -> x - y (and the float counterpart). *)
+    let reconstruct_sub () =
+      match op with
+      | Op.Add | Op.FAdd -> begin
+        match lookup_neg local b with
+        | Some (sub, y) -> Some (Instr.Binop { op = sub; dst; a; b = y })
+        | None -> begin
+          match lookup_neg local a with
+          | Some (sub, y) -> Some (Instr.Binop { op = sub; dst; a = b; b = y })
+          | None -> None
+        end
+      end
+      | _ -> None
+    in
+    let rec first = function
+      | [] -> None
+      | f :: rest -> ( match f () with Some i -> Some i | None -> first rest)
+    in
+    first [ right_identity; left_identity; annihilate; self_cancel; reconstruct_sub ]
+  end
+
+(* [x * 2^k -> x shl k]: needs a register for the shift amount, so it can
+   emit a preceding Const and therefore returns a list. Exposed separately
+   because running it before reassociation loses grouping opportunities
+   (Section 5.2) — the pipeline only enables it in the final peephole. *)
+let mul_to_shift_rewrite (r : Routine.t) local ~dst op a b const_a const_b =
+  let candidate =
+    match op, const_a, const_b with
+    | Op.Mul, _, Some (Value.I n) -> Option.map (fun k -> (a, k)) (log2_exact n)
+    | Op.Mul, Some (Value.I n), _ -> Option.map (fun k -> (b, k)) (log2_exact n)
+    | _ -> None
+  in
+  match candidate with
+  | Some (x, k) when k > 0 ->
+    let kreg = Routine.fresh_reg r in
+    ignore local;
+    Some
+      [ Instr.Const { dst = kreg; value = Value.I k };
+        Instr.Binop { op = Op.Shl; dst; a = x; b = kreg } ]
+  | _ -> None
+
+let simplify_unop local ~dst op src =
+  match lookup_const local src with
+  | Some v -> begin
+    match Op.eval_unop op v with
+    | v -> Some (Instr.Const { dst; value = v })
+    | exception Value.Type_error _ -> None
+  end
+  | None -> begin
+    (* neg (neg x) = x, not (not x) = x — valid only while x is the value
+       the inner negation read *)
+    match op, fresh_def local src with
+    | Op.Neg, Some (Instr.Unop { op = Op.Neg; src = inner; _ })
+    | Op.FNeg, Some (Instr.Unop { op = Op.FNeg; src = inner; _ })
+    | Op.Not, Some (Instr.Unop { op = Op.Not; src = inner; _ }) ->
+      Some (Instr.Copy { dst; src = inner })
+    | _ -> None
+  end
+
+let run ?(config = default_config) (r : Routine.t) =
+  let rewrites = ref 0 in
+  Cfg.iter_blocks
+    (fun b ->
+      let local = { defs = Hashtbl.create 32; version = Hashtbl.create 32 } in
+      let step i =
+        let replacement =
+          match i with
+          | Instr.Binop { op; dst; a; b } -> begin
+            match simplify_binop local ~dst op a b with
+            | Some better -> Some [ better ]
+            | None ->
+              if config.mul_to_shift then
+                mul_to_shift_rewrite r local ~dst op a b (lookup_const local a)
+                  (lookup_const local b)
+              else None
+          end
+          | Instr.Unop { op; dst; src } ->
+            Option.map (fun better -> [ better ]) (simplify_unop local ~dst op src)
+          | _ -> None
+        in
+        let out = match replacement with
+          | Some instrs ->
+            incr rewrites;
+            instrs
+          | None -> [ i ]
+        in
+        List.iter (record local) out;
+        out
+      in
+      b.Block.instrs <- List.concat_map step b.Block.instrs;
+      (* Constant conditions become jumps. *)
+      match b.Block.term with
+      | Instr.Cbr { cond; ifso; ifnot } -> begin
+        match lookup_const local cond with
+        | Some (Value.I c) ->
+          b.Block.term <- Instr.Jump (if c <> 0 then ifso else ifnot);
+          incr rewrites
+        | Some (Value.F _) | None -> ()
+      end
+      | Instr.Jump _ | Instr.Ret _ -> ())
+    r.Routine.cfg;
+  !rewrites

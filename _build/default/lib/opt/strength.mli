@@ -1,0 +1,12 @@
+(** Operator strength reduction — the pass the paper's optimizer was
+    missing (Section 4.1) and predicted would compose with reassociation
+    (Section 5.2). Classic induction-variable reduction on internally-built
+    SSA: integer multiplies of (one-level-derived) induction variables by
+    region constants become additively-stepped new induction variables,
+    with setup in a dedicated preheader. Float multiplies are never reduced
+    (rounding). No linear-function test replacement. Returns the number of
+    reduced multiplies. *)
+
+open Epre_ir
+
+val run : Routine.t -> int

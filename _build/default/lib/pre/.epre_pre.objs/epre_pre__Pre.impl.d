@@ -1,0 +1,1 @@
+lib/pre/pre.ml: Array Bitset Block Cfg Cse_avail Dataflow Epre_analysis Epre_ir Epre_opt Epre_ssa Epre_util Expr_universe Instr List Order Routine

@@ -1,0 +1,1 @@
+lib/pre/pre.mli: Epre_ir Epre_opt Instr Routine

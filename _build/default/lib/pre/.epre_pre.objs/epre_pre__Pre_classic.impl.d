@@ -1,0 +1,1 @@
+lib/pre/pre_classic.ml: Array Bitset Block Cfg Cse_avail Dataflow Epre_analysis Epre_ir Epre_opt Epre_util Expr_universe Instr List Order Pre Routine

@@ -1,0 +1,1 @@
+lib/pre/pre_classic.mli: Epre_ir Routine

@@ -1,0 +1,30 @@
+(** Partial redundancy elimination with edge placement — the engine behind
+    the paper's "partial" optimization level.
+
+    The Drechsler–Stadel edge-placement formulation in its unidirectional
+    earliest/later form (equivalent to lazy code motion), run over the
+    expression universe of [Epre_opt.Expr_universe] and iterated to a fixed
+    point so composite expressions move as chains; each round ends with an
+    available-expression deletion sweep, which also subsumes global CSE.
+
+    Insertions land on (pre-split) edges; deletions never lengthen an
+    execution path — the property Section 2 highlights. *)
+
+open Epre_ir
+
+type stats = {
+  mutable inserted : int;  (** computations placed on edges *)
+  mutable deleted : int;  (** evaluations removed by the LCM system *)
+  mutable cse_deleted : int;  (** evaluations removed by the per-round sweep *)
+  mutable rounds : int;
+}
+
+(** Rebuild the evaluation of an expression key targeting [dst]; shared
+    with [Pre_classic]. *)
+val instr_of_key : Epre_opt.Expr_universe.key -> dst:Instr.reg -> Instr.t
+
+(** Run to a fixed point (bounded). [include_loads] (default true) lets
+    loads participate, killed by stores and calls. Requires non-SSA code
+    under the Section 2.2 naming discipline — run [Epre_opt.Naming] first
+    on untrusted input. *)
+val run : ?include_loads:bool -> Routine.t -> stats

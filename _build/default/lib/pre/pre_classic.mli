@@ -1,0 +1,18 @@
+(** Classic Morel–Renvoise PRE (1979): the bidirectional
+    placement-possible system with insertions at block ends, kept as an
+    ablation baseline next to [Pre].
+
+    Correct everywhere but weaker wherever a critical edge is the only
+    legal insertion point — the reason the paper's implementation uses the
+    Drechsler–Stadel variant. Compare with [bench/main.exe ablation]. *)
+
+open Epre_ir
+
+type stats = {
+  mutable inserted : int;
+  mutable deleted : int;
+  mutable cse_deleted : int;
+  mutable rounds : int;
+}
+
+val run : ?include_loads:bool -> Routine.t -> stats

@@ -1,0 +1,1 @@
+lib/reassoc/expr_tree.ml: Epre_ir Fmt Hashtbl Instr List Op Option Value

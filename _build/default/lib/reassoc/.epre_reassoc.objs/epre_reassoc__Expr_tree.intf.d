@@ -1,0 +1,1 @@
+lib/reassoc/expr_tree.mli: Epre_ir Format Instr Op Value

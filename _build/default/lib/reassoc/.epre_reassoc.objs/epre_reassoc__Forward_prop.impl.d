@@ -1,0 +1,1 @@
+lib/reassoc/forward_prop.ml: Array Block Cfg Defuse Epre_analysis Epre_ir Epre_opt Epre_ssa Expr_tree Instr List Op Rank Routine

@@ -1,0 +1,1 @@
+lib/reassoc/forward_prop.mli: Epre_ir Expr_tree Routine

@@ -1,0 +1,1 @@
+lib/reassoc/rank.ml: Array Block Cfg Epre_analysis Epre_ir Instr List Order Routine

@@ -1,0 +1,1 @@
+lib/reassoc/rank.mli: Epre_ir Instr Routine

@@ -1,0 +1,1 @@
+lib/reassoc/reassociate.ml: Epre_ir Epre_ssa Expr_tree Forward_prop Routine

@@ -1,0 +1,1 @@
+lib/reassoc/reassociate.mli: Epre_ir Expr_tree Routine

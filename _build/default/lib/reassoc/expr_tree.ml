@@ -1,0 +1,192 @@
+(** Expression trees and their reassociation (Section 3.1, "Sorting
+    Expressions").
+
+    Forward propagation builds one tree per root use; this module reshapes
+    it:
+
+    - Frailey's rewrite: [x - y] becomes [x + (-y)], "since addition is
+      associative and subtraction is not" (reconstruction of subtraction is
+      left to the later peephole pass);
+    - associative operators are flattened into n-ary nodes;
+    - each n-ary node's operands are sorted by rank, so low-ranked
+      (loop-invariant) operands group together and constants (rank 0) sort
+      to the front where constant propagation can fold them;
+    - optionally, a low-ranked multiplier is distributed over a
+      higher-ranked sum — *partially*, by rank: in [a + b*((c+d)+e)] with
+      ranks b,c,d = 1 and e = 2, the result is [a + b*(c+d) + b*e], so that
+      [a + b*(c+d)] can hoist even though [b*e] cannot, while complete
+      distribution would only add multiplies. Sums are re-sorted after
+      distribution.
+
+    Division is never rewritten as multiplication by a reciprocal, to avoid
+    introducing precision problems. *)
+
+open Epre_ir
+
+type t =
+  | Leaf of { reg : Instr.reg; rank : int }
+  | Cst of Value.t
+  | Nary of { op : Op.binop; args : t list }  (** flattened associative node *)
+  | Bin of { op : Op.binop; a : t; b : t }  (** non-reassociable operator *)
+  | Un of { op : Op.unop; arg : t }
+
+type config = {
+  reassoc_float : bool;
+      (** treat FP +,* as associative, as FORTRAN optimizers (and the
+          paper's numeric suite) do *)
+  distribute : bool;  (** the paper's "distribution" optimization level *)
+}
+
+let default_config = { reassoc_float = true; distribute = false }
+
+let rec rank = function
+  | Leaf { rank = r; _ } -> r
+  | Cst _ -> 0
+  | Nary { args; _ } -> List.fold_left (fun acc t -> max acc (rank t)) 0 args
+  | Bin { a; b; _ } -> max (rank a) (rank b)
+  | Un { arg; _ } -> rank arg
+
+let reassociable config op =
+  if config.reassoc_float then Op.associative_modulo_rounding op && Op.commutative op
+  else Op.associative op && Op.commutative op
+
+(* Stable sort by rank; List.stable_sort keeps the original relative order
+   of equal-rank operands, so output is deterministic. *)
+let sort_by_rank args = List.stable_sort (fun a b -> compare (rank a) (rank b)) args
+
+let rec flatten_into config op acc = function
+  | Nary { op = op'; args } when op' = op -> List.fold_left (flatten_into config op) acc args
+  | t -> t :: acc
+
+(* ------------------------------------------------------------------ *)
+(* Distribution                                                        *)
+
+let is_sum_for op t =
+  match Op.distributes_over op, t with
+  | Some add, Nary { op = op'; _ } when op' = add -> true
+  | Some add, Bin { op = op'; _ } when op' = add -> true
+  | _ -> false
+
+(* Group the sum's children for partial distribution: children ranked at or
+   below the multiplier stay together (their product hoists as one); the
+   higher-ranked children are grouped by rank level so each level keeps its
+   own multiply. *)
+let group_children ~rank_f children =
+  let low, high = List.partition (fun c -> rank c <= rank_f) children in
+  let by_rank = Hashtbl.create 8 in
+  List.iter
+    (fun c ->
+      let k = rank c in
+      Hashtbl.replace by_rank k (c :: Option.value ~default:[] (Hashtbl.find_opt by_rank k)))
+    high;
+  let high_groups =
+    Hashtbl.fold (fun k cs acc -> (k, List.rev cs) :: acc) by_rank []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+    |> List.map snd
+  in
+  (low, high_groups)
+
+let mk_sum add = function
+  | [ c ] -> c
+  | cs -> Nary { op = add; args = cs }
+
+let mk_product op = function
+  | [ f ] -> f
+  | fs -> Nary { op; args = fs }
+
+(* ------------------------------------------------------------------ *)
+(* Normalization                                                       *)
+
+let rec normalize config t =
+  match t with
+  | Leaf _ | Cst _ -> t
+  | Un { op; arg } -> Un { op; arg = normalize config arg }
+  | Bin { op; a; b } -> begin
+    let a = normalize config a and b = normalize config b in
+    match Op.sub_as_add_neg op with
+    | Some (add, neg) when reassociable config add ->
+      (* x - y -> x + (-y), then rebuild as an n-ary sum. *)
+      rebuild_nary config add [ a; Un { op = neg; arg = b } ]
+    | _ ->
+      if reassociable config op then rebuild_nary config op [ a; b ]
+      else Bin { op; a; b }
+  end
+  | Nary { op; args } ->
+    let args = List.map (normalize config) args in
+    rebuild_nary config op args
+
+and rebuild_nary config op args =
+  let args = List.rev (List.fold_left (flatten_into config op) [] args) in
+  let args = sort_by_rank args in
+  let t =
+    match args with
+    | [] | [ _ ] -> invalid_arg "Expr_tree: n-ary node needs two operands"
+    | args -> Nary { op; args }
+  in
+  if config.distribute then distribute config t else t
+
+and distribute config t =
+  match t with
+  | Nary { op; args } when Op.distributes_over op <> None -> begin
+    let add = Option.get (Op.distributes_over op) in
+    let sums, factors = List.partition (is_sum_for op) args in
+    match sums with
+    | [] -> t
+    | _ when factors = [] ->
+      (* sum * sum: no low-ranked multiplier to distribute. *)
+      t
+    | sums ->
+      (* Distribute over the highest-ranked sum only, keeping the rest as
+         factors. *)
+      let sum =
+        List.fold_left (fun best s -> if rank s > rank best then s else best)
+          (List.hd sums) (List.tl sums)
+      in
+      let factors = factors @ List.filter (fun s -> s != sum) sums in
+      let rank_f = List.fold_left (fun acc f -> max acc (rank f)) 0 factors in
+      let children =
+        match sum with
+        | Nary { args; _ } -> args
+        | Bin { a; b; _ } -> [ a; b ]
+        | Leaf _ | Cst _ | Un _ -> assert false
+      in
+      if not (List.exists (fun c -> rank c > rank_f) children) then
+        (* The sum does not outrank the multiplier: distribution buys no
+           extra code motion, only extra multiplies. *)
+        t
+      else begin
+        let low, high_groups = group_children ~rank_f children in
+        let groups = (if low = [] then [] else [ low ]) @ high_groups in
+        if List.length groups <= 1 then
+          (* One group only: distribution would rebuild the same product and
+             recurse forever; there is nothing to separate. *)
+          t
+        else begin
+        let terms =
+          List.map
+            (fun g -> normalize config (mk_product op (factors @ [ mk_sum add g ])))
+            groups
+        in
+        (* Re-sort the resulting sum (the paper: "it is important to re-sort
+           sums after distribution"). *)
+        normalize config (mk_sum add terms)
+        end
+      end
+  end
+  | t -> t
+
+(* ------------------------------------------------------------------ *)
+
+let rec size = function
+  | Leaf _ | Cst _ -> 1
+  | Un { arg; _ } -> 1 + size arg
+  | Bin { a; b; _ } -> 1 + size a + size b
+  | Nary { args; _ } -> List.fold_left (fun acc t -> acc + size t) (List.length args - 1) args
+
+let rec pp ppf = function
+  | Leaf { reg; rank } -> Fmt.pf ppf "r%d@@%d" reg rank
+  | Cst v -> Value.pp ppf v
+  | Un { op; arg } -> Fmt.pf ppf "%s(%a)" (Op.unop_name op) pp arg
+  | Bin { op; a; b } -> Fmt.pf ppf "(%a %s %a)" pp a (Op.binop_name op) pp b
+  | Nary { op; args } ->
+    Fmt.pf ppf "(%s %a)" (Op.binop_name op) Fmt.(list ~sep:(any " ") pp) args

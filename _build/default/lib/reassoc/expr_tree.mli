@@ -1,0 +1,44 @@
+(** Expression trees and their reassociation (Section 3.1, "Sorting
+    Expressions").
+
+    Normalization applies Frailey's rewrite ([x - y -> x + (-y)]), flattens
+    associative operators into n-ary nodes, sorts each node's operands by
+    rank (constants, rank 0, sort to the front where constant propagation
+    folds them), and optionally distributes a low-ranked multiplier over a
+    higher-ranked sum — {e partially}, by rank, so that in
+    [a + b*((c+d)+e)] with ranks b,c,d = 1 and e = 2 the result is
+    [a + b*(c+d) + b*e]. Division is never rewritten as multiplication by
+    a reciprocal. *)
+
+open Epre_ir
+
+type t =
+  | Leaf of { reg : Instr.reg; rank : int }
+      (** an anchor: parameter, phi name, load, call or alloca result *)
+  | Cst of Value.t
+  | Nary of { op : Op.binop; args : t list }
+      (** flattened associative node, at least two operands *)
+  | Bin of { op : Op.binop; a : t; b : t }  (** non-reassociable operator *)
+  | Un of { op : Op.unop; arg : t }
+
+type config = {
+  reassoc_float : bool;
+      (** treat FP [+]/[*] as associative, as FORTRAN optimizers (and the
+          paper's numeric suite) do *)
+  distribute : bool;  (** the paper's "distribution" optimization level *)
+}
+
+val default_config : config
+(** [{ reassoc_float = true; distribute = false }] *)
+
+val rank : t -> int
+
+(** May an operator be flattened and its operands sorted under [config]? *)
+val reassociable : config -> Op.binop -> bool
+
+val normalize : config -> t -> t
+
+(** Number of nodes (operation count once lowered). *)
+val size : t -> int
+
+val pp : Format.formatter -> t -> unit

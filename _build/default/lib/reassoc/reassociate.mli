@@ -1,0 +1,23 @@
+(** Global reassociation — the paper's new algorithm (Section 3.1).
+
+    Three steps: compute a rank for every expression ([Rank]), propagate
+    expressions forward to their uses ([Forward_prop]), and reassociate —
+    flatten, sort operands by rank, optionally distribute multiplication
+    over addition ([Expr_tree]).
+
+    An {e enabling} transformation: on its own it duplicates expressions
+    and moves code into loops; GVN then encodes value equivalence into the
+    names and PRE harvests the exposed loop invariants and redundancies. *)
+
+open Epre_ir
+
+type stats = {
+  before_ops : int;  (** static ILOC operations entering the pass *)
+  after_ops : int;  (** static operations after forward propagation *)
+}
+
+(** Code growth factor, the paper's Table 2 metric. *)
+val expansion : stats -> float
+
+(** Requires non-SSA input; leaves non-SSA output. *)
+val run : ?config:Expr_tree.config -> Routine.t -> stats

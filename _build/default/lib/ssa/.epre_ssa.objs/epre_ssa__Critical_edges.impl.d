@@ -1,0 +1,1 @@
+lib/ssa/critical_edges.ml: Array Block Cfg Epre_ir List Routine

@@ -1,0 +1,1 @@
+lib/ssa/critical_edges.mli: Cfg Epre_ir Routine

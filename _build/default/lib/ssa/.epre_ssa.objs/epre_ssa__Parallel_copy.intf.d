@@ -1,0 +1,1 @@
+lib/ssa/parallel_copy.mli:

@@ -1,0 +1,1 @@
+lib/ssa/ssa.ml: Array Bitset Block Cfg Critical_edges Dom Epre_analysis Epre_ir Epre_util Hashtbl Instr List Liveness Option Parallel_copy Queue Routine

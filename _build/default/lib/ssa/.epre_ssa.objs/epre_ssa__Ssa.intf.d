@@ -1,0 +1,1 @@
+lib/ssa/ssa.mli: Epre_ir Instr Routine

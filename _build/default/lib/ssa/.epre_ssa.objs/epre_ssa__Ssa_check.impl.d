@@ -1,0 +1,1 @@
+lib/ssa/ssa_check.ml: Block Cfg Defuse Dom Epre_analysis Epre_ir Instr List Order Printf Routine

@@ -1,0 +1,1 @@
+lib/ssa/ssa_check.mli: Epre_ir Routine

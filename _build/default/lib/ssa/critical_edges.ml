@@ -1,0 +1,32 @@
+(** Critical-edge splitting.
+
+    An edge [p -> s] is critical when [p] has several successors and [s]
+    several predecessors; nothing can be placed "on" such an edge without a
+    landing block. Both PRE's edge placement (Drechsler–Stadel) and phi
+    elimination before forward propagation require splitting these. *)
+
+open Epre_ir
+
+let is_critical cfg preds ~from_ ~to_ =
+  List.length (Cfg.succs cfg from_) > 1 && List.length preds.(to_) > 1
+
+(** Split every critical edge; returns the number of edges split. *)
+let split_all (r : Routine.t) =
+  let cfg = r.Routine.cfg in
+  let preds = Cfg.preds cfg in
+  let count = ref 0 in
+  (* Snapshot the edges first: splitting mutates the graph. *)
+  let edges =
+    Cfg.fold_blocks
+      (fun acc b ->
+        List.fold_left (fun acc s -> (b.Block.id, s) :: acc) acc (Block.succs b))
+      [] cfg
+  in
+  List.iter
+    (fun (p, s) ->
+      if is_critical cfg preds ~from_:p ~to_:s then begin
+        ignore (Cfg.split_edge cfg ~from_:p ~to_:s);
+        incr count
+      end)
+    edges;
+  !count

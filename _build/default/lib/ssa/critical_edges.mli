@@ -1,0 +1,13 @@
+(** Critical-edge splitting.
+
+    An edge [p -> s] is critical when [p] has several successors and [s]
+    several predecessors; nothing can be placed "on" such an edge without a
+    landing block. PRE's edge placement and phi lowering both require
+    splitting these. *)
+
+open Epre_ir
+
+val is_critical : Cfg.t -> int list array -> from_:int -> to_:int -> bool
+
+(** Split every critical edge; returns how many were split. Idempotent. *)
+val split_all : Routine.t -> int

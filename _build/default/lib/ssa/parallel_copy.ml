@@ -1,0 +1,38 @@
+(** Parallel-copy sequentialization.
+
+    A block's phis, viewed from one predecessor, are a single parallel copy
+    [(d1,...,dk) <- (s1,...,sk)]. Emitting them as sequential copies is
+    only correct in an order where no pending read sees an already-clobbered
+    register; a pure cycle (the classic phi swap) needs one temporary.
+    Used by SSA destruction and by forward propagation's phi removal. *)
+
+let sequentialize ~fresh copies =
+  let pending = Hashtbl.create 8 in
+  List.iter (fun (d, s) -> if d <> s then Hashtbl.replace pending d s) copies;
+  let out = ref [] in
+  let emit d s = out := (d, s) :: !out in
+  let readers_of src =
+    Hashtbl.fold (fun d s acc -> if s = src then d :: acc else acc) pending []
+  in
+  let rec drain () =
+    let ready =
+      Hashtbl.fold (fun d _ acc -> if readers_of d = [] then d :: acc else acc) pending []
+    in
+    match List.sort compare ready with
+    | d :: _ ->
+      emit d (Hashtbl.find pending d);
+      Hashtbl.remove pending d;
+      drain ()
+    | [] ->
+      if Hashtbl.length pending > 0 then begin
+        (* Pure cycle: save one register in a temporary, redirect its
+           readers there, and continue. *)
+        let d = Hashtbl.fold (fun d _ acc -> min d acc) pending max_int in
+        let t = fresh () in
+        emit t d;
+        List.iter (fun d' -> Hashtbl.replace pending d' t) (readers_of d);
+        drain ()
+      end
+  in
+  drain ();
+  List.rev !out

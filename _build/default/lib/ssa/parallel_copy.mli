@@ -1,0 +1,9 @@
+(** Parallel-copy sequentialization.
+
+    A block's phis, viewed from one predecessor, are a single parallel copy
+    [(d1,...,dk) <- (s1,...,sk)]. [sequentialize] orders the copies so no
+    pending read sees a clobbered register, breaking pure cycles (the
+    classic phi swap) with one temporary from [fresh]. *)
+
+val sequentialize :
+  fresh:(unit -> int) -> (int * int) list -> (int * int) list

@@ -1,0 +1,12 @@
+(** SSA well-formedness checker, used pervasively by the test suite.
+
+    Beyond [Routine.validate]: single definitions, every non-phi use
+    dominated by its definition, every phi argument's definition dominating
+    the matching predecessor. *)
+
+open Epre_ir
+
+exception Not_ssa of string
+
+(** @raise Not_ssa with a diagnostic on violation. *)
+val check : Routine.t -> unit

@@ -1,0 +1,88 @@
+type t = { bits : Bytes.t; n : int }
+
+let bytes_for n = (n + 7) / 8
+
+let create n =
+  if n < 0 then invalid_arg "Bitset.create: negative width";
+  { bits = Bytes.make (bytes_for n) '\000'; n }
+
+let width s = s.n
+
+let check s i =
+  if i < 0 || i >= s.n then
+    invalid_arg (Printf.sprintf "Bitset: element %d out of universe [0,%d)" i s.n)
+
+let mem s i =
+  check s i;
+  Char.code (Bytes.get s.bits (i lsr 3)) land (1 lsl (i land 7)) <> 0
+
+let add s i =
+  check s i;
+  let b = i lsr 3 in
+  Bytes.set s.bits b (Char.chr (Char.code (Bytes.get s.bits b) lor (1 lsl (i land 7))))
+
+let remove s i =
+  check s i;
+  let b = i lsr 3 in
+  Bytes.set s.bits b
+    (Char.chr (Char.code (Bytes.get s.bits b) land lnot (1 lsl (i land 7)) land 0xff))
+
+let copy s = { bits = Bytes.copy s.bits; n = s.n }
+
+let equal a b = a.n = b.n && Bytes.equal a.bits b.bits
+
+let is_empty s = Bytes.for_all (fun c -> c = '\000') s.bits
+
+let full n =
+  let s = { bits = Bytes.make (bytes_for n) '\255'; n } in
+  (* Mask off the unused high bits of the last byte so [equal] stays exact. *)
+  let rem = n land 7 in
+  if rem <> 0 && n > 0 then begin
+    let last = bytes_for n - 1 in
+    Bytes.set s.bits last (Char.chr (Char.code (Bytes.get s.bits last) land ((1 lsl rem) - 1)))
+  end;
+  s
+
+let same_width a b =
+  if a.n <> b.n then invalid_arg "Bitset: width mismatch"
+
+let binop f ~dst src =
+  same_width dst src;
+  for i = 0 to Bytes.length dst.bits - 1 do
+    let c = f (Char.code (Bytes.get dst.bits i)) (Char.code (Bytes.get src.bits i)) in
+    Bytes.set dst.bits i (Char.chr (c land 0xff))
+  done
+
+let union_into ~dst src = binop ( lor ) ~dst src
+let inter_into ~dst src = binop ( land ) ~dst src
+let diff_into ~dst src = binop (fun d s -> d land lnot s) ~dst src
+
+let assign ~dst src =
+  same_width dst src;
+  Bytes.blit src.bits 0 dst.bits 0 (Bytes.length src.bits)
+
+let clear s = Bytes.fill s.bits 0 (Bytes.length s.bits) '\000'
+
+let popcount_byte c =
+  let rec loop c acc = if c = 0 then acc else loop (c lsr 1) (acc + (c land 1)) in
+  loop c 0
+
+let count s =
+  let acc = ref 0 in
+  Bytes.iter (fun c -> acc := !acc + popcount_byte (Char.code c)) s.bits;
+  !acc
+
+let iter f s =
+  for i = 0 to s.n - 1 do
+    if Char.code (Bytes.get s.bits (i lsr 3)) land (1 lsl (i land 7)) <> 0 then f i
+  done
+
+let elements s =
+  let acc = ref [] in
+  iter (fun i -> acc := i :: !acc) s;
+  List.rev !acc
+
+let fold f s init =
+  let acc = ref init in
+  iter (fun i -> acc := f i !acc) s;
+  !acc

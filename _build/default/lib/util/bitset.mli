@@ -1,0 +1,49 @@
+(** Fixed-width mutable bit sets.
+
+    The data-flow solvers in [Epre_analysis] and [Epre_pre] run classic
+    bit-vector algorithms; this module provides the dense set representation
+    they iterate over. All binary operations require both arguments to have
+    the same width. *)
+
+type t
+
+val create : int -> t
+(** [create n] is the empty set over universe [{0, ..., n-1}]. *)
+
+val width : t -> int
+
+val mem : t -> int -> bool
+
+val add : t -> int -> unit
+
+val remove : t -> int -> unit
+
+val copy : t -> t
+
+val equal : t -> t -> bool
+
+val is_empty : t -> bool
+
+val full : int -> t
+(** [full n] contains every element of the universe. *)
+
+val union_into : dst:t -> t -> unit
+(** [union_into ~dst src] sets [dst := dst ∪ src]. *)
+
+val inter_into : dst:t -> t -> unit
+
+val diff_into : dst:t -> t -> unit
+(** [diff_into ~dst src] sets [dst := dst \ src]. *)
+
+val assign : dst:t -> t -> unit
+(** [assign ~dst src] sets [dst := src]. *)
+
+val clear : t -> unit
+
+val count : t -> int
+
+val iter : (int -> unit) -> t -> unit
+
+val elements : t -> int list
+
+val fold : (int -> 'a -> 'a) -> t -> 'a -> 'a

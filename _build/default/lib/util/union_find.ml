@@ -1,0 +1,31 @@
+type t = { parent : int array; rank : int array }
+
+let create n = { parent = Array.init n (fun i -> i); rank = Array.make n 0 }
+
+let rec find t i =
+  let p = t.parent.(i) in
+  if p = i then i
+  else begin
+    let r = find t p in
+    t.parent.(i) <- r;
+    r
+  end
+
+let union t a b =
+  let ra = find t a and rb = find t b in
+  if ra = rb then ra
+  else if t.rank.(ra) < t.rank.(rb) then begin
+    t.parent.(ra) <- rb;
+    rb
+  end
+  else begin
+    t.parent.(rb) <- ra;
+    if t.rank.(ra) = t.rank.(rb) then t.rank.(ra) <- t.rank.(ra) + 1;
+    ra
+  end
+
+let union_keep_first t a b =
+  let ra = find t a and rb = find t b in
+  if ra <> rb then t.parent.(rb) <- ra
+
+let same t a b = find t a = find t b

@@ -1,0 +1,23 @@
+(** Union-find over a dense integer universe.
+
+    Used by the coalescing pass to merge register names and by GVN tests to
+    check congruence-class agreement. Path compression plus union by rank. *)
+
+type t
+
+val create : int -> t
+(** [create n] makes [n] singleton classes [0 .. n-1]. *)
+
+val find : t -> int -> int
+(** Class representative. *)
+
+val union : t -> int -> int -> int
+(** [union t a b] merges the classes of [a] and [b]; returns the surviving
+    representative. *)
+
+val union_keep_first : t -> int -> int -> unit
+(** [union_keep_first t a b] merges so that [find t a] (old representative of
+    [a]'s class) remains the representative. Needed when representatives carry
+    meaning (e.g. the canonical register name). *)
+
+val same : t -> int -> int -> bool

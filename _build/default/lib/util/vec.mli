@@ -1,0 +1,30 @@
+(** Growable arrays.
+
+    A thin dynamic-array abstraction used for CFG block tables and other
+    index-addressed, append-mostly structures inside the optimizer. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val length : 'a t -> int
+
+val get : 'a t -> int -> 'a
+
+val set : 'a t -> int -> 'a -> unit
+(** [set v i x] stores [x] at index [i]. [i] must be [< length v]. *)
+
+val push : 'a t -> 'a -> int
+(** [push v x] appends [x] and returns its index. *)
+
+val iteri : (int -> 'a -> unit) -> 'a t -> unit
+
+val to_list : 'a t -> 'a list
+
+val of_list : 'a list -> 'a t
+
+val copy : 'a t -> 'a t
+
+val fold_left : ('acc -> 'a -> 'acc) -> 'acc -> 'a t -> 'acc
+
+val exists : ('a -> bool) -> 'a t -> bool

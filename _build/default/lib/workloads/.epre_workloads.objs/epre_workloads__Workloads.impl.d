@@ -1,0 +1,1 @@
+lib/workloads/workloads.ml: Blas Classic Epre_frontend Epre_interp Epre_ir Fmm Iterative Kernels List Numerics Program

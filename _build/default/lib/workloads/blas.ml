@@ -1,0 +1,136 @@
+(** Dense linear-algebra workloads, echoing the BLAS-derived routines of the
+    paper's suite ([saxpy], [sgemv], [sgemm]). The doubly/triply subscripted
+    array accesses produce exactly the address arithmetic whose invariant
+    parts global reassociation exposes (Section 2.1). *)
+
+let saxpy =
+  {|
+fn saxpy(n: int, a: float, x: float[64], y: float[64]) {
+  var i: int;
+  for i = 1 to n {
+    y[i] = y[i] + a * x[i];
+  }
+}
+
+fn main(): float {
+  var x: float[64];
+  var y: float[64];
+  var i: int;
+  for i = 1 to 64 {
+    x[i] = float(i);
+    y[i] = float(64 - i);
+  }
+  saxpy(64, 3.0, x, y);
+  var s: float;
+  for i = 1 to 64 {
+    s = s + y[i];
+  }
+  emit(s);
+  return s;
+}
+|}
+
+let dot =
+  {|
+fn dot(n: int, x: float[100], y: float[100]): float {
+  var s: float;
+  var i: int;
+  for i = 1 to n {
+    s = s + x[i] * y[i];
+  }
+  return s;
+}
+
+fn main(): float {
+  var x: float[100];
+  var y: float[100];
+  var i: int;
+  for i = 1 to 100 {
+    x[i] = float(i) * 0.5;
+    y[i] = float(101 - i);
+  }
+  var r: float = dot(100, x, y);
+  emit(r);
+  return r;
+}
+|}
+
+let sgemv =
+  {|
+fn sgemv(m: int, n: int, alpha: float, a: float[24,24], x: float[24], y: float[24]) {
+  var i: int;
+  var j: int;
+  for i = 1 to m {
+    var t: float;
+    t = 0.0;
+    for j = 1 to n {
+      t = t + a[i,j] * x[j];
+    }
+    y[i] = alpha * t + y[i];
+  }
+}
+
+fn main(): float {
+  var a: float[24,24];
+  var x: float[24];
+  var y: float[24];
+  var i: int;
+  var j: int;
+  for i = 1 to 24 {
+    x[i] = float(i);
+    y[i] = 1.0;
+    for j = 1 to 24 {
+      a[i,j] = float(i - j) * 0.25;
+    }
+  }
+  sgemv(24, 24, 2.0, a, x, y);
+  var s: float;
+  for i = 1 to 24 {
+    s = s + y[i];
+  }
+  emit(s);
+  return s;
+}
+|}
+
+let sgemm =
+  {|
+fn sgemm(n: int, a: float[16,16], b: float[16,16], c: float[16,16]) {
+  var i: int;
+  var j: int;
+  var k: int;
+  for i = 1 to n {
+    for j = 1 to n {
+      var s: float;
+      s = 0.0;
+      for k = 1 to n {
+        s = s + a[i,k] * b[k,j];
+      }
+      c[i,j] = s;
+    }
+  }
+}
+
+fn main(): float {
+  var a: float[16,16];
+  var b: float[16,16];
+  var c: float[16,16];
+  var i: int;
+  var j: int;
+  for i = 1 to 16 {
+    for j = 1 to 16 {
+      a[i,j] = float(i + j);
+      b[i,j] = float(i) - 0.5 * float(j);
+    }
+  }
+  sgemm(16, a, b, c);
+  var s: float;
+  for i = 1 to 16 {
+    for j = 1 to 16 {
+      s = s + c[i,j];
+    }
+  }
+  emit(s);
+  return s;
+}
+|}

@@ -1,0 +1,9 @@
+(** Dense linear-algebra workloads, echoing the BLAS-derived routines of the
+    paper's suite ([saxpy], [sgemv], [sgemm]). The doubly/triply subscripted
+    array accesses produce exactly the address arithmetic whose invariant
+    parts global reassociation exposes (Section 2.1). *)
+
+val saxpy : string
+val dot : string
+val sgemv : string
+val sgemm : string

@@ -1,0 +1,389 @@
+(** Twelve further routines bringing the suite to the paper's 50: classic
+    numeric methods (Crout LU, RK4, secant, Lagrange interpolation,
+    red-black relaxation), scans and single-pass statistics, and
+    integer-heavy kernels (sieve, Euclid, Collatz). *)
+
+let crout =
+  {|
+// Crout's LU variant (unit upper triangle), diagonally dominant input.
+fn crout(n: int, a: float[10,10]) {
+  var i: int;
+  var j: int;
+  var k: int;
+  for j = 1 to n {
+    for i = j to n {
+      var s: float = a[i,j];
+      for k = 1 to j - 1 {
+        s = s - a[i,k] * a[k,j];
+      }
+      a[i,j] = s;
+    }
+    for i = j + 1 to n {
+      var t: float = a[j,i];
+      for k = 1 to j - 1 {
+        t = t - a[j,k] * a[k,i];
+      }
+      a[j,i] = t / a[j,j];
+    }
+  }
+}
+
+fn main(): float {
+  var a: float[10,10];
+  var i: int;
+  var j: int;
+  for i = 1 to 10 {
+    for j = 1 to 10 {
+      if (i == j) {
+        a[i,j] = 14.0;
+      } else {
+        a[i,j] = 1.0 / float(i + j);
+      }
+    }
+  }
+  crout(10, a);
+  var s: float;
+  for i = 1 to 10 {
+    for j = 1 to 10 {
+      s = s + a[i,j];
+    }
+  }
+  emit(s);
+  return s;
+}
+|}
+
+let rk4 =
+  {|
+// Classic fourth-order Runge-Kutta for y' = y - t*t + 1.
+fn f(t: float, y: float): float {
+  return y - t * t + 1.0;
+}
+
+fn main(): float {
+  var t: float = 0.0;
+  var y: float = 0.5;
+  var h: float = 0.05;
+  var i: int;
+  for i = 1 to 40 {
+    var k1: float = f(t, y);
+    var k2: float = f(t + h / 2.0, y + h * k1 / 2.0);
+    var k3: float = f(t + h / 2.0, y + h * k2 / 2.0);
+    var k4: float = f(t + h, y + h * k3);
+    y = y + h * (k1 + 2.0 * k2 + 2.0 * k3 + k4) / 6.0;
+    t = t + h;
+  }
+  emit(y);
+  return y;
+}
+|}
+
+let secant =
+  {|
+// Secant method for cos-like root via a truncated series.
+fn f(x: float): float {
+  // series for cos(x) - x
+  var acc: float = 1.0;
+  var term: float = 1.0;
+  var k: int;
+  for k = 1 to 6 {
+    term = (0.0 - term) * x * x / float((2 * k - 1) * (2 * k));
+    acc = acc + term;
+  }
+  return acc - x;
+}
+
+fn main(): float {
+  var x0: float = 0.0;
+  var x1: float = 1.0;
+  var i: int;
+  for i = 1 to 20 {
+    var f0: float = f(x0);
+    var f1: float = f(x1);
+    var d: float = f1 - f0;
+    if (abs(d) > 0.0000000001) {
+      var x2: float = x1 - f1 * (x1 - x0) / d;
+      x0 = x1;
+      x1 = x2;
+    }
+  }
+  emit(x1);
+  return x1;
+}
+|}
+
+let lagrange =
+  {|
+// Lagrange interpolation through 8 knots, evaluated on a sweep.
+fn interp(n: int, xs: float[8], ys: float[8], x: float): float {
+  var acc: float;
+  var i: int;
+  var j: int;
+  for i = 1 to n {
+    var l: float = 1.0;
+    for j = 1 to n {
+      if (j != i) {
+        l = l * (x - xs[j]) / (xs[i] - xs[j]);
+      }
+    }
+    acc = acc + ys[i] * l;
+  }
+  return acc;
+}
+
+fn main(): float {
+  var xs: float[8];
+  var ys: float[8];
+  var i: int;
+  for i = 1 to 8 {
+    xs[i] = float(i);
+    ys[i] = float(i * i) * 0.5 - float(i);
+  }
+  var s: float;
+  var k: int;
+  for k = 0 to 28 {
+    s = s + interp(8, xs, ys, 1.0 + float(k) * 0.25);
+  }
+  emit(s);
+  return s;
+}
+|}
+
+let redblack =
+  {|
+// Red-black Gauss-Seidel on a 1-D chain: the parity test inside the loop
+// exercises mixed control flow and addressing.
+fn main(): float {
+  var u: float[64];
+  var i: int;
+  for i = 1 to 64 {
+    u[i] = float(mod(i * 11, 17)) * 0.1;
+  }
+  var sweep: int;
+  for sweep = 1 to 30 {
+    var parity: int = mod(sweep, 2);
+    for i = 2 to 63 {
+      if (mod(i, 2) == parity) {
+        u[i] = 0.5 * (u[i-1] + u[i+1]);
+      }
+    }
+  }
+  var s: float;
+  for i = 1 to 64 {
+    s = s + u[i];
+  }
+  emit(s);
+  return s;
+}
+|}
+
+let cumsum =
+  {|
+// Prefix sums, suffix sums and a windowed average over one array.
+fn main(): float {
+  var x: float[100];
+  var pre: float[100];
+  var suf: float[100];
+  var i: int;
+  for i = 1 to 100 {
+    x[i] = float(mod(i * 19, 23)) - 11.0;
+  }
+  pre[1] = x[1];
+  for i = 2 to 100 {
+    pre[i] = pre[i-1] + x[i];
+  }
+  suf[100] = x[100];
+  for i = 99 downto 1 {
+    suf[i] = suf[i+1] + x[i];
+  }
+  var s: float;
+  for i = 3 to 98 {
+    s = s + (pre[i+2] - pre[i-2]) / 5.0 + suf[i] * 0.01;
+  }
+  emit(s);
+  return s;
+}
+|}
+
+let transpose =
+  {|
+// B = A^T, then a multiply against the transpose: two different access
+// orders over the same data.
+fn main(): float {
+  var a: float[14,14];
+  var b: float[14,14];
+  var i: int;
+  var j: int;
+  var k: int;
+  for i = 1 to 14 {
+    for j = 1 to 14 {
+      a[i,j] = float(i * 3 - j * 2) * 0.125;
+    }
+  }
+  for i = 1 to 14 {
+    for j = 1 to 14 {
+      b[j,i] = a[i,j];
+    }
+  }
+  var s: float;
+  for i = 1 to 14 {
+    for j = 1 to 14 {
+      var acc: float;
+      for k = 1 to 14 {
+        acc = acc + a[i,k] * b[k,j];
+      }
+      s = s + acc;
+    }
+  }
+  emit(s);
+  return s;
+}
+|}
+
+let stats =
+  {|
+// Single-pass mean/variance/extrema (Welford-style update).
+fn main(): float {
+  var mean: float;
+  var m2: float;
+  var lo: float = 1000000.0;
+  var hi: float = 0.0 - 1000000.0;
+  var i: int;
+  for i = 1 to 300 {
+    var v: float = float(mod(i * 7 + 3, 31)) - 15.0;
+    var delta: float = v - mean;
+    mean = mean + delta / float(i);
+    m2 = m2 + delta * (v - mean);
+    lo = min(lo, v);
+    hi = max(hi, v);
+  }
+  var variance: float = m2 / 299.0;
+  emit(mean);
+  emit(variance);
+  return mean + variance + lo + hi;
+}
+|}
+
+let sieve =
+  {|
+// Sieve of Eratosthenes; returns the count and sum of primes below 400.
+fn main(): int {
+  var composite: int[400];
+  var i: int;
+  var j: int;
+  i = 2;
+  while (i * i <= 400) {
+    if (composite[i] == 0) {
+      j = i * i;
+      while (j <= 400) {
+        composite[j] = 1;
+        j = j + i;
+      }
+    }
+    i = i + 1;
+  }
+  var count: int;
+  var sum: int;
+  for i = 2 to 400 {
+    if (composite[i] == 0) {
+      count = count + 1;
+      sum = sum + i;
+    }
+  }
+  emit(count);
+  emit(sum);
+  return count * 100000 + sum;
+}
+|}
+
+let euclid =
+  {|
+// Batched Euclid: gcd over many pairs (remainder-heavy integer loop).
+fn gcd(a: int, b: int): int {
+  var x: int = abs(a);
+  var y: int = abs(b);
+  while (y != 0) {
+    var t: int = mod(x, y);
+    x = y;
+    y = t;
+  }
+  return x;
+}
+
+fn main(): int {
+  var s: int;
+  var i: int;
+  var j: int;
+  for i = 1 to 25 {
+    for j = 1 to 25 {
+      s = s + gcd(i * 12 + 7, j * 18 + 5);
+    }
+  }
+  emit(s);
+  return s;
+}
+|}
+
+let collatz =
+  {|
+// Collatz trajectory lengths (data-dependent while loop).
+fn steps(n0: int, cap: int): int {
+  var n: int = n0;
+  var k: int = 0;
+  while (n != 1 && k < cap) {
+    if (mod(n, 2) == 0) {
+      n = n / 2;
+    } else {
+      n = 3 * n + 1;
+    }
+    k = k + 1;
+  }
+  return k;
+}
+
+fn main(): int {
+  var total: int;
+  var i: int;
+  for i = 1 to 120 {
+    total = total + steps(i, 300);
+  }
+  emit(total);
+  return total;
+}
+|}
+
+let smooth3 =
+  {|
+// Iterated three-point smoothing with boundary handling in the loop.
+fn main(): float {
+  var a: float[90];
+  var b: float[90];
+  var i: int;
+  for i = 1 to 90 {
+    a[i] = float(mod(i * 13, 29));
+  }
+  var pass: int;
+  for pass = 1 to 12 {
+    for i = 1 to 90 {
+      if (i == 1) {
+        b[i] = (2.0 * a[1] + a[2]) / 3.0;
+      } else {
+        if (i == 90) {
+          b[i] = (a[89] + 2.0 * a[90]) / 3.0;
+        } else {
+          b[i] = (a[i-1] + a[i] + a[i+1]) / 3.0;
+        }
+      }
+    }
+    for i = 1 to 90 {
+      a[i] = b[i];
+    }
+  }
+  var s: float;
+  for i = 1 to 90 {
+    s = s + a[i] * a[i];
+  }
+  emit(s);
+  return s;
+}
+|}

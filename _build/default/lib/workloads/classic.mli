@@ -1,0 +1,17 @@
+(** Twelve further routines bringing the suite to the paper's 50: classic
+    numeric methods (Crout LU, RK4, secant, Lagrange interpolation,
+    red-black relaxation), scans and single-pass statistics, and
+    integer-heavy kernels (sieve, Euclid, Collatz). *)
+
+val crout : string
+val rk4 : string
+val secant : string
+val lagrange : string
+val redblack : string
+val cumsum : string
+val transpose : string
+val stats : string
+val sieve : string
+val euclid : string
+val collatz : string
+val smooth3 : string

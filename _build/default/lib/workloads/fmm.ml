@@ -1,0 +1,361 @@
+(** Numerical-methods workloads modeled on Forsythe, Malcolm & Moler's book
+    — the same source the paper draws [fmin], [zeroin], [spline], [seval],
+    [decomp], [solve], [urand] and the Runge–Kutta–Fehlberg step from. The
+    algorithms are the textbook ones, scaled to run in a few thousand
+    operations. *)
+
+let fmin =
+  {|
+// Golden-section minimization of f(x) = x*x - 4x + 7 on [0, 5].
+fn f(x: float): float {
+  return x * x - 4.0 * x + 7.0;
+}
+
+fn fmin(ax: float, bx: float, steps: int): float {
+  var c: float = 0.381966011;
+  var a: float = ax;
+  var b: float = bx;
+  var x: float = a + c * (b - a);
+  var y: float = b - c * (b - a);
+  var fx: float = f(x);
+  var fy: float = f(y);
+  var i: int;
+  for i = 1 to steps {
+    if (fx < fy) {
+      b = y;
+      y = x;
+      fy = fx;
+      x = a + c * (b - a);
+      fx = f(x);
+    } else {
+      a = x;
+      x = y;
+      fx = fy;
+      y = b - c * (b - a);
+      fy = f(y);
+    }
+  }
+  return (a + b) / 2.0;
+}
+
+fn main(): float {
+  var m: float = fmin(0.0, 5.0, 40);
+  emit(m);
+  return m;
+}
+|}
+
+let zeroin =
+  {|
+// Bisection root finding for f(x) = x*x*x - 2x - 5 on [2, 3].
+fn f(x: float): float {
+  return x * x * x - 2.0 * x - 5.0;
+}
+
+fn zeroin(ax: float, bx: float, steps: int): float {
+  var a: float = ax;
+  var b: float = bx;
+  var fa: float = f(a);
+  var i: int;
+  for i = 1 to steps {
+    var m: float = (a + b) / 2.0;
+    var fm: float = f(m);
+    if (fa * fm <= 0.0) {
+      b = m;
+    } else {
+      a = m;
+      fa = fm;
+    }
+  }
+  return (a + b) / 2.0;
+}
+
+fn main(): float {
+  var r: float = zeroin(2.0, 3.0, 45);
+  emit(r);
+  return r;
+}
+|}
+
+let spline =
+  {|
+// Natural cubic spline: compute second derivatives (tridiagonal solve).
+fn spline(n: int, x: float[32], y: float[32], b: float[32], c: float[32], d: float[32]) {
+  var i: int;
+  var nm1: int = n - 1;
+  d[1] = x[2] - x[1];
+  c[2] = (y[2] - y[1]) / d[1];
+  for i = 2 to nm1 {
+    d[i] = x[i+1] - x[i];
+    b[i] = 2.0 * (d[i-1] + d[i]);
+    c[i+1] = (y[i+1] - y[i]) / d[i];
+    c[i] = c[i+1] - c[i];
+  }
+  b[1] = 0.0 - d[1];
+  b[n] = 0.0 - d[n-1];
+  c[1] = 0.0;
+  c[n] = 0.0;
+  // forward elimination
+  for i = 2 to n {
+    var t: float = d[i-1] / b[i-1];
+    b[i] = b[i] - t * d[i-1];
+    c[i] = c[i] - t * c[i-1];
+  }
+  // back substitution
+  c[n] = c[n] / b[n];
+  var ib: int;
+  for ib = 1 to nm1 {
+    i = n - ib;
+    c[i] = (c[i] - d[i] * c[i+1]) / b[i];
+  }
+}
+
+fn main(): float {
+  var x: float[32];
+  var y: float[32];
+  var b: float[32];
+  var c: float[32];
+  var d: float[32];
+  var i: int;
+  for i = 1 to 32 {
+    x[i] = float(i) * 0.25;
+    y[i] = x[i] * x[i] - 3.0 * x[i];
+  }
+  spline(32, x, y, b, c, d);
+  var s: float;
+  for i = 1 to 32 {
+    s = s + c[i];
+  }
+  emit(s);
+  return s;
+}
+|}
+
+let seval =
+  {|
+// Spline-style piecewise evaluation: locate the interval by linear scan,
+// then evaluate the cubic.
+fn seval(n: int, u: float, x: float[16], y: float[16], b: float[16], c: float[16], d: float[16]): float {
+  var i: int = 1;
+  var j: int;
+  for j = 1 to n - 1 {
+    if (x[j] <= u) {
+      i = j;
+    }
+  }
+  var dx: float = u - x[i];
+  return y[i] + dx * (b[i] + dx * (c[i] + dx * d[i]));
+}
+
+fn main(): float {
+  var x: float[16];
+  var y: float[16];
+  var b: float[16];
+  var c: float[16];
+  var d: float[16];
+  var i: int;
+  for i = 1 to 16 {
+    x[i] = float(i);
+    y[i] = float(i * i);
+    b[i] = 0.5;
+    c[i] = 0.25;
+    d[i] = 0.125;
+  }
+  var s: float;
+  var k: int;
+  for k = 0 to 30 {
+    s = s + seval(16, float(k) * 0.5, x, y, b, c, d);
+  }
+  emit(s);
+  return s;
+}
+|}
+
+let decomp =
+  {|
+// LU decomposition with partial pivoting (FMM's decomp, no condition
+// estimate).
+fn decomp(n: int, a: float[12,12], ipvt: int[12]): float {
+  var i: int;
+  var j: int;
+  var k: int;
+  var det: float = 1.0;
+  for k = 1 to n - 1 {
+    // find pivot
+    var m: int = k;
+    for i = k + 1 to n {
+      if (abs(a[i,k]) > abs(a[m,k])) {
+        m = i;
+      }
+    }
+    ipvt[k] = m;
+    if (m != k) {
+      det = 0.0 - det;
+    }
+    var t: float = a[m,k];
+    a[m,k] = a[k,k];
+    a[k,k] = t;
+    det = det * t;
+    if (t != 0.0) {
+      // compute multipliers
+      for i = k + 1 to n {
+        a[i,k] = (0.0 - a[i,k]) / t;
+      }
+      // interchange and eliminate by columns
+      for j = k + 1 to n {
+        t = a[m,j];
+        a[m,j] = a[k,j];
+        a[k,j] = t;
+        if (t != 0.0) {
+          for i = k + 1 to n {
+            a[i,j] = a[i,j] + a[i,k] * t;
+          }
+        }
+      }
+    }
+  }
+  ipvt[n] = n;
+  det = det * a[n,n];
+  return det;
+}
+
+fn main(): float {
+  var a: float[12,12];
+  var ipvt: int[12];
+  var i: int;
+  var j: int;
+  for i = 1 to 12 {
+    for j = 1 to 12 {
+      if (i == j) {
+        a[i,j] = float(10 + i);
+      } else {
+        a[i,j] = 1.0 / float(i + j);
+      }
+    }
+  }
+  var det: float = decomp(12, a, ipvt);
+  emit(det);
+  return det;
+}
+|}
+
+let solve =
+  {|
+// Solve a (pre-decomposed, diagonally dominant) triangular pair L*U*x = b.
+fn decomp_nopivot(n: int, a: float[12,12]) {
+  var i: int;
+  var j: int;
+  var k: int;
+  for k = 1 to n - 1 {
+    for i = k + 1 to n {
+      a[i,k] = a[i,k] / a[k,k];
+      for j = k + 1 to n {
+        a[i,j] = a[i,j] - a[i,k] * a[k,j];
+      }
+    }
+  }
+}
+
+fn solve(n: int, a: float[12,12], b: float[12]) {
+  var i: int;
+  var k: int;
+  // forward elimination
+  for k = 1 to n - 1 {
+    for i = k + 1 to n {
+      b[i] = b[i] - a[i,k] * b[k];
+    }
+  }
+  // back substitution
+  for k = n downto 1 {
+    var s: float = b[k];
+    for i = k + 1 to n {
+      s = s - a[k,i] * b[i];
+    }
+    b[k] = s / a[k,k];
+  }
+}
+
+fn main(): float {
+  var a: float[12,12];
+  var b: float[12];
+  var i: int;
+  var j: int;
+  for i = 1 to 12 {
+    b[i] = float(i);
+    for j = 1 to 12 {
+      if (i == j) {
+        a[i,j] = 20.0;
+      } else {
+        a[i,j] = 1.0 / float(i + j);
+      }
+    }
+  }
+  decomp_nopivot(12, a);
+  solve(12, a, b);
+  var s: float;
+  for i = 1 to 12 {
+    s = s + b[i];
+  }
+  emit(s);
+  return s;
+}
+|}
+
+let urand =
+  {|
+// Linear congruential generator in the style of FMM's urand.
+fn urand(state: int[1]): float {
+  var iy: int = state[1] * 1103515245 + 12345;
+  iy = mod(iy, 2147483648);
+  if (iy < 0) {
+    iy = iy + 2147483648;
+  }
+  state[1] = iy;
+  return float(iy) / 2147483648.0;
+}
+
+fn main(): float {
+  var state: int[1];
+  state[1] = 42;
+  var s: float;
+  var i: int;
+  for i = 1 to 200 {
+    s = s + urand(state);
+  }
+  emit(s);
+  return s;
+}
+|}
+
+let fehl =
+  {|
+// One Runge-Kutta-Fehlberg 4(5) step for y' = -2y + t, repeated along an
+// interval (the core arithmetic of FMM's fehl/rkf45).
+fn f(t: float, y: float): float {
+  return 0.0 - 2.0 * y + t;
+}
+
+fn fehl_step(t: float, y: float, h: float): float {
+  var k1: float = h * f(t, y);
+  var k2: float = h * f(t + h / 4.0, y + k1 / 4.0);
+  var k3: float = h * f(t + 3.0 * h / 8.0, y + 3.0 * k1 / 32.0 + 9.0 * k2 / 32.0);
+  var k4: float = h * f(t + 12.0 * h / 13.0,
+                        y + 1932.0 * k1 / 2197.0 - 7200.0 * k2 / 2197.0 + 7296.0 * k3 / 2197.0);
+  var k5: float = h * f(t + h,
+                        y + 439.0 * k1 / 216.0 - 8.0 * k2 + 3680.0 * k3 / 513.0 - 845.0 * k4 / 4104.0);
+  return y + 25.0 * k1 / 216.0 + 1408.0 * k3 / 2565.0 + 2197.0 * k4 / 4104.0 - k5 / 5.0;
+}
+
+fn main(): float {
+  var y: float = 1.0;
+  var t: float = 0.0;
+  var h: float = 0.05;
+  var i: int;
+  for i = 1 to 40 {
+    y = fehl_step(t, y, h);
+    t = t + h;
+  }
+  emit(y);
+  return y;
+}
+|}

@@ -1,0 +1,14 @@
+(** Numerical-methods workloads modeled on Forsythe, Malcolm & Moler's book
+    — the same source the paper draws [fmin], [zeroin], [spline], [seval],
+    [decomp], [solve], [urand] and the Runge–Kutta–Fehlberg step from. The
+    algorithms are the textbook ones, scaled to run in a few thousand
+    operations. *)
+
+val fmin : string
+val zeroin : string
+val spline : string
+val seval : string
+val decomp : string
+val solve : string
+val urand : string
+val fehl : string

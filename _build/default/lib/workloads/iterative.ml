@@ -1,0 +1,342 @@
+(** Iterative-method workloads: eigenvalue iteration, Romberg quadrature,
+    escape-time iteration, Gauss–Jordan elimination, a cache-blocked matrix
+    multiply (the paper cites register/cache blocking as the source of the
+    "complex subscripts" reassociation helps with), Givens rotations,
+    BLAS-1 reductions, and a leapfrog wave kernel. *)
+
+let power =
+  {|
+// Power method for the dominant eigenvalue of a small SPD matrix.
+fn matvec(n: int, a: float[8,8], x: float[8], y: float[8]) {
+  var i: int;
+  var j: int;
+  for i = 1 to n {
+    var s: float;
+    s = 0.0;
+    for j = 1 to n {
+      s = s + a[i,j] * x[j];
+    }
+    y[i] = s;
+  }
+}
+
+fn main(): float {
+  var a: float[8,8];
+  var x: float[8];
+  var y: float[8];
+  var i: int;
+  var j: int;
+  for i = 1 to 8 {
+    x[i] = 1.0;
+    for j = 1 to 8 {
+      if (i == j) {
+        a[i,j] = float(i + 4);
+      } else {
+        a[i,j] = 1.0 / float(i + j);
+      }
+    }
+  }
+  var lambda: float;
+  var t: int;
+  for t = 1 to 20 {
+    matvec(8, a, x, y);
+    // normalize by the max-magnitude entry
+    var m: float = 0.0;
+    for i = 1 to 8 {
+      if (abs(y[i]) > m) {
+        m = abs(y[i]);
+      }
+    }
+    for i = 1 to 8 {
+      x[i] = y[i] / m;
+    }
+    lambda = m;
+  }
+  emit(lambda);
+  return lambda;
+}
+|}
+
+let romberg =
+  {|
+// Romberg integration of f(x) = x * exp-like series over [0, 2], with the
+// triangular extrapolation table stored in a 2-D array.
+fn f(x: float): float {
+  // truncated series for x * e^(-x)
+  var acc: float = 1.0;
+  var term: float = 1.0;
+  var k: int;
+  for k = 1 to 8 {
+    term = term * (0.0 - x) / float(k);
+    acc = acc + term;
+  }
+  return x * acc;
+}
+
+fn main(): float {
+  var rt: float[7,7];
+  var a: float = 0.0;
+  var b: float = 2.0;
+  var n: int = 7;
+  var i: int;
+  var j: int;
+  rt[1,1] = (f(a) + f(b)) * (b - a) / 2.0;
+  var h: float = b - a;
+  var pts: int = 1;
+  for i = 2 to n {
+    h = h / 2.0;
+    var s: float;
+    s = 0.0;
+    var k: int;
+    for k = 1 to pts {
+      s = s + f(a + float(2 * k - 1) * h);
+    }
+    pts = pts * 2;
+    rt[i,1] = rt[i-1,1] / 2.0 + h * s;
+    var factor: float = 1.0;
+    for j = 2 to i {
+      factor = factor * 4.0;
+      rt[i,j] = rt[i,j-1] + (rt[i,j-1] - rt[i-1,j-1]) / (factor - 1.0);
+    }
+  }
+  var v: float = rt[n,n];
+  emit(v);
+  return v;
+}
+|}
+
+let mandel =
+  {|
+// Escape-time iteration over a small grid (Mandelbrot-style).
+fn escape(cx: float, cy: float, limit: int): int {
+  var x: float = 0.0;
+  var y: float = 0.0;
+  var k: int = 0;
+  while (k < limit && x * x + y * y <= 4.0) {
+    var nx: float = x * x - y * y + cx;
+    y = 2.0 * x * y + cy;
+    x = nx;
+    k = k + 1;
+  }
+  return k;
+}
+
+fn main(): int {
+  var total: int;
+  var i: int;
+  var j: int;
+  for i = 0 to 23 {
+    for j = 0 to 23 {
+      total = total + escape(float(i) * 0.125 - 2.0, float(j) * 0.1 - 1.2, 30);
+    }
+  }
+  emit(total);
+  return total;
+}
+|}
+
+let gaussj =
+  {|
+// Gauss-Jordan elimination on a diagonally dominant system (no pivoting).
+fn gaussj(n: int, a: float[9,9], b: float[9]) {
+  var col: int;
+  var row: int;
+  var k: int;
+  for col = 1 to n {
+    var piv: float = a[col,col];
+    for k = 1 to n {
+      a[col,k] = a[col,k] / piv;
+    }
+    b[col] = b[col] / piv;
+    for row = 1 to n {
+      if (row != col) {
+        var factor: float = a[row,col];
+        for k = 1 to n {
+          a[row,k] = a[row,k] - factor * a[col,k];
+        }
+        b[row] = b[row] - factor * b[col];
+      }
+    }
+  }
+}
+
+fn main(): float {
+  var a: float[9,9];
+  var b: float[9];
+  var i: int;
+  var j: int;
+  for i = 1 to 9 {
+    b[i] = float(2 * i - 9);
+    for j = 1 to 9 {
+      if (i == j) {
+        a[i,j] = 15.0;
+      } else {
+        a[i,j] = 1.0 / float(i + j - 1);
+      }
+    }
+  }
+  gaussj(9, a, b);
+  var s: float;
+  for i = 1 to 9 {
+    s = s + b[i];
+  }
+  emit(s);
+  return s;
+}
+|}
+
+let blocked =
+  {|
+// Cache-blocked matrix multiply: the blocked loop nest produces the
+// "complex subscripts like that produced by cache and register blocking"
+// the paper's Section 5.2 points at.
+fn bgemm(n: int, nb: int, a: float[12,12], b: float[12,12], c: float[12,12]) {
+  var ii: int;
+  var jj: int;
+  var kk: int;
+  var i: int;
+  var j: int;
+  var k: int;
+  for ii = 1 to n step 4 {
+    for jj = 1 to n step 4 {
+      for kk = 1 to n step 4 {
+        for i = ii to min(ii + nb - 1, n) {
+          for j = jj to min(jj + nb - 1, n) {
+            var s: float = c[i,j];
+            for k = kk to min(kk + nb - 1, n) {
+              s = s + a[i,k] * b[k,j];
+            }
+            c[i,j] = s;
+          }
+        }
+      }
+    }
+  }
+}
+
+fn main(): float {
+  var a: float[12,12];
+  var b: float[12,12];
+  var c: float[12,12];
+  var i: int;
+  var j: int;
+  for i = 1 to 12 {
+    for j = 1 to 12 {
+      a[i,j] = float(i - j) * 0.5;
+      b[i,j] = float(i + j) * 0.25;
+    }
+  }
+  bgemm(12, 4, a, b, c);
+  var s: float;
+  for i = 1 to 12 {
+    for j = 1 to 12 {
+      s = s + c[i,j];
+    }
+  }
+  emit(s);
+  return s;
+}
+|}
+
+let givens =
+  {|
+// Givens rotations zeroing the subdiagonal of a small matrix.
+fn main(): float {
+  var a: float[7,7];
+  var i: int;
+  var j: int;
+  var k: int;
+  for i = 1 to 7 {
+    for j = 1 to 7 {
+      a[i,j] = float(mod(i * 5 + j * 3, 11)) + 1.0;
+    }
+  }
+  for j = 1 to 6 {
+    for i = j + 1 to 7 {
+      var denom: float = sqrt(a[j,j] * a[j,j] + a[i,j] * a[i,j]);
+      if (denom > 0.000001) {
+        var cs: float = a[j,j] / denom;
+        var sn: float = a[i,j] / denom;
+        for k = 1 to 7 {
+          var t1: float = cs * a[j,k] + sn * a[i,k];
+          var t2: float = 0.0 - sn * a[j,k] + cs * a[i,k];
+          a[j,k] = t1;
+          a[i,k] = t2;
+        }
+      }
+    }
+  }
+  // sum of the (upper triangular) result
+  var s: float;
+  for i = 1 to 7 {
+    for j = i to 7 {
+      s = s + a[i,j];
+    }
+  }
+  emit(s);
+  return s;
+}
+|}
+
+let blas1 =
+  {|
+// BLAS-1 reductions over one vector: asum, index of amax, nrm2.
+fn main(): float {
+  var x: float[150];
+  var i: int;
+  for i = 1 to 150 {
+    x[i] = float(mod(i * 13, 37)) - 18.0;
+  }
+  var asum: float;
+  var nrm2: float;
+  var imax: int = 1;
+  for i = 1 to 150 {
+    asum = asum + abs(x[i]);
+    nrm2 = nrm2 + x[i] * x[i];
+    if (abs(x[i]) > abs(x[imax])) {
+      imax = i;
+    }
+  }
+  nrm2 = sqrt(nrm2);
+  emit(asum);
+  emit(nrm2);
+  emit(float(imax));
+  return asum + nrm2 + float(imax);
+}
+|}
+
+let wave =
+  {|
+// Leapfrog integration of the 1-D wave equation.
+fn main(): float {
+  var u_prev: float[60];
+  var u_cur: float[60];
+  var u_next: float[60];
+  var i: int;
+  var c2: float = 0.25;
+  for i = 1 to 60 {
+    var xi: float = float(i - 30) * 0.1;
+    u_prev[i] = 1.0 / (1.0 + xi * xi);
+    u_cur[i] = u_prev[i];
+  }
+  var t: int;
+  for t = 1 to 40 {
+    for i = 2 to 59 {
+      u_next[i] = 2.0 * u_cur[i] - u_prev[i]
+                + c2 * (u_cur[i+1] - 2.0 * u_cur[i] + u_cur[i-1]);
+    }
+    u_next[1] = 0.0;
+    u_next[60] = 0.0;
+    for i = 1 to 60 {
+      u_prev[i] = u_cur[i];
+      u_cur[i] = u_next[i];
+    }
+  }
+  var s: float;
+  for i = 1 to 60 {
+    s = s + u_cur[i] * u_cur[i];
+  }
+  emit(s);
+  return s;
+}
+|}

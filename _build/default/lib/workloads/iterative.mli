@@ -1,0 +1,14 @@
+(** Iterative-method workloads: eigenvalue iteration, Romberg quadrature,
+    escape-time iteration, Gauss–Jordan elimination, a cache-blocked matrix
+    multiply (the paper cites register/cache blocking as the source of the
+    "complex subscripts" reassociation helps with), Givens rotations,
+    BLAS-1 reductions, and a leapfrog wave kernel. *)
+
+val power : string
+val romberg : string
+val mandel : string
+val gaussj : string
+val blocked : string
+val givens : string
+val blas1 : string
+val wave : string

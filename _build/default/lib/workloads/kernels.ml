@@ -1,0 +1,355 @@
+(** Loop-nest and stencil workloads echoing the rest of the paper's suite:
+    a tomcatv-like mesh kernel, stencils, initialization sweeps ([iniset]),
+    simple reductions ([hmoy], [x21y21]) and synthetic kernels that stress
+    the specific phenomena the paper studies (deep loop-invariant address
+    chains, partially-dead expressions). *)
+
+let tomcatv =
+  {|
+// Mesh-relaxation kernel in the style of tomcatv's inner loops: residual
+// computation over a 2-D grid with eight-neighbour addressing.
+fn relax(n: int, x: float[18,18], y: float[18,18], rx: float[18,18], ry: float[18,18]) {
+  var i: int;
+  var j: int;
+  for i = 2 to n - 1 {
+    for j = 2 to n - 1 {
+      var xx: float = x[i,j+1] - x[i,j-1];
+      var yx: float = y[i,j+1] - y[i,j-1];
+      var xy: float = x[i+1,j] - x[i-1,j];
+      var yy: float = y[i+1,j] - y[i-1,j];
+      var a: float = 0.25 * (xx * xx + yx * yx);
+      var b: float = 0.25 * (xy * xy + yy * yy);
+      var c: float = 0.125 * (xx * xy + yx * yy);
+      rx[i,j] = a * (x[i+1,j] - 2.0 * x[i,j] + x[i-1,j])
+              + b * (x[i,j+1] - 2.0 * x[i,j] + x[i,j-1])
+              - c * (x[i+1,j+1] - x[i+1,j-1] - x[i-1,j+1] + x[i-1,j-1]);
+      ry[i,j] = a * (y[i+1,j] - 2.0 * y[i,j] + y[i-1,j])
+              + b * (y[i,j+1] - 2.0 * y[i,j] + y[i,j-1])
+              - c * (y[i+1,j+1] - y[i+1,j-1] - y[i-1,j+1] + y[i-1,j-1]);
+    }
+  }
+}
+
+fn main(): float {
+  var x: float[18,18];
+  var y: float[18,18];
+  var rx: float[18,18];
+  var ry: float[18,18];
+  var i: int;
+  var j: int;
+  for i = 1 to 18 {
+    for j = 1 to 18 {
+      x[i,j] = float(i * j) * 0.01;
+      y[i,j] = float(i + j) * 0.1;
+    }
+  }
+  relax(18, x, y, rx, ry);
+  var s: float;
+  for i = 2 to 17 {
+    for j = 2 to 17 {
+      s = s + rx[i,j] - ry[i,j];
+    }
+  }
+  emit(s);
+  return s;
+}
+|}
+
+let heat =
+  {|
+// Jacobi iteration for the 2-D heat equation on a small grid.
+fn jacobi(n: int, u: float[14,14], v: float[14,14]) {
+  var i: int;
+  var j: int;
+  for i = 2 to n - 1 {
+    for j = 2 to n - 1 {
+      v[i,j] = 0.25 * (u[i-1,j] + u[i+1,j] + u[i,j-1] + u[i,j+1]);
+    }
+  }
+  for i = 2 to n - 1 {
+    for j = 2 to n - 1 {
+      u[i,j] = v[i,j];
+    }
+  }
+}
+
+fn main(): float {
+  var u: float[14,14];
+  var v: float[14,14];
+  var i: int;
+  var j: int;
+  for i = 1 to 14 {
+    for j = 1 to 14 {
+      if (i == 1) {
+        u[i,j] = 100.0;
+      } else {
+        u[i,j] = 0.0;
+      }
+    }
+  }
+  var t: int;
+  for t = 1 to 10 {
+    jacobi(14, u, v);
+  }
+  var s: float;
+  for i = 1 to 14 {
+    for j = 1 to 14 {
+      s = s + u[i,j];
+    }
+  }
+  emit(s);
+  return s;
+}
+|}
+
+let stencil3 =
+  {|
+// 3-D seven-point stencil: triply-subscripted addressing is where
+// reassociation and distribution have the most invariant structure to
+// expose.
+fn sweep(n: int, u: float[8,8,8], v: float[8,8,8]) {
+  var i: int;
+  var j: int;
+  var k: int;
+  for i = 2 to n - 1 {
+    for j = 2 to n - 1 {
+      for k = 2 to n - 1 {
+        v[i,j,k] = u[i,j,k]
+                 + 0.1 * (u[i-1,j,k] + u[i+1,j,k]
+                        + u[i,j-1,k] + u[i,j+1,k]
+                        + u[i,j,k-1] + u[i,j,k+1] - 6.0 * u[i,j,k]);
+      }
+    }
+  }
+}
+
+fn main(): float {
+  var u: float[8,8,8];
+  var v: float[8,8,8];
+  var i: int;
+  var j: int;
+  var k: int;
+  for i = 1 to 8 {
+    for j = 1 to 8 {
+      for k = 1 to 8 {
+        u[i,j,k] = float(i * 64 + j * 8 + k) * 0.01;
+      }
+    }
+  }
+  var t: int;
+  for t = 1 to 4 {
+    sweep(8, u, v);
+    sweep(8, v, u);
+  }
+  var s: float;
+  for i = 1 to 8 {
+    for j = 1 to 8 {
+      for k = 1 to 8 {
+        s = s + u[i,j,k];
+      }
+    }
+  }
+  emit(s);
+  return s;
+}
+|}
+
+let iniset =
+  {|
+// Array-initialization sweeps (the suite's iniset): constant and
+// index-derived fills over several arrays.
+fn main(): float {
+  var a: float[40,10];
+  var b: float[40,10];
+  var c: int[40];
+  var i: int;
+  var j: int;
+  for i = 1 to 40 {
+    c[i] = i * 3 + 1;
+    for j = 1 to 10 {
+      a[i,j] = 0.0;
+      b[i,j] = float(i * 10 + j);
+    }
+  }
+  var s: float;
+  for i = 1 to 40 {
+    s = s + float(c[i]);
+    for j = 1 to 10 {
+      s = s + b[i,j] - a[i,j];
+    }
+  }
+  emit(s);
+  return s;
+}
+|}
+
+let x21y21 =
+  {|
+// x^21 + y^21 by repeated multiplication (the suite's x21y21).
+fn pow21(x: float): float {
+  var r: float = 1.0;
+  var i: int;
+  for i = 1 to 21 {
+    r = r * x;
+  }
+  return r;
+}
+
+fn main(): float {
+  var s: float;
+  var k: int;
+  for k = 1 to 20 {
+    var x: float = 1.0 + float(k) * 0.01;
+    var y: float = 1.0 - float(k) * 0.01;
+    s = s + pow21(x) + pow21(y);
+  }
+  emit(s);
+  return s;
+}
+|}
+
+let hmoy =
+  {|
+// Means of an array (the suite's hmoy): arithmetic and harmonic.
+fn main(): float {
+  var a: float[120];
+  var i: int;
+  for i = 1 to 120 {
+    a[i] = 1.0 + float(i) * 0.5;
+  }
+  var sum: float;
+  var hsum: float;
+  for i = 1 to 120 {
+    sum = sum + a[i];
+    hsum = hsum + 1.0 / a[i];
+  }
+  var am: float = sum / 120.0;
+  var hm: float = 120.0 / hsum;
+  emit(am);
+  emit(hm);
+  return am + hm;
+}
+|}
+
+let bilin =
+  {|
+// Bilinear interpolation over a coarse grid: repeated mixed-rank address
+// and weight expressions.
+fn bilin(g: float[10,10], x: float, y: float): float {
+  var i: int = int(x);
+  var j: int = int(y);
+  if (i < 1) { i = 1; }
+  if (i > 9) { i = 9; }
+  if (j < 1) { j = 1; }
+  if (j > 9) { j = 9; }
+  var fx: float = x - float(i);
+  var fy: float = y - float(j);
+  return g[i,j] * (1.0 - fx) * (1.0 - fy)
+       + g[i+1,j] * fx * (1.0 - fy)
+       + g[i,j+1] * (1.0 - fx) * fy
+       + g[i+1,j+1] * fx * fy;
+}
+
+fn main(): float {
+  var g: float[10,10];
+  var i: int;
+  var j: int;
+  for i = 1 to 10 {
+    for j = 1 to 10 {
+      g[i,j] = float(i * i + j);
+    }
+  }
+  var s: float;
+  var k: int;
+  for k = 0 to 50 {
+    s = s + bilin(g, 1.0 + float(k) * 0.15, 9.0 - float(k) * 0.12);
+  }
+  emit(s);
+  return s;
+}
+|}
+
+let series =
+  {|
+// Recurrence/series generation in the style of gamgen: each term built
+// from the previous with loop-invariant scale factors.
+fn main(): float {
+  var n: int = 60;
+  var x: float = 0.37;
+  var scale: float = 2.5;
+  var shift: float = 0.125;
+  var term: float = 1.0;
+  var s: float;
+  var i: int;
+  var j: int;
+  for i = 1 to n {
+    term = term * x / float(i);
+    var inner: float;
+    for j = 1 to 8 {
+      inner = inner + (scale * x + shift) * term * float(j);
+    }
+    s = s + inner;
+  }
+  emit(s);
+  return s;
+}
+|}
+
+let addr_chain =
+  {|
+// Deeply nested loops over a 3-D array with subscripts built from all
+// three induction variables: the multi-level loop-invariant address parts
+// are exactly what ranks separate (Section 3.1).
+fn main(): float {
+  var a: float[6,6,6];
+  var i: int;
+  var j: int;
+  var k: int;
+  var base: int = 2;
+  for i = 1 to 6 {
+    for j = 1 to 6 {
+      for k = 1 to 6 {
+        a[i,j,k] = float((i - 1) * 36 + (j - 1) * 6 + k + base);
+      }
+    }
+  }
+  var s: float;
+  for k = 1 to 6 {
+    for j = 1 to 6 {
+      for i = 1 to 6 {
+        s = s + a[i,j,k] * a[i,j,k] + a[i,j,k];
+      }
+    }
+  }
+  emit(s);
+  return s;
+}
+|}
+
+let pdead =
+  {|
+// Partially-dead expressions: computed on both branch paths but used on
+// only one. Forward propagation eliminates them as a side effect
+// (Section 3.1, "Forward Propagation").
+fn choose(p: int, x: int, y: int): int {
+  var t: int = x * y + x - y;   // dead when p is even
+  var r: int;
+  if (mod(p, 2) == 0) {
+    r = x + y;
+  } else {
+    r = t * 2;
+  }
+  return r;
+}
+
+fn main(): float {
+  var s: int;
+  var i: int;
+  for i = 1 to 100 {
+    s = s + choose(i, i + 3, i - 1);
+  }
+  var f: float = float(s);
+  emit(f);
+  return f;
+}
+|}

@@ -1,0 +1,16 @@
+(** Loop-nest and stencil workloads echoing the rest of the paper's suite:
+    a tomcatv-like mesh kernel, stencils, initialization sweeps ([iniset]),
+    simple reductions ([hmoy], [x21y21]) and synthetic kernels that stress
+    the specific phenomena the paper studies (deep loop-invariant address
+    chains, partially-dead expressions). *)
+
+val tomcatv : string
+val heat : string
+val stencil3 : string
+val iniset : string
+val x21y21 : string
+val hmoy : string
+val bilin : string
+val series : string
+val addr_chain : string
+val pdead : string

@@ -1,0 +1,277 @@
+(** Additional numerical workloads, filling out the suite toward the
+    breadth of the paper's 50 routines: quadrature, Newton iteration,
+    tridiagonal and Cholesky solvers, relaxation, convolution and
+    integer-histogram kernels. *)
+
+let integr =
+  {|
+// Composite Simpson quadrature of f(x) = 1 / (1 + x*x) over [0, 1].
+fn f(x: float): float {
+  return 1.0 / (1.0 + x * x);
+}
+
+fn integr(n: int, a: float, b: float): float {
+  var h: float = (b - a) / float(2 * n);
+  var s: float = f(a) + f(b);
+  var i: int;
+  for i = 1 to 2 * n - 1 {
+    var x: float = a + float(i) * h;
+    if (mod(i, 2) == 1) {
+      s = s + 4.0 * f(x);
+    } else {
+      s = s + 2.0 * f(x);
+    }
+  }
+  return s * h / 3.0;
+}
+
+fn main(): float {
+  var v: float = integr(64, 0.0, 1.0);
+  emit(v);
+  return v;
+}
+|}
+
+let newton =
+  {|
+// Newton's method for cube roots, batched over an array.
+fn cbrt(a: float, steps: int): float {
+  var x: float = a;
+  if (x < 1.0) {
+    x = 1.0;
+  }
+  var k: int;
+  for k = 1 to steps {
+    x = (2.0 * x + a / (x * x)) / 3.0;
+  }
+  return x;
+}
+
+fn main(): float {
+  var s: float;
+  var i: int;
+  for i = 1 to 40 {
+    s = s + cbrt(float(i) * 3.7, 12);
+  }
+  emit(s);
+  return s;
+}
+|}
+
+let tridiag =
+  {|
+// Thomas algorithm for a diagonally dominant tridiagonal system.
+fn thomas(n: int, a: float[48], b: float[48], c: float[48], d: float[48], x: float[48]) {
+  var i: int;
+  // forward sweep
+  c[1] = c[1] / b[1];
+  d[1] = d[1] / b[1];
+  for i = 2 to n {
+    var m: float = b[i] - a[i] * c[i-1];
+    c[i] = c[i] / m;
+    d[i] = (d[i] - a[i] * d[i-1]) / m;
+  }
+  // back substitution
+  x[n] = d[n];
+  for i = n - 1 downto 1 {
+    x[i] = d[i] - c[i] * x[i+1];
+  }
+}
+
+fn main(): float {
+  var a: float[48];
+  var b: float[48];
+  var c: float[48];
+  var d: float[48];
+  var x: float[48];
+  var i: int;
+  for i = 1 to 48 {
+    a[i] = 0.0 - 1.0;
+    b[i] = 4.0;
+    c[i] = 0.0 - 1.0;
+    d[i] = float(i);
+  }
+  thomas(48, a, b, c, d, x);
+  var s: float;
+  for i = 1 to 48 {
+    s = s + x[i];
+  }
+  emit(s);
+  return s;
+}
+|}
+
+let cholesky =
+  {|
+// Cholesky factorization of a symmetric positive-definite matrix.
+fn chol(n: int, a: float[10,10], l: float[10,10]) {
+  var i: int;
+  var j: int;
+  var k: int;
+  for i = 1 to n {
+    for j = 1 to i {
+      var s: float;
+      s = 0.0;
+      for k = 1 to j - 1 {
+        s = s + l[i,k] * l[j,k];
+      }
+      if (i == j) {
+        l[i,j] = sqrt(a[i,i] - s);
+      } else {
+        l[i,j] = (a[i,j] - s) / l[j,j];
+      }
+    }
+  }
+}
+
+fn main(): float {
+  var a: float[10,10];
+  var l: float[10,10];
+  var i: int;
+  var j: int;
+  for i = 1 to 10 {
+    for j = 1 to 10 {
+      if (i == j) {
+        a[i,j] = 12.0 + float(i);
+      } else {
+        a[i,j] = 1.0 / float(i + j);
+      }
+    }
+  }
+  chol(10, a, l);
+  var s: float;
+  for i = 1 to 10 {
+    for j = 1 to i {
+      s = s + l[i,j];
+    }
+  }
+  emit(s);
+  return s;
+}
+|}
+
+let sor =
+  {|
+// Successive over-relaxation on a 1-D Poisson-style system.
+fn sor_sweep(n: int, u: float[40], f: float[40], omega: float) {
+  var i: int;
+  for i = 2 to n - 1 {
+    var gs: float = 0.5 * (u[i-1] + u[i+1] - f[i]);
+    u[i] = u[i] + omega * (gs - u[i]);
+  }
+}
+
+fn main(): float {
+  var u: float[40];
+  var f: float[40];
+  var i: int;
+  for i = 1 to 40 {
+    f[i] = 0.01 * float(i - 20);
+    u[i] = 0.0;
+  }
+  u[1] = 1.0;
+  u[40] = 0.0 - 1.0;
+  var t: int;
+  for t = 1 to 25 {
+    sor_sweep(40, u, f, 1.25);
+  }
+  var s: float;
+  for i = 1 to 40 {
+    s = s + u[i];
+  }
+  emit(s);
+  return s;
+}
+|}
+
+let conv =
+  {|
+// FIR convolution: out[i] = sum_k h[k] * x[i + k - 1].
+fn fir(n: int, m: int, x: float[80], h: float[8], out: float[80]) {
+  var i: int;
+  var k: int;
+  for i = 1 to n - m + 1 {
+    var acc: float;
+    acc = 0.0;
+    for k = 1 to m {
+      acc = acc + h[k] * x[i + k - 1];
+    }
+    out[i] = acc;
+  }
+}
+
+fn main(): float {
+  var x: float[80];
+  var h: float[8];
+  var out: float[80];
+  var i: int;
+  for i = 1 to 80 {
+    x[i] = float(mod(i * 7, 13)) * 0.5;
+  }
+  for i = 1 to 8 {
+    h[i] = 1.0 / float(i + 1);
+  }
+  fir(80, 8, x, h, out);
+  var s: float;
+  for i = 1 to 73 {
+    s = s + out[i];
+  }
+  emit(s);
+  return s;
+}
+|}
+
+let histogram =
+  {|
+// Integer histogram with prefix sums (a counting-sort front half).
+fn main(): int {
+  var data: int[200];
+  var hist: int[16];
+  var i: int;
+  var seed: int = 7;
+  for i = 1 to 200 {
+    seed = mod(seed * 31 + 17, 4096);
+    data[i] = mod(seed, 16) + 1;
+  }
+  for i = 1 to 200 {
+    hist[data[i]] = hist[data[i]] + 1;
+  }
+  // prefix sums
+  for i = 2 to 16 {
+    hist[i] = hist[i] + hist[i-1];
+  }
+  var s: int;
+  for i = 1 to 16 {
+    s = s + hist[i] * i;
+  }
+  emit(s);
+  return s;
+}
+|}
+
+let horner =
+  {|
+// Horner evaluation of a fixed polynomial over a sweep of points.
+fn poly(c: float[6], x: float): float {
+  var acc: float = c[6];
+  var k: int;
+  for k = 5 downto 1 {
+    acc = acc * x + c[k];
+  }
+  return acc;
+}
+
+fn main(): float {
+  var c: float[6];
+  var i: int;
+  for i = 1 to 6 {
+    c[i] = float(7 - i) * 0.25;
+  }
+  var s: float;
+  for i = 0 to 60 {
+    s = s + poly(c, float(i) * 0.05 - 1.5);
+  }
+  emit(s);
+  return s;
+}
+|}

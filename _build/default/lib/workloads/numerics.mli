@@ -1,0 +1,13 @@
+(** Additional numerical workloads, filling out the suite toward the
+    breadth of the paper's 50 routines: quadrature, Newton iteration,
+    tridiagonal and Cholesky solvers, relaxation, convolution and
+    integer-histogram kernels. *)
+
+val integr : string
+val newton : string
+val tridiag : string
+val cholesky : string
+val sor : string
+val conv : string
+val histogram : string
+val horner : string

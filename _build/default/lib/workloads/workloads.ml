@@ -1,0 +1,83 @@
+(** The workload suite.
+
+    Stands in for the paper's 50 routines drawn from SPEC and from
+    Forsythe, Malcolm & Moler (Section 4.1, footnote on reduced test-case
+    sizes applies here too: inputs are sized for fast deterministic runs).
+    Every workload is a complete program whose [main] fills its inputs
+    deterministically, runs the kernel, and both [emit]s and returns a
+    checksum — the observable behaviour the differential tests compare
+    across optimization levels. *)
+
+open Epre_ir
+
+type t = {
+  name : string;
+  description : string;
+  source : string;
+}
+
+let all =
+  [
+    { name = "saxpy"; description = "BLAS-1 a*x + y update"; source = Blas.saxpy };
+    { name = "dot"; description = "BLAS-1 dot product"; source = Blas.dot };
+    { name = "sgemv"; description = "BLAS-2 matrix-vector product"; source = Blas.sgemv };
+    { name = "sgemm"; description = "BLAS-3 matrix-matrix product"; source = Blas.sgemm };
+    { name = "fmin"; description = "golden-section minimization (FMM)"; source = Fmm.fmin };
+    { name = "zeroin"; description = "root finding by bisection (FMM)"; source = Fmm.zeroin };
+    { name = "spline"; description = "cubic spline coefficients (FMM)"; source = Fmm.spline };
+    { name = "seval"; description = "piecewise cubic evaluation (FMM)"; source = Fmm.seval };
+    { name = "decomp"; description = "LU decomposition with pivoting (FMM)"; source = Fmm.decomp };
+    { name = "solve"; description = "triangular solve (FMM)"; source = Fmm.solve };
+    { name = "urand"; description = "linear congruential generator (FMM)"; source = Fmm.urand };
+    { name = "fehl"; description = "Runge-Kutta-Fehlberg 4(5) steps (FMM)"; source = Fmm.fehl };
+    { name = "tomcatv"; description = "mesh-relaxation residual kernel"; source = Kernels.tomcatv };
+    { name = "heat"; description = "2-D Jacobi heat iteration"; source = Kernels.heat };
+    { name = "stencil3"; description = "3-D seven-point stencil"; source = Kernels.stencil3 };
+    { name = "iniset"; description = "array initialization sweeps"; source = Kernels.iniset };
+    { name = "x21y21"; description = "x^21 + y^21 by repeated multiply"; source = Kernels.x21y21 };
+    { name = "hmoy"; description = "arithmetic and harmonic means"; source = Kernels.hmoy };
+    { name = "bilin"; description = "bilinear grid interpolation"; source = Kernels.bilin };
+    { name = "series"; description = "scaled series recurrence (gamgen-like)"; source = Kernels.series };
+    { name = "addr_chain"; description = "3-D addressing with invariant parts"; source = Kernels.addr_chain };
+    { name = "pdead"; description = "partially-dead expressions"; source = Kernels.pdead };
+    { name = "integr"; description = "composite Simpson quadrature"; source = Numerics.integr };
+    { name = "newton"; description = "Newton cube roots"; source = Numerics.newton };
+    { name = "tridiag"; description = "Thomas tridiagonal solver"; source = Numerics.tridiag };
+    { name = "cholesky"; description = "Cholesky factorization"; source = Numerics.cholesky };
+    { name = "sor"; description = "successive over-relaxation sweeps"; source = Numerics.sor };
+    { name = "conv"; description = "FIR convolution"; source = Numerics.conv };
+    { name = "histogram"; description = "integer histogram + prefix sums"; source = Numerics.histogram };
+    { name = "horner"; description = "Horner polynomial sweep"; source = Numerics.horner };
+    { name = "power"; description = "power-method eigenvalue iteration"; source = Iterative.power };
+    { name = "romberg"; description = "Romberg integration table"; source = Iterative.romberg };
+    { name = "mandel"; description = "escape-time iteration grid"; source = Iterative.mandel };
+    { name = "gaussj"; description = "Gauss-Jordan elimination"; source = Iterative.gaussj };
+    { name = "blocked"; description = "cache-blocked matrix multiply"; source = Iterative.blocked };
+    { name = "givens"; description = "Givens rotation sweep"; source = Iterative.givens };
+    { name = "blas1"; description = "asum/amax/nrm2 reductions"; source = Iterative.blas1 };
+    { name = "wave"; description = "1-D leapfrog wave equation"; source = Iterative.wave };
+    { name = "crout"; description = "Crout LU factorization"; source = Classic.crout };
+    { name = "rk4"; description = "classic Runge-Kutta 4"; source = Classic.rk4 };
+    { name = "secant"; description = "secant root finding"; source = Classic.secant };
+    { name = "lagrange"; description = "Lagrange interpolation sweep"; source = Classic.lagrange };
+    { name = "redblack"; description = "red-black Gauss-Seidel"; source = Classic.redblack };
+    { name = "cumsum"; description = "prefix/suffix sums + window"; source = Classic.cumsum };
+    { name = "transpose"; description = "transpose + multiply"; source = Classic.transpose };
+    { name = "stats"; description = "single-pass mean/variance"; source = Classic.stats };
+    { name = "sieve"; description = "sieve of Eratosthenes"; source = Classic.sieve };
+    { name = "euclid"; description = "batched gcd"; source = Classic.euclid };
+    { name = "collatz"; description = "Collatz trajectory lengths"; source = Classic.collatz };
+    { name = "smooth3"; description = "iterated 3-point smoothing"; source = Classic.smooth3 };
+  ]
+
+let find name = List.find_opt (fun w -> w.name = name) all
+
+let compile w = Epre_frontend.Frontend.compile_string w.source
+
+(** Run a compiled workload; returns (return value, emit trace, dynamic
+    operation count). *)
+let execute (p : Program.t) =
+  let r = Epre_interp.Interp.run p ~entry:"main" ~args:[] in
+  ( r.Epre_interp.Interp.return_value,
+    r.Epre_interp.Interp.trace,
+    Epre_interp.Counts.total r.Epre_interp.Interp.counts )

@@ -1,0 +1,25 @@
+(** The workload suite — stands in for the paper's 50 routines drawn from
+    SPEC and Forsythe/Malcolm/Moler (see DESIGN.md, "Substitutions").
+
+    Every workload is a complete program whose [main] fills its inputs
+    deterministically, runs the kernel, and both [emit]s and returns a
+    checksum — the observable behaviour differential tests compare across
+    optimization levels. *)
+
+open Epre_ir
+
+type t = {
+  name : string;
+  description : string;
+  source : string;  (** mini-language source text *)
+}
+
+val all : t list
+
+val find : string -> t option
+
+val compile : t -> Program.t
+
+(** Run a compiled workload's [main]: (return value, emit trace, dynamic
+    operation count). *)
+val execute : Program.t -> Value.t option * Value.t list * int

@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Epre Epre_frontend Epre_interp Epre_ir Float List Program QCheck2 QCheck_alcotest String Value

@@ -1,0 +1,1 @@
+test/test_adce.ml: Alcotest Array Block Cfg Epre_analysis Epre_ir Epre_opt Epre_workloads Helpers Instr List Postdom Printf Program Routine Value

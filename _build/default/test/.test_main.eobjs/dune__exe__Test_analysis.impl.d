@@ -1,0 +1,1 @@
+test/test_analysis.ml: Alcotest Array Bitset Block Builder Cfg Dataflow Dom Epre_analysis Epre_ir Epre_util Hashtbl Helpers Instr List Liveness Loops Op Option Order Printf QCheck2

@@ -1,0 +1,1 @@
+test/test_cfg_dot.ml: Alcotest Epre_ir Helpers List String

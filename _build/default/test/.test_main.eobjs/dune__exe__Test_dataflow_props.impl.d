@@ -1,0 +1,1 @@
+test/test_dataflow_props.ml: Array Bitset Block Cfg Dataflow Epre_analysis Epre_ir Epre_util Gen Helpers Instr List Order QCheck2

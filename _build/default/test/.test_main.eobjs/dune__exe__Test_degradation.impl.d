@@ -1,0 +1,1 @@
+test/test_degradation.ml: Alcotest Block Cfg Epre Epre_gvn Epre_ir Epre_opt Epre_pre Epre_reassoc Epre_workloads Helpers Instr List Op Program Routine Value

@@ -1,0 +1,1 @@
+test/test_dvnt.ml: Alcotest Block Cfg Epre_interp Epre_ir Epre_opt Epre_workloads Helpers Instr List Program Routine Value

@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Epre Epre_interp Epre_workloads Helpers List Option

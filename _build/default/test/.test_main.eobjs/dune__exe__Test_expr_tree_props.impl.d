@@ -1,0 +1,1 @@
+test/test_expr_tree_props.ml: Array Epre_ir Epre_reassoc Expr_tree Gen Helpers List Op QCheck2 Value

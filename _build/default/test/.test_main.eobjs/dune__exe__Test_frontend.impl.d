@@ -1,0 +1,1 @@
+test/test_frontend.ml: Alcotest Block Cfg Epre_frontend Epre_ir Epre_opt Hashtbl Helpers Instr List Op Program Routine Value

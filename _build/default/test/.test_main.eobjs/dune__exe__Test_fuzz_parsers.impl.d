@@ -1,0 +1,1 @@
+test/test_fuzz_parsers.ml: Bytes Epre_frontend Epre_interp Epre_ir Gen Helpers QCheck2 String

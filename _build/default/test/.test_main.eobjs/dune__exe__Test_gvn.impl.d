@@ -1,0 +1,1 @@
+test/test_gvn.ml: Alcotest Block Builder Cfg Epre_gvn Epre_ir Epre_opt Epre_reassoc Epre_ssa Epre_workloads Gvn Hashtbl Helpers Instr List Op Partition Program Routine Value

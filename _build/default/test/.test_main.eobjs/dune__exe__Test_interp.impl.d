@@ -1,0 +1,1 @@
+test/test_interp.ml: Alcotest Builder Epre_interp Epre_ir Helpers Instr List Op Program Routine Value

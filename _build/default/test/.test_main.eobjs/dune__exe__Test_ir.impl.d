@@ -1,0 +1,1 @@
+test/test_ir.ml: Alcotest Array Block Builder Cfg Epre_ir Epre_util Helpers Instr List Op QCheck2 Routine Ty Value

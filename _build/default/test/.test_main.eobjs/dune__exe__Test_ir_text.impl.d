@@ -1,0 +1,1 @@
+test/test_ir_text.ml: Alcotest Builder Epre Epre_frontend Epre_ir Epre_ssa Epre_workloads Float Helpers Ir_text Option Program Test_random_programs Value

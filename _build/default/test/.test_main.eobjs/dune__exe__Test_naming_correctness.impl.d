@@ -1,0 +1,1 @@
+test/test_naming_correctness.ml: Alcotest Block Builder Cfg Epre_gvn Epre_ir Epre_opt Epre_pre Epre_workloads Hashtbl Helpers Instr List Op Program Routine Value

@@ -1,0 +1,1 @@
+test/test_opt.ml: Alcotest Block Builder Cfg Epre_ir Epre_opt Helpers Instr List Op Program Routine Value

@@ -1,0 +1,1 @@
+test/test_paper_example.ml: Alcotest Block Cfg Epre Epre_analysis Epre_gvn Epre_ir Epre_opt Epre_pre Epre_reassoc Epre_ssa Hashtbl Helpers Instr List Op Option Printf Program Routine Value

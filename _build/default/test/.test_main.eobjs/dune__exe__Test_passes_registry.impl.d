@@ -1,0 +1,1 @@
+test/test_passes_registry.ml: Alcotest Epre Epre_ir Epre_opt Epre_workloads Helpers List Program Routine

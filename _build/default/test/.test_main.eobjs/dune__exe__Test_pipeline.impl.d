@@ -1,0 +1,1 @@
+test/test_pipeline.ml: Alcotest Epre Epre_workloads Helpers List Option Printf

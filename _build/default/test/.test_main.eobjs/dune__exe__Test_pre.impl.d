@@ -1,0 +1,1 @@
+test/test_pre.ml: Alcotest Block Builder Cfg Epre_interp Epre_ir Epre_opt Epre_pre Epre_workloads Helpers Instr List Option Printf Program Routine Value

@@ -1,0 +1,1 @@
+test/test_pre_classic.ml: Alcotest Epre_ir Epre_opt Epre_pre Epre_workloads Helpers List Printf Program Routine Value

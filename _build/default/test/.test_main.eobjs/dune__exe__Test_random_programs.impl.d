@@ -1,0 +1,1 @@
+test/test_random_programs.ml: Epre Epre_frontend Epre_gvn Epre_interp Epre_ir Epre_opt Epre_pre Epre_reassoc Epre_ssa Gen Helpers List QCheck2

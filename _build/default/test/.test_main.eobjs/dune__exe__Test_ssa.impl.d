@@ -1,0 +1,1 @@
+test/test_ssa.ml: Alcotest Array Block Builder Cfg Critical_edges Epre_ir Epre_ssa Fun Helpers Instr List Op Parallel_copy Program QCheck2 Routine Ssa Ssa_check Value

@@ -1,0 +1,1 @@
+test/test_strength.ml: Alcotest Epre Epre_interp Epre_ir Epre_opt Epre_workloads Float Helpers List Option Printf Program Routine Value

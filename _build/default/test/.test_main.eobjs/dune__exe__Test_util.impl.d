@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Bitset Epre_util Helpers Int List QCheck2 Set Union_find Vec

@@ -1,0 +1,1 @@
+test/test_workload_checksums.ml: Alcotest Epre_ir Epre_workloads List Value

@@ -1,0 +1,200 @@
+(** Tests for [Epre_analysis.Postdom] and [Epre_opt.Adce]. *)
+
+open Epre_ir
+open Epre_analysis
+
+(* graph helper shared shape with test_analysis *)
+let make_cfg nblocks edges =
+  let cfg = Cfg.create () in
+  for _ = 0 to nblocks - 1 do
+    ignore (Cfg.add_block ~term:(Instr.Ret None) cfg)
+  done;
+  let succs = Array.make nblocks [] in
+  List.iter (fun (a, b) -> succs.(a) <- succs.(a) @ [ b ]) edges;
+  Array.iteri
+    (fun i -> function
+      | [] -> ()
+      | [ s ] -> (Cfg.block cfg i).Block.term <- Instr.Jump s
+      | [ s1; s2 ] ->
+        (Cfg.block cfg i).Block.term <- Instr.Cbr { cond = 0; ifso = s1; ifnot = s2 }
+      | _ -> invalid_arg "make_cfg")
+    succs;
+  Cfg.set_entry cfg 0;
+  cfg
+
+(* ------------------------------------------------------------------ *)
+(* Postdominators *)
+
+let test_postdom_diamond () =
+  (* 0 -> 1,2 ; 1 -> 3 ; 2 -> 3 ; 3 ret *)
+  let cfg = make_cfg 4 [ (0, 1); (0, 2); (1, 3); (2, 3) ] in
+  let pd = Postdom.compute cfg in
+  Alcotest.(check int) "join postdominates entry" 3 (Postdom.ipostdom pd 0);
+  Alcotest.(check int) "arm 1" 3 (Postdom.ipostdom pd 1);
+  Alcotest.(check int) "arm 2" 3 (Postdom.ipostdom pd 2);
+  Alcotest.(check bool) "3 pdom 0" true (Postdom.postdominates pd 3 0);
+  Alcotest.(check bool) "1 does not pdom 0" false (Postdom.postdominates pd 1 0)
+
+let test_control_dependence_diamond () =
+  let cfg = make_cfg 4 [ (0, 1); (0, 2); (1, 3); (2, 3) ] in
+  let pd = Postdom.compute cfg in
+  Alcotest.(check (list int)) "arm 1 depends on the branch" [ 0 ] (Postdom.control_deps pd 1);
+  Alcotest.(check (list int)) "arm 2 depends on the branch" [ 0 ] (Postdom.control_deps pd 2);
+  Alcotest.(check (list int)) "join depends on nothing" [] (Postdom.control_deps pd 3)
+
+let test_control_dependence_loop () =
+  (* 0 -> 1; 1 -> 2,3; 2 -> 1 (loop body); 3 ret: body and header both
+     depend on the loop test *)
+  let cfg = make_cfg 4 [ (0, 1); (1, 2); (1, 3); (2, 1) ] in
+  let pd = Postdom.compute cfg in
+  Alcotest.(check (list int)) "body depends on the test" [ 1 ] (Postdom.control_deps pd 2);
+  Alcotest.(check bool) "header depends on itself" true
+    (List.mem 1 (Postdom.control_deps pd 1))
+
+let test_postdom_infinite_loop () =
+  (* 0 -> 1,3 ; 1 -> 2 ; 2 -> 1 (never exits) ; 3 ret *)
+  let cfg = make_cfg 4 [ (0, 1); (0, 3); (1, 2); (2, 1) ] in
+  let pd = Postdom.compute cfg in
+  Alcotest.(check int) "loop block has no postdominator" (-1) (Postdom.ipostdom pd 1);
+  Alcotest.(check bool) "entry reaches exit" true (Postdom.ipostdom pd 0 >= 0)
+
+(* ------------------------------------------------------------------ *)
+(* ADCE *)
+
+let test_dead_loop_removed_entirely () =
+  let source =
+    "fn f(n: int): int { var dead: int; var i: int; for i = 1 to n { dead = dead + i * i; } return 42; }"
+  in
+  let prog = Helpers.compile source in
+  let r = Program.find_exn prog "f" in
+  ignore (Epre_opt.Adce.run r);
+  ignore (Epre_opt.Clean.run r);
+  Routine.validate r;
+  Alcotest.(check bool)
+    (Printf.sprintf "loop gone (%d static ops)" (Routine.op_count r))
+    true
+    (Routine.op_count r <= 3);
+  Alcotest.(check int) "value" 42 (Helpers.run_int ~entry:"f" ~args:[ Value.I 10 ] prog)
+
+let test_plain_dce_keeps_what_adce_removes () =
+  let source =
+    "fn f(n: int): int { var dead: int; var i: int; for i = 1 to n { dead = dead + i; } return 7; }"
+  in
+  let plain = Program.find_exn (Helpers.compile source) "f" in
+  let aggressive = Program.find_exn (Helpers.compile source) "f" in
+  ignore (Epre_opt.Dce.run plain);
+  ignore (Epre_opt.Clean.run plain);
+  ignore (Epre_opt.Adce.run aggressive);
+  ignore (Epre_opt.Clean.run aggressive);
+  Alcotest.(check bool) "aggressive is strictly smaller" true
+    (Routine.op_count aggressive < Routine.op_count plain)
+
+let test_live_branch_kept () =
+  let source =
+    {|
+fn f(p: int): int {
+  var x: int;
+  if (p > 0) {
+    x = 10;
+  } else {
+    x = 20;
+  }
+  return x;
+}
+|}
+  in
+  let prog = Helpers.compile source in
+  let r = Program.find_exn prog "f" in
+  ignore (Epre_opt.Adce.run r);
+  ignore (Epre_opt.Clean.run r);
+  Alcotest.(check int) "then" 10 (Helpers.run_int ~entry:"f" ~args:[ Value.I 1 ] prog);
+  Alcotest.(check int) "else" 20 (Helpers.run_int ~entry:"f" ~args:[ Value.I 0 ] prog)
+
+let test_dead_branch_with_live_join () =
+  (* The branch only selects between dead values; code after the join is
+     live. The arm constants (3, 4) are distinct from the join's (99, 1)
+     because registers are value-numbered names: a constant shared between
+     a dead arm and live code keeps the arm's definition alive under the
+     conservative per-register marking. *)
+  let source =
+    {|
+fn f(p: int, a: int[3]): int {
+  var d: int;
+  if (p > 0) {
+    d = 3;
+  } else {
+    d = 4;
+  }
+  a[1] = 99;       // live store after the join
+  return a[1];
+}
+
+fn main(): int {
+  var a: int[3];
+  return f(1, a);
+}
+|}
+  in
+  let prog = Helpers.compile source in
+  let r = Program.find_exn prog "f" in
+  ignore (Epre_opt.Adce.run r);
+  ignore (Epre_opt.Clean.run r);
+  Routine.validate r;
+  (* the diamond is gone: no conditional branch remains *)
+  let has_cbr = ref false in
+  Cfg.iter_blocks
+    (fun b -> match b.Block.term with Instr.Cbr _ -> has_cbr := true | _ -> ())
+    r.Routine.cfg;
+  Alcotest.(check bool) "diamond removed" false !has_cbr;
+  Alcotest.(check int) "semantics" 99 (Helpers.run_int prog)
+
+let test_stores_in_loops_keep_loops () =
+  let source =
+    {|
+fn f(n: int, a: int[50]): int {
+  var i: int;
+  for i = 1 to n {
+    a[i] = i;
+  }
+  return a[n];
+}
+
+fn main(): int {
+  var a: int[50];
+  return f(9, a);
+}
+|}
+  in
+  let prog = Helpers.compile source in
+  let r = Program.find_exn prog "f" in
+  ignore (Epre_opt.Adce.run r);
+  ignore (Epre_opt.Clean.run r);
+  Alcotest.(check int) "loop survives" 9 (Helpers.run_int prog)
+
+let test_all_workloads_preserved () =
+  List.iter
+    (fun w ->
+      let prog = Epre_workloads.Workloads.compile w in
+      let p = Program.copy prog in
+      List.iter
+        (fun r ->
+          ignore (Epre_opt.Adce.run r);
+          ignore (Epre_opt.Clean.run r);
+          Routine.validate r)
+        (Program.routines p);
+      Helpers.check_same_behaviour ~what:(w.Epre_workloads.Workloads.name ^ "+adce") prog p)
+    Epre_workloads.Workloads.all
+
+let suite =
+  [
+    Alcotest.test_case "postdom: diamond" `Quick test_postdom_diamond;
+    Alcotest.test_case "control deps: diamond" `Quick test_control_dependence_diamond;
+    Alcotest.test_case "control deps: loop" `Quick test_control_dependence_loop;
+    Alcotest.test_case "postdom: infinite loop" `Quick test_postdom_infinite_loop;
+    Alcotest.test_case "adce: dead loop vanishes" `Quick test_dead_loop_removed_entirely;
+    Alcotest.test_case "adce: beats plain dce" `Quick test_plain_dce_keeps_what_adce_removes;
+    Alcotest.test_case "adce: live branches kept" `Quick test_live_branch_kept;
+    Alcotest.test_case "adce: dead diamond removed" `Quick test_dead_branch_with_live_join;
+    Alcotest.test_case "adce: store loops kept" `Quick test_stores_in_loops_keep_loops;
+    Alcotest.test_case "adce: all workloads preserved" `Slow test_all_workloads_preserved;
+  ]

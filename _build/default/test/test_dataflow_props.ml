@@ -1,0 +1,128 @@
+(** Property test: the RPO-driven data-flow solver computes exactly the
+    same fixpoint as a naive chaotic iteration, for random graphs and
+    random gen/kill systems, in all four (direction x meet) combinations. *)
+
+open Epre_util
+open Epre_ir
+open Epre_analysis
+open QCheck2
+
+let make_cfg nblocks edges =
+  let cfg = Cfg.create () in
+  for _ = 0 to nblocks - 1 do
+    ignore (Cfg.add_block ~term:(Instr.Ret None) cfg)
+  done;
+  let succs = Array.make nblocks [] in
+  List.iter
+    (fun (a, b) -> if List.length succs.(a) < 2 then succs.(a) <- succs.(a) @ [ b ])
+    edges;
+  Array.iteri
+    (fun i -> function
+      | [] -> ()
+      | [ s ] -> (Cfg.block cfg i).Block.term <- Instr.Jump s
+      | s1 :: s2 :: _ ->
+        (Cfg.block cfg i).Block.term <- Instr.Cbr { cond = 0; ifso = s1; ifnot = s2 })
+    succs;
+  Cfg.set_entry cfg 0;
+  cfg
+
+let gen_instance =
+  Gen.(
+    let* n = int_range 2 7 in
+    let* edges = list_size (int_range 1 12) (pair (int_bound (n - 1)) (int_bound (n - 1))) in
+    let* width = int_range 1 6 in
+    let* gens = list_size (return n) (list_size (int_range 0 3) (int_bound (width - 1))) in
+    let* kills = list_size (return n) (list_size (int_range 0 3) (int_bound (width - 1))) in
+    let* meet = oneofl [ Dataflow.Union; Dataflow.Inter ] in
+    let* forward = bool in
+    return (n, (0, 1 mod n) :: edges, width, gens, kills, meet, forward))
+
+(* naive reference: chaotic iteration directly from the equations *)
+let naive cfg ~width ~gen ~kill ~meet ~forward =
+  let n = Cfg.num_blocks cfg in
+  let order = Order.compute cfg in
+  let reachable id = Order.is_reachable order id in
+  let init () =
+    Array.init n (fun id ->
+        if not (reachable id) then Bitset.create width
+        else match meet with
+          | Dataflow.Union -> Bitset.create width
+          | Dataflow.Inter -> Bitset.full width)
+  in
+  let ins = init () and outs = init () in
+  let preds = Cfg.preds cfg in
+  let boundary = Bitset.create width in
+  let meet_list dst contributions =
+    match contributions with
+    | [] -> Bitset.assign ~dst boundary
+    | first :: rest ->
+      Bitset.assign ~dst first;
+      List.iter
+        (fun c ->
+          match meet with
+          | Dataflow.Union -> Bitset.union_into ~dst c
+          | Dataflow.Inter -> Bitset.inter_into ~dst c)
+        rest
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    (* visit blocks in an order unrelated to RPO: plain id order *)
+    for id = 0 to n - 1 do
+      if reachable id then begin
+        let input, output = if forward then (ins.(id), outs.(id)) else (outs.(id), ins.(id)) in
+        let contributions =
+          if forward then
+            if id = Cfg.entry cfg then []
+            else List.filter_map (fun p -> if reachable p then Some outs.(p) else None) preds.(id)
+          else List.map (fun s -> ins.(s)) (Cfg.succs cfg id)
+        in
+        let tmp = Bitset.create width in
+        meet_list tmp contributions;
+        if not (Bitset.equal tmp input) then begin
+          Bitset.assign ~dst:input tmp;
+          changed := true
+        end;
+        let t2 = Bitset.copy input in
+        Bitset.diff_into ~dst:t2 (kill id);
+        Bitset.union_into ~dst:t2 (gen id);
+        if not (Bitset.equal t2 output) then begin
+          Bitset.assign ~dst:output t2;
+          changed := true
+        end
+      end
+    done
+  done;
+  (ins, outs)
+
+let solver_matches_naive =
+  Helpers.qcheck_case ~count:300 "Dataflow" "solver = chaotic-iteration fixpoint"
+    gen_instance
+    (fun (n, edges, width, gens, kills, meet, forward) ->
+      let cfg = make_cfg n edges in
+      let mk lists =
+        let arr = Array.of_list lists in
+        fun id ->
+          let s = Bitset.create width in
+          List.iter (Bitset.add s) arr.(id);
+          s
+      in
+      let gen = mk gens and kill = mk kills in
+      let sys =
+        { Dataflow.width; gen; kill; boundary = Bitset.create width; meet }
+      in
+      let result =
+        if forward then Dataflow.solve_forward cfg sys else Dataflow.solve_backward cfg sys
+      in
+      let nins, nouts = naive cfg ~width ~gen ~kill ~meet ~forward in
+      let order = Order.compute cfg in
+      let ok = ref true in
+      for id = 0 to n - 1 do
+        if Order.is_reachable order id then begin
+          if not (Bitset.equal result.Dataflow.ins.(id) nins.(id)) then ok := false;
+          if not (Bitset.equal result.Dataflow.outs.(id) nouts.(id)) then ok := false
+        end
+      done;
+      !ok)
+
+let suite = [ solver_matches_naive ]

@@ -1,0 +1,132 @@
+(** Tests for [Epre_opt.Dvnt], the hash-based value-numbering extension. *)
+
+open Epre_ir
+
+let cleanup r =
+  ignore (Epre_opt.Dce.run r);
+  ignore (Epre_opt.Coalesce.run r);
+  ignore (Epre_opt.Clean.run r);
+  Routine.validate r
+
+let optimize prog =
+  List.iter
+    (fun r ->
+      ignore (Epre_opt.Dvnt.run r);
+      cleanup r)
+    (Program.routines prog);
+  prog
+
+let count_binops r =
+  Cfg.fold_blocks
+    (fun acc b ->
+      acc
+      + List.length
+          (List.filter (function Instr.Binop _ -> true | _ -> false) b.Block.instrs))
+    0 r.Routine.cfg
+
+let test_dominated_redundancy_removed () =
+  let source =
+    {|
+fn f(x: int, y: int): int {
+  var a: int = x + y;
+  var b: int = x + y;
+  var c: int = y + x;   // commutative hash
+  return a + b + c;
+}
+|}
+  in
+  let prog = optimize (Helpers.compile source) in
+  let r = Program.find_exn prog "f" in
+  (* one x+y evaluation and the two sums of the return expression remain *)
+  Alcotest.(check bool) "duplicates gone" true (count_binops r <= 3);
+  Alcotest.(check int) "semantics" 21
+    (Helpers.run_int ~entry:"f" ~args:[ Value.I 3; Value.I 4 ] prog)
+
+let test_constant_folding_through_copies () =
+  let source =
+    {|
+fn f(): int {
+  var a: int = 6;
+  var b: int = a * 7;
+  var c: int = b + 0;    // identity
+  var d: int = c * 1;    // identity
+  return d;
+}
+|}
+  in
+  let prog = optimize (Helpers.compile source) in
+  let r = Program.find_exn prog "f" in
+  Alcotest.(check int) "all arithmetic folded" 0 (count_binops r);
+  Alcotest.(check int) "value" 42 (Helpers.run_int ~entry:"f" prog)
+
+let test_across_branches_respects_dominance () =
+  (* x+y in both arms of a diamond is NOT dominated by either: DVNT must
+     keep both (that is Section 5.3's method-1 weakness, which this pass
+     shares by design). *)
+  let source =
+    {|
+fn f(p: int, x: int, y: int): int {
+  var a: int;
+  if (p > 0) {
+    a = (x + y) * 2;
+  } else {
+    a = (x + y) * 3;
+  }
+  return a;
+}
+|}
+  in
+  let prog = Helpers.compile source in
+  let before_then = Helpers.run_int ~entry:"f" ~args:[ Value.I 1; Value.I 2; Value.I 3 ] prog in
+  let prog = optimize prog in
+  Alcotest.(check int) "semantics then" before_then
+    (Helpers.run_int ~entry:"f" ~args:[ Value.I 1; Value.I 2; Value.I 3 ] prog);
+  Alcotest.(check int) "semantics else" 15
+    (Helpers.run_int ~entry:"f" ~args:[ Value.I 0; Value.I 2; Value.I 3 ] prog)
+
+let test_division_by_zero_not_folded () =
+  let source = "fn f(): int { var z: int = 0; return 7 / z; }" in
+  let prog = optimize (Helpers.compile source) in
+  Alcotest.check_raises "runtime error survives"
+    (Epre_interp.Interp.Runtime_error "f: division by zero") (fun () ->
+      ignore (Epre_interp.Interp.run prog ~entry:"f" ~args:[]))
+
+let test_loads_not_numbered () =
+  let source =
+    {|
+fn f(a: int[4]): int {
+  a[1] = 10;
+  var u: int = a[1];
+  a[1] = 20;
+  var v: int = a[1];
+  return u + v;
+}
+
+fn main(): int {
+  var a: int[4];
+  return f(a);
+}
+|}
+  in
+  let prog = optimize (Helpers.compile source) in
+  Alcotest.(check int) "memory respected" 30 (Helpers.run_int prog)
+
+let test_all_workloads_preserved () =
+  List.iter
+    (fun w ->
+      let prog = Epre_workloads.Workloads.compile w in
+      let p = Program.copy prog in
+      ignore (optimize p);
+      Helpers.check_same_behaviour ~what:(w.Epre_workloads.Workloads.name ^ "+dvnt") prog p)
+    Epre_workloads.Workloads.all
+
+let suite =
+  [
+    Alcotest.test_case "dominated redundancies" `Quick test_dominated_redundancy_removed;
+    Alcotest.test_case "constant folding + identities" `Quick
+      test_constant_folding_through_copies;
+    Alcotest.test_case "diamond arms kept" `Quick test_across_branches_respects_dominance;
+    Alcotest.test_case "1/0 preserved" `Quick test_division_by_zero_not_folded;
+    Alcotest.test_case "loads opaque" `Quick test_loads_not_numbered;
+    Alcotest.test_case "all workloads preserved" `Slow test_all_workloads_preserved;
+  ]

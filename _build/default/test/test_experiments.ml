@@ -1,0 +1,86 @@
+(** Tests for [Epre.Experiments] — the harness the tables come from — and
+    the [Counts] arithmetic it relies on. *)
+
+let w name = Option.get (Epre_workloads.Workloads.find name)
+
+let test_improvement_math () =
+  Alcotest.(check (float 1e-9)) "halving is 50%" 50.0
+    (Epre.Experiments.improvement ~prev:200 ~now:100);
+  Alcotest.(check (float 1e-9)) "regression is negative" (-10.0)
+    (Epre.Experiments.improvement ~prev:100 ~now:110);
+  Alcotest.(check (float 1e-9)) "zero baseline guarded" 0.0
+    (Epre.Experiments.improvement ~prev:0 ~now:5)
+
+let test_table1_row_ordering () =
+  let row = Epre.Experiments.table1_row (w "saxpy") in
+  Alcotest.(check bool) "partial <= baseline" true
+    (row.Epre.Experiments.partial <= row.Epre.Experiments.baseline);
+  Alcotest.(check bool) "reassociation <= partial (saxpy is a winner)" true
+    (row.Epre.Experiments.reassociation <= row.Epre.Experiments.partial)
+
+let test_render_table1_contains_percentages () =
+  let rows = Epre.Experiments.table1 ~workloads:[ w "saxpy"; w "dot" ] () in
+  let text = Epre.Experiments.render_table1 rows in
+  Alcotest.(check bool) "has header" true
+    (Helpers.contains_substring ~needle:"baseline" text);
+  Alcotest.(check bool) "has a percent" true (Helpers.contains_substring ~needle:"%" text);
+  Alcotest.(check bool) "both rows present" true
+    (Helpers.contains_substring ~needle:"saxpy" text
+    && Helpers.contains_substring ~needle:"dot" text)
+
+let test_table2_expansion_at_least_one () =
+  let row = Epre.Experiments.table2_row (w "sgemm") in
+  Alcotest.(check bool) "forward propagation only grows" true
+    (Epre.Experiments.expansion_factor row >= 1.0);
+  Alcotest.(check bool) "and not absurdly" true
+    (Epre.Experiments.expansion_factor row < 3.0)
+
+let test_hierarchy_row_monotone () =
+  let row = Epre.Experiments.hierarchy_row (w "spline") in
+  Alcotest.(check bool) "dom >= avail" true
+    (row.Epre.Experiments.dom_cse >= row.Epre.Experiments.avail_cse);
+  Alcotest.(check bool) "avail >= pre" true
+    (row.Epre.Experiments.avail_cse >= row.Epre.Experiments.pre)
+
+let test_counts_add () =
+  let a = Epre_interp.Counts.create () in
+  a.Epre_interp.Counts.arith <- 3;
+  a.Epre_interp.Counts.mults <- 1;
+  a.Epre_interp.Counts.branches <- 2;
+  let b = Epre_interp.Counts.create () in
+  b.Epre_interp.Counts.arith <- 4;
+  b.Epre_interp.Counts.loads <- 5;
+  Epre_interp.Counts.add ~into:a b;
+  Alcotest.(check int) "arith summed" 7 a.Epre_interp.Counts.arith;
+  Alcotest.(check int) "loads summed" 5 a.Epre_interp.Counts.loads;
+  Alcotest.(check int) "total" 14 (Epre_interp.Counts.total a)
+
+let test_level_string_roundtrip () =
+  List.iter
+    (fun l ->
+      match Epre.Pipeline.level_of_string (Epre.Pipeline.level_to_string l) with
+      | Some l' ->
+        Alcotest.(check string) "round trip"
+          (Epre.Pipeline.level_to_string l)
+          (Epre.Pipeline.level_to_string l')
+      | None -> Alcotest.fail "level did not parse back")
+    Epre.Pipeline.all_levels;
+  Alcotest.(check bool) "unknown rejected" true
+    (Epre.Pipeline.level_of_string "O3" = None)
+
+let test_workload_names_unique_and_50 () =
+  let names = List.map (fun w -> w.Epre_workloads.Workloads.name) Epre_workloads.Workloads.all in
+  Alcotest.(check int) "the paper's routine count" 50 (List.length names);
+  Alcotest.(check int) "unique names" 50 (List.length (List.sort_uniq compare names))
+
+let suite =
+  [
+    Alcotest.test_case "improvement math" `Quick test_improvement_math;
+    Alcotest.test_case "table1 row ordering" `Quick test_table1_row_ordering;
+    Alcotest.test_case "table1 rendering" `Quick test_render_table1_contains_percentages;
+    Alcotest.test_case "table2 expansion band" `Quick test_table2_expansion_at_least_one;
+    Alcotest.test_case "hierarchy row monotone" `Quick test_hierarchy_row_monotone;
+    Alcotest.test_case "counts accumulate" `Quick test_counts_add;
+    Alcotest.test_case "level names round trip" `Quick test_level_string_roundtrip;
+    Alcotest.test_case "50 uniquely named workloads" `Quick test_workload_names_unique_and_50;
+  ]

@@ -1,0 +1,113 @@
+(** Property tests for [Epre_reassoc.Expr_tree]: normalization (flattening,
+    rank sorting, Frailey's rewrite, distribution) must preserve the value
+    of integer trees under every environment, and must be idempotent. *)
+
+open Epre_ir
+open Epre_reassoc
+open QCheck2
+
+let cfg_plain = { Expr_tree.reassoc_float = true; distribute = false }
+
+let cfg_dist = { Expr_tree.reassoc_float = true; distribute = true }
+
+(* Random integer expression trees over 6 leaf registers with assorted
+   ranks. Division is excluded (partiality); Sub/Neg, the associative ops
+   and Min/Max are all in. *)
+let gen_tree =
+  let leaf =
+    Gen.oneof
+      [ Gen.map (fun (r, k) -> Expr_tree.Leaf { reg = r; rank = k })
+          Gen.(pair (int_bound 5) (int_bound 3));
+        Gen.map (fun i -> Expr_tree.Cst (Value.I i)) Gen.(int_range (-9) 9) ]
+  in
+  let rec go depth =
+    if depth <= 0 then leaf
+    else
+      Gen.oneof
+        [ leaf;
+          Gen.map
+            (fun (op, a, b) -> Expr_tree.Nary { op; args = [ a; b ] })
+            Gen.(triple (oneofl [ Op.Add; Op.Mul; Op.Min; Op.Max; Op.And; Op.Or; Op.Xor ])
+                   (go (depth - 1)) (go (depth - 1)));
+          Gen.map
+            (fun (a, b) -> Expr_tree.Bin { op = Op.Sub; a; b })
+            Gen.(pair (go (depth - 1)) (go (depth - 1)));
+          Gen.map (fun a -> Expr_tree.Un { op = Op.Neg; arg = a }) (go (depth - 1));
+          Gen.map
+            (fun (op, a, b, c) -> Expr_tree.Nary { op; args = [ a; b; c ] })
+            Gen.(quad (oneofl [ Op.Add; Op.Mul ]) (go (depth - 1)) (go (depth - 1))
+                   (go (depth - 1))) ]
+  in
+  go 3
+
+let gen_env = Gen.array_size (Gen.return 6) Gen.(int_range (-50) 50)
+
+(* Reference evaluation of a tree: n-ary nodes left to right. *)
+let rec eval env (t : Expr_tree.t) =
+  match t with
+  | Expr_tree.Leaf { reg; _ } -> Value.I env.(reg)
+  | Expr_tree.Cst v -> v
+  | Expr_tree.Un { op; arg } -> Op.eval_unop op (eval env arg)
+  | Expr_tree.Bin { op; a; b } -> Op.eval_binop op (eval env a) (eval env b)
+  | Expr_tree.Nary { op; args } -> begin
+    match List.map (eval env) args with
+    | first :: rest -> List.fold_left (Op.eval_binop op) first rest
+    | [] -> invalid_arg "empty n-ary node"
+  end
+
+let normalize_preserves cfg label =
+  Helpers.qcheck_case ~count:500 "Expr_tree" label
+    (Gen.pair gen_tree gen_env)
+    (fun (t, env) ->
+      Value.equal (eval env t) (eval env (Expr_tree.normalize cfg t)))
+
+let normalize_idempotent =
+  Helpers.qcheck_case ~count:300 "Expr_tree" "normalize is idempotent"
+    gen_tree
+    (fun t ->
+      let once = Expr_tree.normalize cfg_dist t in
+      Expr_tree.normalize cfg_dist once = once)
+
+let normalize_sorts =
+  Helpers.qcheck_case ~count:300 "Expr_tree" "n-ary operands sorted by rank"
+    gen_tree
+    (fun t ->
+      let rec sorted (t : Expr_tree.t) =
+        match t with
+        | Expr_tree.Leaf _ | Expr_tree.Cst _ -> true
+        | Expr_tree.Un { arg; _ } -> sorted arg
+        | Expr_tree.Bin { a; b; _ } -> sorted a && sorted b
+        | Expr_tree.Nary { args; _ } ->
+          let ranks = List.map Expr_tree.rank args in
+          List.for_all sorted args
+          && List.sort compare ranks = ranks
+      in
+      sorted (Expr_tree.normalize cfg_plain t))
+
+let normalize_flattens =
+  Helpers.qcheck_case ~count:300 "Expr_tree" "no nested same-operator n-ary nodes"
+    gen_tree
+    (fun t ->
+      let rec flat (t : Expr_tree.t) =
+        match t with
+        | Expr_tree.Leaf _ | Expr_tree.Cst _ -> true
+        | Expr_tree.Un { arg; _ } -> flat arg
+        | Expr_tree.Bin { a; b; _ } -> flat a && flat b
+        | Expr_tree.Nary { op; args } ->
+          List.for_all flat args
+          && List.for_all
+               (function
+                 | Expr_tree.Nary { op = op'; _ } -> op' <> op
+                 | _ -> true)
+               args
+      in
+      flat (Expr_tree.normalize cfg_plain t))
+
+let suite =
+  [
+    normalize_preserves cfg_plain "normalize preserves int semantics";
+    normalize_preserves cfg_dist "distribution preserves int semantics";
+    normalize_idempotent;
+    normalize_sorts;
+    normalize_flattens;
+  ]

@@ -1,0 +1,345 @@
+(** Tests for [Epre_frontend]: lexing, parsing, semantic analysis, and the
+    lowering invariants the optimizer relies on. *)
+
+open Epre_ir
+
+(* ------------------------------------------------------------------ *)
+(* Lexer *)
+
+let test_lexer_tokens () =
+  let toks = List.map fst (Epre_frontend.Lexer.tokenize "fn f(x: int) { x = x + 1; }") in
+  Alcotest.(check int) "token count" 16 (List.length toks);
+  Alcotest.(check bool) "starts with fn" true (List.hd toks = Epre_frontend.Token.FN)
+
+let test_lexer_comments_and_floats () =
+  let toks =
+    List.map fst
+      (Epre_frontend.Lexer.tokenize
+         "// line comment\n1.5 /* block \n comment */ 2e3 7")
+  in
+  Alcotest.(check bool) "floats and ints" true
+    (toks
+    = [ Epre_frontend.Token.FLOAT 1.5; Epre_frontend.Token.FLOAT 2000.0;
+        Epre_frontend.Token.INT 7; Epre_frontend.Token.EOF ])
+
+let test_lexer_line_numbers () =
+  let toks = Epre_frontend.Lexer.tokenize "fn\n\nreturn" in
+  (match toks with
+  | [ (Epre_frontend.Token.FN, l1); (Epre_frontend.Token.RETURN, l3); _ ] ->
+    Alcotest.(check int) "fn at line 1" 1 l1;
+    Alcotest.(check int) "return at line 3" 3 l3
+  | _ -> Alcotest.fail "unexpected tokens")
+
+let test_lexer_bad_char () =
+  try
+    ignore (Epre_frontend.Lexer.tokenize "fn f() { @ }");
+    Alcotest.fail "expected lexer error"
+  with Epre_frontend.Lexer.Error { message; _ } ->
+    Alcotest.(check string) "message" "unexpected character '@'" message
+
+(* ------------------------------------------------------------------ *)
+(* Parser *)
+
+let parse s = Epre_frontend.Parser.parse_string s
+
+let test_parser_precedence () =
+  (* 1 + 2 * 3 parses as 1 + (2 * 3) *)
+  match parse "fn f(): int { return 1 + 2 * 3; }" with
+  | [ { Epre_frontend.Ast.body = [ { desc = Return (Some e); _ } ]; _ } ] -> begin
+    match e with
+    | Epre_frontend.Ast.Binary (BAdd, Int_lit 1, Binary (BMul, Int_lit 2, Int_lit 3)) -> ()
+    | _ -> Alcotest.fail "wrong associativity"
+  end
+  | _ -> Alcotest.fail "unexpected parse"
+
+let test_parser_left_assoc_sub () =
+  (* 10 - 3 - 2 = (10 - 3) - 2 *)
+  match parse "fn f(): int { return 10 - 3 - 2; }" with
+  | [ { Epre_frontend.Ast.body = [ { desc = Return (Some e); _ } ]; _ } ] -> begin
+    match e with
+    | Epre_frontend.Ast.Binary (BSub, Binary (BSub, Int_lit 10, Int_lit 3), Int_lit 2) -> ()
+    | _ -> Alcotest.fail "wrong associativity"
+  end
+  | _ -> Alcotest.fail "unexpected parse"
+
+let test_parser_else_if () =
+  match parse "fn f(p: int): int { if (p > 1) { return 1; } else if (p > 0) { return 2; } return 3; }" with
+  | [ { Epre_frontend.Ast.body = [ { desc = If (_, _, [ { desc = If _; _ } ]); _ }; _ ]; _ } ]
+    -> ()
+  | _ -> Alcotest.fail "else-if chain not parsed"
+
+let test_parser_error_reports_line () =
+  try
+    ignore (parse "fn f() {\n  var x: int;\n  x = ;\n}");
+    Alcotest.fail "expected parse error"
+  with Epre_frontend.Parser.Error { line; _ } -> Alcotest.(check int) "line" 3 line
+
+let test_parser_array_type () =
+  match parse "fn f(a: float[4,5]) { a[1,2] = 0.0; }" with
+  | [ { Epre_frontend.Ast.params = [ (_, Array { elt = TFlt; dims = [ 4; 5 ] }) ]; _ } ] -> ()
+  | _ -> Alcotest.fail "array type not parsed"
+
+let test_parser_rejects_rank4 () =
+  try
+    ignore (parse "fn f(a: float[1,2,3,4]) { }");
+    Alcotest.fail "expected error"
+  with Epre_frontend.Parser.Error { message; _ } ->
+    Alcotest.(check string) "msg" "arrays of rank > 3 are not supported" message
+
+(* ------------------------------------------------------------------ *)
+(* Sema *)
+
+let check_sema_error source fragment =
+  try
+    ignore (Epre_frontend.Frontend.compile_string source);
+    Alcotest.failf "expected a type error mentioning %S" fragment
+  with Epre_frontend.Frontend.Error { message; _ } ->
+    if not (Helpers.contains_substring ~needle:fragment message) then
+      Alcotest.failf "error %S does not mention %S" message fragment
+
+let test_sema_undefined_variable () =
+  check_sema_error "fn f(): int { return nope; }" "undefined variable"
+
+let test_sema_float_to_int () =
+  check_sema_error "fn f(): int { var x: int = 1.5; return x; }" "cannot assign float"
+
+let test_sema_int_widening_ok () =
+  (* int -> float widening is implicit and must be accepted. *)
+  let prog = Helpers.compile "fn f(): float { var x: float = 3; return x + 1; }" in
+  Alcotest.(check (float 1e-9)) "value" 4.0 (Helpers.run_float ~entry:"f" prog)
+
+let test_sema_duplicate_declaration () =
+  check_sema_error "fn f() { var x: int; var x: int; }" "duplicate declaration"
+
+let test_sema_wrong_arity () =
+  check_sema_error "fn g(x: int): int { return x; } fn f(): int { return g(1, 2); }"
+    "expects 1 argument"
+
+let test_sema_array_rank_mismatch () =
+  check_sema_error "fn f(a: float[3,3]): float { return a[1]; }" "rank 2 but 1 subscripts"
+
+let test_sema_condition_must_be_int () =
+  check_sema_error "fn f(x: float) { if (x) { } }" "condition must be int"
+
+let test_sema_loop_var_must_be_declared () =
+  check_sema_error "fn f() { for i = 1 to 3 { } }" "must be declared"
+
+let test_sema_void_in_expression () =
+  check_sema_error "fn g() { } fn f(): int { return g(); }" "returns no value"
+
+let test_sema_array_shape_mismatch () =
+  check_sema_error
+    "fn g(a: float[4]) { } fn f() { var a: float[5]; g(a); }"
+    "expected float[4]"
+
+let test_sema_intrinsic_shadowing_rejected () =
+  check_sema_error "fn sqrt(x: float): float { return x; }" "reserved intrinsic"
+
+(* ------------------------------------------------------------------ *)
+(* Lowering invariants *)
+
+(* The Section 2.2 naming discipline: every expression key maps to exactly
+   one destination register, and expression-name registers are never
+   targeted by copies. [Naming.run] must therefore be a no-op. *)
+let test_lowering_naming_discipline () =
+  let source =
+    {|
+fn f(x: int, y: int): int {
+  var a: int = x + y;
+  var b: int = x + y;
+  var c: int = y + x;
+  return a + b + c;
+}
+|}
+  in
+  let prog = Helpers.compile source in
+  List.iter
+    (fun r -> Alcotest.(check int) "naming is a no-op" 0 (Epre_opt.Naming.run r))
+    (Program.routines prog)
+
+let test_lowering_commutative_canonicalization () =
+  (* x + y and y + x receive the same expression name. *)
+  let source = "fn f(x: int, y: int): int { var a: int = x + y; var b: int = y + x; return a + b; }" in
+  let r = Program.find_exn (Helpers.compile source) "f" in
+  let dsts = Hashtbl.create 4 in
+  Cfg.iter_blocks
+    (fun b ->
+      List.iter
+        (function
+          | Instr.Binop { op = Op.Add; dst; a; b } when a = 0 || b = 0 ->
+            Hashtbl.replace dsts dst ()
+          | _ -> ())
+        b.Block.instrs)
+    r.Routine.cfg;
+  Alcotest.(check int) "one name for x+y" 1 (Hashtbl.length dsts)
+
+let test_for_loop_semantics () =
+  let source =
+    {|
+fn f(): int {
+  var s: int;
+  var i: int;
+  for i = 1 to 10 step 3 { s = s + i; }   // 1, 4, 7, 10
+  for i = 5 downto 1 step 2 { s = s + 100 * i; }  // 5, 3, 1
+  return s;
+}
+|}
+  in
+  Alcotest.(check int) "loop sum" (22 + 900) (Helpers.run_int ~entry:"f" (Helpers.compile source))
+
+let test_for_loop_zero_trip () =
+  let source = "fn f(): int { var s: int = 7; var i: int; for i = 5 to 1 { s = 0; } return s; }" in
+  Alcotest.(check int) "zero-trip guard" 7 (Helpers.run_int ~entry:"f" (Helpers.compile source))
+
+let test_for_bounds_evaluated_once () =
+  (* FORTRAN DO semantics: mutating the bound variable inside the loop does
+     not change the trip count. *)
+  let source =
+    {|
+fn f(): int {
+  var n: int = 5;
+  var s: int;
+  var i: int;
+  for i = 1 to n {
+    n = 0;
+    s = s + 1;
+  }
+  return s;
+}
+|}
+  in
+  Alcotest.(check int) "five trips" 5 (Helpers.run_int ~entry:"f" (Helpers.compile source))
+
+let test_while_loop () =
+  let source =
+    {|
+fn f(): int {
+  var i: int = 1;
+  var s: int;
+  while (i <= 6) {
+    s = s + i * i;
+    i = i + 1;
+  }
+  return s;
+}
+|}
+  in
+  Alcotest.(check int) "sum of squares" 91 (Helpers.run_int ~entry:"f" (Helpers.compile source))
+
+let test_array_addressing_row_major () =
+  (* a[i,j] and its 3-D sibling address distinct cells; row-major layout. *)
+  let source =
+    {|
+fn f(): int {
+  var a: int[3,4];
+  var b: int[2,3,4];
+  var i: int;
+  var j: int;
+  var k: int;
+  for i = 1 to 3 {
+    for j = 1 to 4 {
+      a[i,j] = i * 100 + j;
+    }
+  }
+  for i = 1 to 2 {
+    for j = 1 to 3 {
+      for k = 1 to 4 {
+        b[i,j,k] = i * 10000 + j * 100 + k;
+      }
+    }
+  }
+  return a[2,3] * 1000000 + b[2,1,4];
+}
+|}
+  in
+  Alcotest.(check int) "cells distinct" (203 * 1000000 + 20104)
+    (Helpers.run_int ~entry:"f" (Helpers.compile source))
+
+let test_logical_ops_eager () =
+  let source =
+    {|
+fn f(): int {
+  var a: int = 3 && 0;
+  var b: int = 3 && 5;
+  var c: int = 0 || 0;
+  var d: int = 0 || 9;
+  var e: int = !7;
+  var g: int = !0;
+  return a * 100000 + b * 10000 + c * 1000 + d * 100 + e * 10 + g;
+}
+|}
+  in
+  Alcotest.(check int) "normalized booleans" 10101
+    (Helpers.run_int ~entry:"f" (Helpers.compile source))
+
+let test_intrinsics () =
+  let source =
+    {|
+fn f(): float {
+  var a: float = sqrt(16.0);           // 4
+  var b: int = abs(0 - 5);             // 5
+  var c: float = abs(0.0 - 2.5);       // 2.5
+  var d: int = min(3, 7);              // 3
+  var e: float = max(1.5, 2.5);        // 2.5
+  var g: int = mod(17, 5);             // 2
+  var h: int = int(3.9);               // 3
+  return a + float(b) + c + float(d) + e + float(g) + float(h);
+}
+|}
+  in
+  Alcotest.(check (float 1e-9)) "intrinsics" 22.0
+    (Helpers.run_float ~entry:"f" (Helpers.compile source))
+
+let test_fallthrough_returns_zero () =
+  let source = "fn f(p: int): int { if (p > 0) { return 1; } }" in
+  let prog = Helpers.compile source in
+  Alcotest.(check int) "taken" 1 (Helpers.run_int ~entry:"f" ~args:[ Value.I 1 ] prog);
+  Alcotest.(check int) "fallthrough" 0 (Helpers.run_int ~entry:"f" ~args:[ Value.I 0 ] prog)
+
+let test_locals_zero_initialized () =
+  let source = "fn f(): float { var x: float; var a: float[3]; return x + a[2]; }" in
+  Alcotest.(check (float 1e-9)) "zeros" 0.0 (Helpers.run_float ~entry:"f" (Helpers.compile source))
+
+let test_recursion () =
+  let source =
+    "fn fact(n: int): int { if (n <= 1) { return 1; } return n * fact(n - 1); }"
+  in
+  Alcotest.(check int) "6!" 720
+    (Helpers.run_int ~entry:"fact" ~args:[ Value.I 6 ] (Helpers.compile source))
+
+let suite =
+  [
+    Alcotest.test_case "lexer: tokens" `Quick test_lexer_tokens;
+    Alcotest.test_case "lexer: comments and floats" `Quick test_lexer_comments_and_floats;
+    Alcotest.test_case "lexer: line numbers" `Quick test_lexer_line_numbers;
+    Alcotest.test_case "lexer: bad character" `Quick test_lexer_bad_char;
+    Alcotest.test_case "parser: precedence" `Quick test_parser_precedence;
+    Alcotest.test_case "parser: left associativity" `Quick test_parser_left_assoc_sub;
+    Alcotest.test_case "parser: else-if" `Quick test_parser_else_if;
+    Alcotest.test_case "parser: error line" `Quick test_parser_error_reports_line;
+    Alcotest.test_case "parser: array types" `Quick test_parser_array_type;
+    Alcotest.test_case "parser: rank limit" `Quick test_parser_rejects_rank4;
+    Alcotest.test_case "sema: undefined variable" `Quick test_sema_undefined_variable;
+    Alcotest.test_case "sema: float->int rejected" `Quick test_sema_float_to_int;
+    Alcotest.test_case "sema: int->float implicit" `Quick test_sema_int_widening_ok;
+    Alcotest.test_case "sema: duplicate declaration" `Quick test_sema_duplicate_declaration;
+    Alcotest.test_case "sema: arity" `Quick test_sema_wrong_arity;
+    Alcotest.test_case "sema: subscript rank" `Quick test_sema_array_rank_mismatch;
+    Alcotest.test_case "sema: condition type" `Quick test_sema_condition_must_be_int;
+    Alcotest.test_case "sema: loop variable" `Quick test_sema_loop_var_must_be_declared;
+    Alcotest.test_case "sema: void call in expression" `Quick test_sema_void_in_expression;
+    Alcotest.test_case "sema: array shape" `Quick test_sema_array_shape_mismatch;
+    Alcotest.test_case "sema: intrinsic names reserved" `Quick test_sema_intrinsic_shadowing_rejected;
+    Alcotest.test_case "lower: naming discipline holds" `Quick test_lowering_naming_discipline;
+    Alcotest.test_case "lower: commutative canonical names" `Quick test_lowering_commutative_canonicalization;
+    Alcotest.test_case "lower: for loop with steps" `Quick test_for_loop_semantics;
+    Alcotest.test_case "lower: zero-trip for loop" `Quick test_for_loop_zero_trip;
+    Alcotest.test_case "lower: DO bounds evaluated once" `Quick test_for_bounds_evaluated_once;
+    Alcotest.test_case "lower: while loop" `Quick test_while_loop;
+    Alcotest.test_case "lower: row-major addressing" `Quick test_array_addressing_row_major;
+    Alcotest.test_case "lower: eager logical operators" `Quick test_logical_ops_eager;
+    Alcotest.test_case "lower: intrinsics" `Quick test_intrinsics;
+    Alcotest.test_case "lower: fall-through return" `Quick test_fallthrough_returns_zero;
+    Alcotest.test_case "lower: zero-initialized locals" `Quick test_locals_zero_initialized;
+    Alcotest.test_case "lower: recursion" `Quick test_recursion;
+  ]

@@ -1,0 +1,84 @@
+(** Robustness fuzzing: the front-end lexer/parser and the [Ir_text] parser
+    must reject arbitrary garbage with their declared exceptions — never a
+    crash, assertion failure, or unexpected exception. *)
+
+open QCheck2
+
+(* Byte soup biased toward the languages' alphabets. *)
+let gen_soup =
+  let token_ish =
+    Gen.oneofl
+      [ "fn"; "var"; "if"; "else"; "while"; "for"; "to"; "downto"; "step";
+        "return"; "int"; "float"; "("; ")"; "{"; "}"; "["; "]"; ","; ";"; ":";
+        "+"; "-"; "*"; "/"; "%"; "&&"; "||"; "!"; "="; "=="; "!="; "<"; "<=";
+        ">"; ">="; "x"; "y"; "arr"; "main"; "1"; "2.5"; "0"; "//c\n"; "/*";
+        "*/"; "\n"; " " ]
+  in
+  Gen.oneof
+    [ Gen.map (String.concat " ") (Gen.list_size (Gen.int_range 0 40) token_ish);
+      Gen.string_size ~gen:Gen.printable (Gen.int_range 0 120);
+      Gen.string_size ~gen:(Gen.char_range '\000' '\255') (Gen.int_range 0 60) ]
+
+let frontend_total =
+  Helpers.qcheck_case ~count:1000 "fuzz" "front end rejects garbage gracefully"
+    gen_soup
+    (fun s ->
+      match Epre_frontend.Frontend.compile_string s with
+      | _ -> true
+      | exception Epre_frontend.Frontend.Error { line; _ } -> line >= 1)
+
+let ir_text_soup =
+  let token_ish =
+    Gen.oneofl
+      [ "routine"; "entry"; "regs"; "{"; "}"; "B0"; "B1"; ":"; "r0"; "r1";
+        "="; "const"; "copy"; "add"; "mul"; "load"; "store"; "alloca"; "call";
+        "phi"; "jump"; "cbr"; "return"; ","; "("; ")"; "3"; "0x1.8p+1"; "\n";
+        "f"; "# c\n" ]
+  in
+  Gen.map (String.concat " ") (Gen.list_size (Gen.int_range 0 50) token_ish)
+
+let ir_text_total =
+  Helpers.qcheck_case ~count:1000 "fuzz" "Ir_text rejects garbage gracefully"
+    ir_text_soup
+    (fun s ->
+      match Epre_ir.Ir_text.parse_program s with
+      | _ -> true
+      | exception Epre_ir.Ir_text.Parse_error { line; _ } -> line >= 1
+      | exception Epre_ir.Routine.Ill_formed _ -> true)
+
+(* Valid programs mutated by one random byte: also no crashes. *)
+let seed_program =
+  {|fn f(n: int): int {
+  var s: int;
+  var i: int;
+  for i = 1 to n {
+    s = s + i * 2;
+  }
+  return s;
+}|}
+
+let gen_mutation =
+  Gen.(
+    let* pos = int_bound (String.length seed_program - 1) in
+    let* c = printable in
+    let b = Bytes.of_string seed_program in
+    Bytes.set b pos c;
+    return (Bytes.to_string b))
+
+let mutation_total =
+  Helpers.qcheck_case ~count:1000 "fuzz" "single-byte mutations handled"
+    gen_mutation
+    (fun s ->
+      match Epre_frontend.Frontend.compile_string s with
+      | prog -> begin
+        (* if it still compiles, it must also still run or fail cleanly *)
+        match Epre_interp.Interp.run ~fuel:200_000 prog ~entry:"f"
+                ~args:[ Epre_ir.Value.I 5 ]
+        with
+        | _ -> true
+        | exception Epre_interp.Interp.Runtime_error _ -> true
+        | exception Epre_interp.Interp.Out_of_fuel -> true
+      end
+      | exception Epre_frontend.Frontend.Error _ -> true)
+
+let suite = [ frontend_total; ir_text_total; mutation_total ]

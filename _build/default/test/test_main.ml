@@ -1,0 +1,31 @@
+let () =
+  Alcotest.run "epre"
+    [
+      ("util", Test_util.suite);
+      ("ir", Test_ir.suite);
+      ("ir-text", Test_ir_text.suite);
+      ("analysis", Test_analysis.suite);
+      ("ssa", Test_ssa.suite);
+      ("frontend", Test_frontend.suite);
+      ("interp", Test_interp.suite);
+      ("opt", Test_opt.suite);
+      ("pre", Test_pre.suite);
+      ("reassoc", Test_reassoc.suite);
+      ("gvn", Test_gvn.suite);
+      ("pipeline", Test_pipeline.suite);
+      ("degradation", Test_degradation.suite);
+      ("naming-5.1", Test_naming_correctness.suite);
+      ("random", Test_random_programs.suite);
+      ("paper-example", Test_paper_example.suite);
+      ("pre-classic", Test_pre_classic.suite);
+      ("strength", Test_strength.suite);
+      ("dvnt", Test_dvnt.suite);
+      ("expr-tree-props", Test_expr_tree_props.suite);
+      ("passes", Test_passes_registry.suite);
+      ("adce", Test_adce.suite);
+      ("fuzz", Test_fuzz_parsers.suite);
+      ("dataflow-props", Test_dataflow_props.suite);
+      ("experiments", Test_experiments.suite);
+      ("checksums", Test_workload_checksums.suite);
+      ("cfg-dot", Test_cfg_dot.suite);
+    ]

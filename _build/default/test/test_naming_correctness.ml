@@ -1,0 +1,116 @@
+(** The Section 5.1 correctness discussion: "an expression defined in one
+    basic block may not be referenced in another basic block" — inputs that
+    violate the expression-name discipline historically broke PRE
+    implementations. Our [Naming] pass re-establishes the discipline, so
+    PRE must be safe on adversarial inputs shaped like the paper's sqrt
+    example. *)
+
+open Epre_ir
+
+(* The paper's figure:
+
+     r10 <- sqrt(r9)         r10's name is live across the block boundary
+     if p branch
+       (then)  r9 <- r1000   an operand of r10's expression changes
+       r20 <- r10            ... and r10 is referenced here
+
+   A naive PRE can hoist/rematerialize sqrt(r9) past the redefinition of
+   r9 and feed r20 the *new* sqrt. With the discipline restored by Naming,
+   the reference is split into a variable name and PRE keeps semantics. *)
+let build_sqrt_example () =
+  let b = Builder.start ~name:"f" ~nparams:2 in
+  (* r0 = p, r1 = input *)
+  let r9 = Builder.copy b 1 in
+  let r10 = Builder.unop b Op.Sqrt r9 in
+  let bthen = Builder.new_block b in
+  let bjoin = Builder.new_block b in
+  Builder.cbr b ~cond:0 ~ifso:bthen ~ifnot:bjoin;
+  Builder.switch b bthen;
+  let thousand = Builder.float b 1000.0 in
+  Builder.copy_to b ~dst:r9 ~src:thousand;
+  (* an unrelated evaluation of sqrt(r9) with a DIFFERENT target name:
+     discipline violation *)
+  let other = Builder.fresh_reg b in
+  Builder.emit b (Instr.Unop { op = Op.Sqrt; dst = other; src = r9 });
+  Builder.jump b bjoin;
+  Builder.switch b bjoin;
+  let r20 = Builder.copy b r10 in
+  let sum = Builder.binop b Op.FAdd r20 r10 in
+  Builder.ret b (Some sum);
+  Builder.finish b
+
+let run_f p prog =
+  Helpers.run_float ~entry:"f" ~args:[ Value.I p; Value.F 16.0 ] prog
+
+let test_naming_restores_discipline_for_pre () =
+  let r = build_sqrt_example () in
+  let prog = Program.create [ r ] in
+  let expected_then = run_f 1 prog in
+  let expected_else = run_f 0 prog in
+  Alcotest.(check (float 1e-9)) "reference: both read the OLD sqrt" 8.0 expected_else;
+  Alcotest.(check (float 1e-9)) "then path too" 8.0 expected_then;
+  ignore (Epre_opt.Naming.run r);
+  ignore (Epre_pre.Pre.run r);
+  Routine.validate r;
+  Alcotest.(check (float 1e-9)) "after PRE, else path" expected_else (run_f 0 prog);
+  Alcotest.(check (float 1e-9)) "after PRE, then path" expected_then (run_f 1 prog)
+
+(* Property: Naming establishes a bijection between expression keys and
+   names — checked structurally after normalizing adversarial code. *)
+let discipline_holds (r : Routine.t) =
+  let name_of_key = Hashtbl.create 16 in
+  let key_of_name = Hashtbl.create 16 in
+  let ok = ref true in
+  Cfg.iter_blocks
+    (fun b ->
+      List.iter
+        (fun i ->
+          match Epre_opt.Expr_universe.key_of i, Instr.def i with
+          | Some key, Some dst -> begin
+            (match Hashtbl.find_opt name_of_key key with
+            | Some d when d <> dst -> ok := false
+            | _ -> Hashtbl.replace name_of_key key dst);
+            match Hashtbl.find_opt key_of_name dst with
+            | Some k when k <> key -> ok := false
+            | _ -> Hashtbl.replace key_of_name dst key
+          end
+          | None, Some dst ->
+            (* non-expression defs must not target an expression name *)
+            if Hashtbl.mem key_of_name dst then
+              (match i with
+              | Instr.Copy _ | Instr.Call _ | Instr.Phi _ -> ok := false
+              | _ -> ())
+          | _ -> ())
+        b.Block.instrs)
+    r.Routine.cfg;
+  !ok
+
+let test_naming_bijection_on_adversarial_input () =
+  let r = build_sqrt_example () in
+  ignore (Epre_opt.Naming.run r);
+  Alcotest.(check bool) "bijection holds" true (discipline_holds r)
+
+let test_naming_bijection_on_gvn_output () =
+  (* GVN renaming claims to construct the name space PRE requires. *)
+  List.iter
+    (fun w ->
+      let prog = Epre_workloads.Workloads.compile w in
+      List.iter
+        (fun r ->
+          ignore (Epre_gvn.Gvn.run r);
+          ignore (Epre_opt.Naming.run r);
+          Alcotest.(check bool)
+            (w.Epre_workloads.Workloads.name ^ ": discipline after gvn+naming")
+            true (discipline_holds r))
+        (Program.routines prog))
+    (List.filteri (fun i _ -> i mod 5 = 0) Epre_workloads.Workloads.all)
+
+let suite =
+  [
+    Alcotest.test_case "5.1: sqrt example survives PRE" `Quick
+      test_naming_restores_discipline_for_pre;
+    Alcotest.test_case "5.1: naming bijection (adversarial)" `Quick
+      test_naming_bijection_on_adversarial_input;
+    Alcotest.test_case "5.1: naming bijection (gvn output)" `Slow
+      test_naming_bijection_on_gvn_output;
+  ]

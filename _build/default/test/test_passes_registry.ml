@@ -1,0 +1,83 @@
+(** Tests for [Epre.Passes], the named-pass registry behind
+    [eprec --passes]. *)
+
+open Epre_ir
+
+let test_all_names_resolve () =
+  List.iter
+    (fun p ->
+      match Epre.Passes.find p.Epre.Passes.name with
+      | Some q -> Alcotest.(check string) "found itself" p.Epre.Passes.name q.Epre.Passes.name
+      | None -> Alcotest.failf "pass %s not findable" p.Epre.Passes.name)
+    Epre.Passes.all
+
+let test_names_unique () =
+  let names = List.map (fun p -> p.Epre.Passes.name) Epre.Passes.all in
+  Alcotest.(check int) "no duplicates" (List.length names)
+    (List.length (List.sort_uniq compare names))
+
+let test_parse_sequence () =
+  (match Epre.Passes.parse_sequence "naming, pre ,dce" with
+  | Ok ps ->
+    Alcotest.(check (list string)) "parsed in order" [ "naming"; "pre"; "dce" ]
+      (List.map (fun p -> p.Epre.Passes.name) ps)
+  | Error n -> Alcotest.failf "unexpected unknown pass %s" n);
+  match Epre.Passes.parse_sequence "naming,bogus,dce" with
+  | Error "bogus" -> ()
+  | Error n -> Alcotest.failf "wrong unknown pass %s" n
+  | Ok _ -> Alcotest.fail "expected an error"
+
+let test_every_pass_preserves_behaviour () =
+  (* Each registered pass, run alone on every workload. [naming]-dependent
+     passes get their prerequisite. *)
+  let needs_naming = [ "pre"; "pre-classic"; "cse-avail" ] in
+  List.iter
+    (fun pass ->
+      List.iter
+        (fun w ->
+          let prog = Epre_workloads.Workloads.compile w in
+          let p = Program.copy prog in
+          List.iter
+            (fun r ->
+              if List.mem pass.Epre.Passes.name needs_naming then
+                ignore (Epre_opt.Naming.run r);
+              pass.Epre.Passes.run r;
+              Routine.validate r)
+            (Program.routines p);
+          Helpers.check_same_behaviour
+            ~what:(w.Epre_workloads.Workloads.name ^ "+" ^ pass.Epre.Passes.name)
+            prog p)
+        (List.filteri (fun i _ -> i mod 6 = 0) Epre_workloads.Workloads.all))
+    Epre.Passes.all
+
+let test_custom_sequence_end_to_end () =
+  let prog =
+    Helpers.compile
+      {|
+fn main(): int {
+  var s: int;
+  var i: int;
+  for i = 1 to 20 {
+    s = s + i * 4 + (i - 1) * 4;
+  }
+  return s;
+}
+|}
+  in
+  let reference = Helpers.run_int prog in
+  match Epre.Passes.parse_sequence "distribute,gvn,pre,strength,constprop,peephole-shift,dvnt,dce,coalesce,clean" with
+  | Error n -> Alcotest.failf "unknown pass %s" n
+  | Ok ps ->
+    Epre.Passes.run_sequence ps prog;
+    Alcotest.(check int) "semantics through a 10-pass custom pipeline" reference
+      (Helpers.run_int prog)
+
+let suite =
+  [
+    Alcotest.test_case "registry resolves" `Quick test_all_names_resolve;
+    Alcotest.test_case "names unique" `Quick test_names_unique;
+    Alcotest.test_case "sequence parsing" `Quick test_parse_sequence;
+    Alcotest.test_case "every pass preserves behaviour" `Slow
+      test_every_pass_preserves_behaviour;
+    Alcotest.test_case "custom 10-pass pipeline" `Quick test_custom_sequence_end_to_end;
+  ]

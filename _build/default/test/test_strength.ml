@@ -1,0 +1,213 @@
+(** Tests for [Epre_opt.Strength], the strength-reduction extension. *)
+
+open Epre_ir
+
+let dynamic_mults ?(entry = "main") ?(args = []) prog =
+  (Helpers.run ~entry ~args prog).Epre_interp.Interp.counts.Epre_interp.Counts.mults
+
+let cleanup r =
+  ignore (Epre_opt.Constprop.run r);
+  ignore (Epre_opt.Peephole.run r);
+  ignore (Epre_opt.Dce.run r);
+  ignore (Epre_opt.Coalesce.run r);
+  ignore (Epre_opt.Clean.run r);
+  Routine.validate r
+
+let test_basic_iv_multiply_reduced () =
+  let source =
+    {|
+fn f(n: int, m: int): int {
+  var s: int;
+  var i: int;
+  for i = 1 to n {
+    s = s + i * m;
+  }
+  return s;
+}
+|}
+  in
+  let prog = Helpers.compile source in
+  let args = [ Value.I 30; Value.I 7 ] in
+  let before = dynamic_mults ~entry:"f" ~args prog in
+  let reduced = ref 0 in
+  List.iter
+    (fun r ->
+      reduced := !reduced + Epre_opt.Strength.run r;
+      cleanup r)
+    (Program.routines prog);
+  Alcotest.(check bool) "a candidate was reduced" true (!reduced >= 1);
+  let after = dynamic_mults ~entry:"f" ~args prog in
+  (* 30 loop multiplies collapse to the two preheader setup multiplies *)
+  Alcotest.(check bool)
+    (Printf.sprintf "multiplies gone (%d -> %d)" before after)
+    true (after <= 2);
+  Alcotest.(check int) "semantics" (7 * (30 * 31 / 2))
+    (Helpers.run_int ~entry:"f" ~args prog)
+
+let test_derived_iv_reduced () =
+  (* the addressing pattern: (i - 1) * width *)
+  let source =
+    {|
+fn f(n: int): int {
+  var s: int;
+  var i: int;
+  for i = 1 to n {
+    s = s + (i - 1) * 10;
+  }
+  return s;
+}
+|}
+  in
+  let prog = Helpers.compile source in
+  let args = [ Value.I 20 ] in
+  let expected = 10 * (19 * 20 / 2) in
+  List.iter
+    (fun r ->
+      ignore (Epre_opt.Strength.run r);
+      cleanup r)
+    (Program.routines prog);
+  Alcotest.(check int) "semantics" expected (Helpers.run_int ~entry:"f" ~args prog);
+  Alcotest.(check bool) "loop multiplies gone" true (dynamic_mults ~entry:"f" ~args prog <= 2)
+
+let test_downward_loop () =
+  let source =
+    {|
+fn f(n: int): int {
+  var s: int;
+  var i: int;
+  for i = n downto 1 {
+    s = s + i * 3;
+  }
+  return s;
+}
+|}
+  in
+  let prog = Helpers.compile source in
+  let args = [ Value.I 15 ] in
+  List.iter
+    (fun r ->
+      ignore (Epre_opt.Strength.run r);
+      cleanup r)
+    (Program.routines prog);
+  Alcotest.(check int) "semantics" (3 * (15 * 16 / 2))
+    (Helpers.run_int ~entry:"f" ~args prog);
+  Alcotest.(check bool) "reduced" true (dynamic_mults ~entry:"f" ~args prog <= 2)
+
+let test_zero_trip_loop_safe () =
+  (* setup multiplies live in a dedicated preheader: a loop that never runs
+     must not pay for them, and the guard path stays correct. *)
+  let source =
+    {|
+fn f(n: int, m: int): int {
+  var s: int = 100;
+  var i: int;
+  for i = 1 to n {
+    s = s + i * m;
+  }
+  return s;
+}
+|}
+  in
+  let prog = Helpers.compile source in
+  List.iter
+    (fun r ->
+      ignore (Epre_opt.Strength.run r);
+      cleanup r)
+    (Program.routines prog);
+  let args = [ Value.I 0; Value.I 9 ] in
+  Alcotest.(check int) "zero-trip value" 100 (Helpers.run_int ~entry:"f" ~args prog);
+  Alcotest.(check int) "no multiplies on the bypass path" 0
+    (dynamic_mults ~entry:"f" ~args prog)
+
+let test_float_multiplies_untouched () =
+  (* reducing an FP multiply would change rounding: must be skipped *)
+  let source =
+    {|
+fn f(n: int): float {
+  var s: float;
+  var i: int;
+  for i = 1 to n {
+    s = s + float(i) * 0.1;
+  }
+  return s;
+}
+|}
+  in
+  let prog = Helpers.compile source in
+  let before = Helpers.run_float ~entry:"f" ~args:[ Value.I 10 ] prog in
+  let reduced = ref 0 in
+  List.iter (fun r -> reduced := !reduced + Epre_opt.Strength.run r) (Program.routines prog);
+  Alcotest.(check int) "nothing reduced" 0 !reduced;
+  Alcotest.(check bool) "bit-identical result" true
+    (Float.equal before (Helpers.run_float ~entry:"f" ~args:[ Value.I 10 ] prog))
+
+let test_variant_multiplier_not_reduced () =
+  (* i * j with both varying is not a candidate *)
+  let source =
+    {|
+fn f(n: int): int {
+  var s: int;
+  var i: int;
+  var j: int;
+  for i = 1 to n {
+    j = s + 1;
+    s = s + i * j;
+  }
+  return s;
+}
+|}
+  in
+  let prog = Helpers.compile source in
+  let before = Helpers.run_int ~entry:"f" ~args:[ Value.I 8 ] prog in
+  List.iter
+    (fun r ->
+      ignore (Epre_opt.Strength.run r);
+      cleanup r)
+    (Program.routines prog);
+  Alcotest.(check int) "semantics" before (Helpers.run_int ~entry:"f" ~args:[ Value.I 8 ] prog)
+
+let test_all_workloads_preserved () =
+  List.iter
+    (fun w ->
+      let prog = Epre_workloads.Workloads.compile w in
+      let p = Program.copy prog in
+      List.iter
+        (fun r ->
+          ignore (Epre_opt.Strength.run r);
+          cleanup r)
+        (Program.routines p);
+      Helpers.check_same_behaviour
+        ~what:(w.Epre_workloads.Workloads.name ^ "+strength")
+        prog p)
+    Epre_workloads.Workloads.all
+
+let test_after_distribution_pipeline () =
+  (* the paper's predicted composition: reassociation first, then strength
+     reduction removes the loop multiplies the address arithmetic needs *)
+  let w = Option.get (Epre_workloads.Workloads.find "sgemm") in
+  let prog = Epre_workloads.Workloads.compile w in
+  let p, _ = Epre.Pipeline.optimized_copy ~level:Epre.Pipeline.Distribution prog in
+  let before = dynamic_mults p in
+  List.iter
+    (fun r ->
+      ignore (Epre_opt.Strength.run r);
+      cleanup r)
+    (Program.routines p);
+  let after = dynamic_mults p in
+  Helpers.check_same_behaviour ~what:"sgemm distribution+strength" prog p;
+  Alcotest.(check bool)
+    (Printf.sprintf "multiplies drop substantially (%d -> %d)" before after)
+    true
+    (float_of_int after < 0.7 *. float_of_int before)
+
+let suite =
+  [
+    Alcotest.test_case "basic IV multiply" `Quick test_basic_iv_multiply_reduced;
+    Alcotest.test_case "derived IV (i-1)*w" `Quick test_derived_iv_reduced;
+    Alcotest.test_case "downward loops" `Quick test_downward_loop;
+    Alcotest.test_case "zero-trip safety" `Quick test_zero_trip_loop_safe;
+    Alcotest.test_case "float multiplies untouched" `Quick test_float_multiplies_untouched;
+    Alcotest.test_case "variant multiplier skipped" `Quick test_variant_multiplier_not_reduced;
+    Alcotest.test_case "all workloads preserved" `Slow test_all_workloads_preserved;
+    Alcotest.test_case "composes with distribution" `Slow test_after_distribution_pipeline;
+  ]

@@ -1,0 +1,185 @@
+(** Tests for [Epre_util]: Vec, Bitset, Union_find. *)
+
+open Epre_util
+
+(* ------------------------------------------------------------------ *)
+(* Vec *)
+
+let test_vec_basic () =
+  let v = Vec.create () in
+  Alcotest.(check int) "empty length" 0 (Vec.length v);
+  let i0 = Vec.push v "a" in
+  let i1 = Vec.push v "b" in
+  Alcotest.(check int) "first index" 0 i0;
+  Alcotest.(check int) "second index" 1 i1;
+  Alcotest.(check string) "get" "b" (Vec.get v 1);
+  Vec.set v 0 "c";
+  Alcotest.(check string) "set" "c" (Vec.get v 0);
+  Alcotest.(check (list string)) "to_list" [ "c"; "b" ] (Vec.to_list v)
+
+let test_vec_bounds () =
+  let v = Vec.of_list [ 1; 2; 3 ] in
+  Alcotest.check_raises "get out of bounds"
+    (Invalid_argument "Vec: index 3 out of bounds [0,3)") (fun () ->
+      ignore (Vec.get v 3));
+  Alcotest.check_raises "negative index"
+    (Invalid_argument "Vec: index -1 out of bounds [0,3)") (fun () ->
+      ignore (Vec.get v (-1)))
+
+let test_vec_copy_independent () =
+  let v = Vec.of_list [ 1; 2 ] in
+  let w = Vec.copy v in
+  Vec.set w 0 99;
+  Alcotest.(check int) "original unchanged" 1 (Vec.get v 0);
+  Alcotest.(check int) "copy changed" 99 (Vec.get w 0)
+
+let test_vec_growth () =
+  let v = Vec.create () in
+  for i = 0 to 999 do
+    ignore (Vec.push v i)
+  done;
+  Alcotest.(check int) "length" 1000 (Vec.length v);
+  Alcotest.(check int) "spot check" 567 (Vec.get v 567);
+  Alcotest.(check int) "fold" (999 * 1000 / 2) (Vec.fold_left ( + ) 0 v)
+
+let vec_roundtrip =
+  Helpers.qcheck_case "Vec" "of_list/to_list roundtrip"
+    QCheck2.Gen.(list int)
+    (fun xs -> Vec.to_list (Vec.of_list xs) = xs)
+
+(* ------------------------------------------------------------------ *)
+(* Bitset *)
+
+let test_bitset_basic () =
+  let s = Bitset.create 70 in
+  Alcotest.(check bool) "empty" true (Bitset.is_empty s);
+  Bitset.add s 0;
+  Bitset.add s 69;
+  Bitset.add s 31;
+  Alcotest.(check bool) "mem 0" true (Bitset.mem s 0);
+  Alcotest.(check bool) "mem 69" true (Bitset.mem s 69);
+  Alcotest.(check bool) "not mem 1" false (Bitset.mem s 1);
+  Alcotest.(check int) "count" 3 (Bitset.count s);
+  Bitset.remove s 31;
+  Alcotest.(check (list int)) "elements" [ 0; 69 ] (Bitset.elements s)
+
+let test_bitset_ops () =
+  let a = Bitset.create 16 and b = Bitset.create 16 in
+  List.iter (Bitset.add a) [ 1; 2; 3 ];
+  List.iter (Bitset.add b) [ 2; 3; 4 ];
+  let u = Bitset.copy a in
+  Bitset.union_into ~dst:u b;
+  Alcotest.(check (list int)) "union" [ 1; 2; 3; 4 ] (Bitset.elements u);
+  let i = Bitset.copy a in
+  Bitset.inter_into ~dst:i b;
+  Alcotest.(check (list int)) "inter" [ 2; 3 ] (Bitset.elements i);
+  let d = Bitset.copy a in
+  Bitset.diff_into ~dst:d b;
+  Alcotest.(check (list int)) "diff" [ 1 ] (Bitset.elements d)
+
+let test_bitset_full () =
+  let f = Bitset.full 13 in
+  Alcotest.(check int) "count" 13 (Bitset.count f);
+  (* The unused high bits of the last byte must be clear so that [equal]
+     against an explicitly built full set holds. *)
+  let g = Bitset.create 13 in
+  for i = 0 to 12 do
+    Bitset.add g i
+  done;
+  Alcotest.(check bool) "equal" true (Bitset.equal f g)
+
+let test_bitset_width_mismatch () =
+  let a = Bitset.create 8 and b = Bitset.create 9 in
+  Alcotest.check_raises "mismatch" (Invalid_argument "Bitset: width mismatch") (fun () ->
+      Bitset.union_into ~dst:a b)
+
+let test_bitset_zero_width () =
+  let s = Bitset.create 0 in
+  Alcotest.(check bool) "empty" true (Bitset.is_empty s);
+  Alcotest.(check bool) "full empty too" true (Bitset.is_empty (Bitset.full 0))
+
+module IntSet = Set.Make (Int)
+
+let bitset_model_gen =
+  QCheck2.Gen.(list (int_bound 63))
+
+let bitset_of_list xs =
+  let s = Bitset.create 64 in
+  List.iter (Bitset.add s) xs;
+  s
+
+let bitset_union_model =
+  Helpers.qcheck_case "Bitset" "union agrees with Set.union"
+    QCheck2.Gen.(pair bitset_model_gen bitset_model_gen)
+    (fun (xs, ys) ->
+      let s = bitset_of_list xs in
+      Bitset.union_into ~dst:s (bitset_of_list ys);
+      IntSet.equal
+        (IntSet.of_list (Bitset.elements s))
+        (IntSet.union (IntSet.of_list xs) (IntSet.of_list ys)))
+
+let bitset_diff_model =
+  Helpers.qcheck_case "Bitset" "diff agrees with Set.diff"
+    QCheck2.Gen.(pair bitset_model_gen bitset_model_gen)
+    (fun (xs, ys) ->
+      let s = bitset_of_list xs in
+      Bitset.diff_into ~dst:s (bitset_of_list ys);
+      IntSet.equal
+        (IntSet.of_list (Bitset.elements s))
+        (IntSet.diff (IntSet.of_list xs) (IntSet.of_list ys)))
+
+let bitset_count_model =
+  Helpers.qcheck_case "Bitset" "count = cardinality" bitset_model_gen (fun xs ->
+      Bitset.count (bitset_of_list xs) = IntSet.cardinal (IntSet.of_list xs))
+
+(* ------------------------------------------------------------------ *)
+(* Union_find *)
+
+let test_uf_basic () =
+  let uf = Union_find.create 10 in
+  Alcotest.(check bool) "initially apart" false (Union_find.same uf 1 2);
+  ignore (Union_find.union uf 1 2);
+  Alcotest.(check bool) "joined" true (Union_find.same uf 1 2);
+  ignore (Union_find.union uf 2 3);
+  Alcotest.(check bool) "transitive" true (Union_find.same uf 1 3);
+  Alcotest.(check bool) "others untouched" false (Union_find.same uf 1 4)
+
+let test_uf_keep_first () =
+  let uf = Union_find.create 10 in
+  Union_find.union_keep_first uf 7 3;
+  Alcotest.(check int) "representative is first" 7 (Union_find.find uf 3);
+  Union_find.union_keep_first uf 7 5;
+  Alcotest.(check int) "still first" 7 (Union_find.find uf 5)
+
+let uf_equivalence =
+  Helpers.qcheck_case "Union_find" "union builds an equivalence"
+    QCheck2.Gen.(list (pair (int_bound 19) (int_bound 19)))
+    (fun pairs ->
+      let uf = Union_find.create 20 in
+      List.iter (fun (a, b) -> ignore (Union_find.union uf a b)) pairs;
+      (* reflexive, symmetric, and consistent with find *)
+      List.for_all
+        (fun (a, b) ->
+          Union_find.same uf a b
+          && Union_find.find uf a = Union_find.find uf b)
+        pairs)
+
+let suite =
+  [
+    Alcotest.test_case "vec: push/get/set/to_list" `Quick test_vec_basic;
+    Alcotest.test_case "vec: bounds checking" `Quick test_vec_bounds;
+    Alcotest.test_case "vec: copy independence" `Quick test_vec_copy_independent;
+    Alcotest.test_case "vec: growth to 1000" `Quick test_vec_growth;
+    vec_roundtrip;
+    Alcotest.test_case "bitset: add/remove/mem/count" `Quick test_bitset_basic;
+    Alcotest.test_case "bitset: union/inter/diff" `Quick test_bitset_ops;
+    Alcotest.test_case "bitset: full masks high bits" `Quick test_bitset_full;
+    Alcotest.test_case "bitset: width mismatch rejected" `Quick test_bitset_width_mismatch;
+    Alcotest.test_case "bitset: zero width" `Quick test_bitset_zero_width;
+    bitset_union_model;
+    bitset_diff_model;
+    bitset_count_model;
+    Alcotest.test_case "union_find: union/same" `Quick test_uf_basic;
+    Alcotest.test_case "union_find: keep-first representative" `Quick test_uf_keep_first;
+    uf_equivalence;
+  ]
