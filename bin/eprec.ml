@@ -3,10 +3,18 @@
    Subcommands:
      compile   compile a source file, optimize at a chosen level, dump ILOC
      run       compile, optimize, interpret; report result and dynamic counts
+     bisect    shrink a failing pass sequence to the minimal offending prefix
      table1    regenerate the paper's Table 1
      table2    regenerate the paper's Table 2 (forward-propagation expansion)
      hierarchy regenerate the Section 5.3 CSE-hierarchy comparison
-     workloads list the built-in workload suite *)
+     passes    list the pass registry (including the chaos:* fault injectors)
+     workloads list or differentially check the built-in workload suite
+
+   Supervision flags (compile, run, workloads --check):
+     --safe            roll a failing pass back and keep optimizing
+     --validate=TIER   off | ir | exec (translation validation)
+     --report=json     emit per-pass outcome records
+     --chaos NAME[@N]  inject a fault pass at position N of the pipeline *)
 
 open Cmdliner
 
@@ -57,29 +65,202 @@ let passes_arg =
           "Run a custom comma-separated pass sequence instead of a level; \
            see $(b,eprec passes) for the registry.")
 
-let optimize ?level ?passes ~trace prog =
-  (match passes with
-  | Some spec -> begin
-    match Epre.Passes.parse_sequence spec with
-    | Ok ps -> Epre.Passes.run_sequence ps prog
-    | Error name ->
-      Fmt.epr "unknown pass %S (see `eprec passes`)@." name;
-      exit 1
-  end
-  | None -> ());
-  match level with
-  | Some level when passes = None ->
-    let hooks =
-      if trace then
-        { Epre.Pipeline.dump =
-            (fun pass r ->
-              Fmt.epr "=== after %s ===@.%a@.@." pass Epre_ir.Pp.routine r)
-        }
-      else Epre.Pipeline.no_hooks
-    in
-    ignore (Epre.Pipeline.optimize ~hooks ~level prog);
-    prog
-  | Some _ | None -> prog
+(* --- supervision flags ------------------------------------------------- *)
+
+let safe_arg =
+  Arg.(
+    value & flag
+    & info [ "safe" ]
+        ~doc:
+          "Supervise the pipeline: run every pass against a checkpoint, \
+           roll a failing pass back and continue with the rest (see also \
+           $(b,--validate)).")
+
+let validate_conv =
+  let parse s =
+    match Epre_harness.Harness.validation_of_string s with
+    | Some v -> Ok v
+    | None -> Error (`Msg (Printf.sprintf "unknown validation tier %S" s))
+  in
+  let print ppf v = Fmt.string ppf (Epre_harness.Harness.validation_to_string v) in
+  Arg.conv (parse, print)
+
+let validate_arg =
+  Arg.(
+    value
+    & opt (some validate_conv) None
+    & info [ "validate" ] ~docv:"TIER"
+        ~doc:
+          "Per-pass validation tier: $(b,off) (exceptions only), $(b,ir) \
+           (structural + SSA well-formedness) or $(b,exec) (translation \
+           validation of observable behaviour). Implies supervision; \
+           without $(b,--safe) the first failure aborts.")
+
+let report_arg =
+  Arg.(
+    value
+    & opt (some (enum [ ("json", `Json) ])) None
+    & info [ "report" ] ~docv:"FMT"
+        ~doc:
+          "Emit per-pass outcome records (pass, routine, ok/rolled-back, \
+           reason, timing). Only $(b,json).")
+
+let chaos_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "chaos" ] ~docv:"NAME[@POS]"
+        ~doc:
+          "Inject a $(b,chaos:*) fault pass at position POS (default 0) of \
+           the level's pipeline; requires supervision to survive. See \
+           $(b,eprec passes).")
+
+let chaos_seed_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "chaos-seed" ] ~docv:"N"
+        ~doc:"Seed for the chaos fault injectors (replayable corruption).")
+
+let stats_arg =
+  Arg.(
+    value & flag
+    & info [ "stats" ]
+        ~doc:
+          "Print per-routine pass statistics (renamed expression sites, \
+           constants folded, rewrites, ...) to stderr.")
+
+(* "chaos:drop-instr@2" -> (position, named pass) *)
+let parse_chaos spec =
+  let name, pos =
+    match String.index_opt spec '@' with
+    | None -> (spec, 0)
+    | Some i ->
+      let p =
+        match int_of_string_opt (String.sub spec (i + 1) (String.length spec - i - 1)) with
+        | Some p -> p
+        | None ->
+          Fmt.epr "bad --chaos position in %S@." spec;
+          exit 1
+      in
+      (String.sub spec 0 i, p)
+  in
+  match Epre_harness.Chaos.of_name name with
+  | Some kind ->
+    (pos, { Epre_harness.Harness.pass_name = name; run = Epre_harness.Chaos.run kind })
+  | None ->
+    Fmt.epr "unknown chaos pass %S (see `eprec passes`)@." name;
+    exit 1
+
+type supervision = {
+  safe : bool;
+  validate : Epre_harness.Harness.validation option;
+  report : [ `Json ] option;
+  chaos : string option;
+  chaos_seed : int option;
+}
+
+let supervision_term =
+  let mk safe validate report chaos chaos_seed =
+    (match chaos_seed with
+    | Some s -> Epre_harness.Chaos.default_seed := s
+    | None -> ());
+    { safe; validate; report; chaos; chaos_seed }
+  in
+  Term.(const mk $ safe_arg $ validate_arg $ report_arg $ chaos_arg $ chaos_seed_arg)
+
+let supervised sup = sup.safe || sup.validate <> None || sup.chaos <> None
+
+let harness_config sup =
+  { Epre_harness.Harness.validation =
+      Option.value sup.validate ~default:Epre_harness.Harness.Ir;
+    fuel = Epre_interp.Interp.default_fuel;
+    keep_going = sup.safe;
+  }
+
+let print_report sup ppf records =
+  match sup.report with
+  | Some `Json -> Fmt.pf ppf "%s@." (Epre_harness.Report.to_json records)
+  | None -> ()
+
+let print_stats stats =
+  List.iter
+    (fun s ->
+      let named_total = function
+        | None -> "-"
+        | Some (pre : Epre_pre.Pre.stats) ->
+          string_of_int (pre.Epre_pre.Pre.inserted + pre.Epre_pre.Pre.deleted)
+      in
+      Fmt.epr
+        "stats %-12s renamed=%d pre(ins+del)=%s constants=%d peephole=%d \
+         dce=%d coalesced=%d@."
+        s.Epre.Pipeline.routine s.Epre.Pipeline.exprs_renamed
+        (named_total s.Epre.Pipeline.pre) s.Epre.Pipeline.constants_folded
+        s.Epre.Pipeline.peephole_rewrites s.Epre.Pipeline.dce_removed
+        s.Epre.Pipeline.copies_coalesced)
+    stats
+
+let dump_hooks trace =
+  if trace then
+    { Epre.Pipeline.dump =
+        (fun pass r -> Fmt.epr "=== after %s ===@.%a@.@." pass Epre_ir.Pp.routine r)
+    }
+  else Epre.Pipeline.no_hooks
+
+(* Optimize [prog] in place per the CLI flags; returns the pipeline stats
+   (empty for custom --passes sequences). The per-pass records go to
+   [--report]; supervision failures without --safe abort with a
+   diagnostic. *)
+let optimize ?level ?passes ~trace ~sup prog =
+  let hooks = dump_hooks trace in
+  (* Parse --chaos eagerly so a typo'd pass name or position always errors,
+     even when there is no pipeline to splice it into. *)
+  let chaos = Option.map parse_chaos sup.chaos in
+  if chaos <> None && passes = None && level = None then begin
+    Fmt.epr "--chaos needs a pipeline to inject into (pass -O or --passes)@.";
+    exit 1
+  end;
+  try
+    match passes with
+    | Some spec -> begin
+      match Epre.Passes.parse_sequence spec with
+      | Error name ->
+        Fmt.epr "unknown pass %S (see `eprec passes`)@." name;
+        exit 1
+      | Ok ps when supervised sup ->
+        let named = List.map Epre.Passes.to_named ps in
+        let named =
+          match chaos with
+          | None -> named
+          | Some (pos, np) -> Epre.Pipeline.splice named ~at:pos np
+        in
+        let records =
+          Epre_harness.Harness.supervise ~dump:hooks.Epre.Pipeline.dump
+            (harness_config sup) ~passes:named prog
+        in
+        print_report sup Fmt.stderr records;
+        []
+      | Ok ps ->
+        Epre.Passes.run_sequence ps prog;
+        []
+    end
+    | None -> begin
+      match level with
+      | None -> []
+      | Some level when supervised sup ->
+        let inject = Option.to_list chaos in
+        let stats, records =
+          Epre.Pipeline.optimize_supervised ~hooks ~inject
+            ~config:(harness_config sup) ~level prog
+        in
+        print_report sup Fmt.stderr records;
+        stats
+      | Some level -> Epre.Pipeline.optimize ~hooks ~level prog
+    end
+  with Epre_harness.Harness.Supervision_failed record ->
+    Fmt.epr "supervision failed: %s@." (Epre_harness.Report.record_to_line record);
+    print_report sup Fmt.stderr [ record ];
+    exit 1
 
 let format_arg =
   Arg.(
@@ -92,23 +273,29 @@ let format_arg =
 
 let compile_cmd =
   let doc = "compile a source file and print the resulting ILOC" in
-  let run file level trace passes format =
-    let prog = optimize ?level ?passes ~trace (compile_source file) in
+  let run file level trace passes format sup stats =
+    let prog = compile_source file in
+    let pipeline_stats = optimize ?level ?passes ~trace ~sup prog in
+    if stats then print_stats pipeline_stats;
     match format with
     | `Pretty -> Fmt.pr "%a@." Epre_ir.Pp.program prog
     | `Text -> print_string (Epre_ir.Ir_text.print_program prog)
     | `Dot -> print_string (Epre_ir.Cfg_dot.program prog)
   in
   Cmd.v (Cmd.info "compile" ~doc)
-    Term.(const run $ file_arg $ level_arg $ trace_arg $ passes_arg $ format_arg)
+    Term.(
+      const run $ file_arg $ level_arg $ trace_arg $ passes_arg $ format_arg
+      $ supervision_term $ stats_arg)
 
 let run_cmd =
   let doc = "compile, optimize and interpret a program (entry: main)" in
   let entry_arg =
     Arg.(value & opt string "main" & info [ "entry" ] ~docv:"NAME" ~doc:"Entry routine.")
   in
-  let run file level trace passes entry =
-    let prog = optimize ?level ?passes ~trace (compile_source file) in
+  let run file level trace passes entry sup stats =
+    let prog = compile_source file in
+    let pipeline_stats = optimize ?level ?passes ~trace ~sup prog in
+    if stats then print_stats pipeline_stats;
     match Epre_interp.Interp.run prog ~entry ~args:[] with
     | result ->
       List.iter
@@ -124,7 +311,71 @@ let run_cmd =
       exit 1
   in
   Cmd.v (Cmd.info "run" ~doc)
-    Term.(const run $ file_arg $ level_arg $ trace_arg $ passes_arg $ entry_arg)
+    Term.(
+      const run $ file_arg $ level_arg $ trace_arg $ passes_arg $ entry_arg
+      $ supervision_term $ stats_arg)
+
+let bisect_cmd =
+  let doc =
+    "find the minimal failing prefix of a pass sequence and print the IR \
+     delta of the culprit pass"
+  in
+  let workload_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "workload" ] ~docv:"NAME"
+          ~doc:"Bisect over a built-in workload instead of a source FILE.")
+  in
+  let bisect_file_arg =
+    Arg.(value & pos 0 (some file) None & info [] ~docv:"FILE")
+  in
+  let run file workload level passes_spec sup =
+    let prog =
+      match (file, workload) with
+      | Some f, None -> compile_source f
+      | None, Some name -> begin
+        match Epre_workloads.Workloads.find name with
+        | Some w -> Epre_workloads.Workloads.compile w
+        | None ->
+          Fmt.epr "unknown workload %S (see `eprec workloads`)@." name;
+          exit 1
+      end
+      | Some _, Some _ | None, None ->
+        Fmt.epr "bisect needs exactly one input: FILE or --workload NAME@.";
+        exit 1
+    in
+    let named =
+      match passes_spec with
+      | Some spec -> begin
+        match Epre.Passes.parse_sequence spec with
+        | Ok ps -> List.map Epre.Passes.to_named ps
+        | Error name ->
+          Fmt.epr "unknown pass %S (see `eprec passes`)@." name;
+          exit 1
+      end
+      | None ->
+        let level = Option.value level ~default:Epre.Pipeline.Partial in
+        let base = Epre.Pipeline.level_passes ~level in
+        (match sup.chaos with
+        | None -> base
+        | Some spec ->
+          let pos, np = parse_chaos spec in
+          let rec splice i = function
+            | rest when i = pos -> np :: rest
+            | [] -> [ np ]
+            | x :: rest -> x :: splice (i + 1) rest
+          in
+          splice 0 base)
+    in
+    match Epre_harness.Bisect.run ~passes:named prog with
+    | Some failure -> Fmt.pr "%a@." Epre_harness.Bisect.pp_failure failure
+    | None -> Fmt.pr "sequence is healthy: every pass validated@."
+  in
+  Cmd.v (Cmd.info "bisect" ~doc)
+    Term.(
+      const run $ bisect_file_arg $ workload_arg $ level_arg $ passes_arg
+      $ supervision_term)
 
 let table1_cmd =
   let doc = "regenerate Table 1 (dynamic counts at all optimization levels)" in
@@ -148,26 +399,86 @@ let passes_cmd =
   let run () =
     List.iter
       (fun p ->
-        Printf.printf "%-16s %s\n" p.Epre.Passes.name p.Epre.Passes.description)
+        Printf.printf "%-20s %s\n" p.Epre.Passes.name p.Epre.Passes.description)
       Epre.Passes.all
   in
   Cmd.v (Cmd.info "passes" ~doc) Term.(const run $ const ())
 
 let workloads_cmd =
-  let doc = "list the built-in workload suite" in
-  let run () =
-    List.iter
-      (fun w ->
-        Printf.printf "%-12s %s\n" w.Epre_workloads.Workloads.name
-          w.Epre_workloads.Workloads.description)
-      Epre_workloads.Workloads.all
+  let doc = "list the built-in workload suite, or differentially check it" in
+  let check_arg =
+    Arg.(
+      value & flag
+      & info [ "check" ]
+          ~doc:
+            "Compile every workload, optimize at $(b,-O) (default \
+             $(b,partial)), interpret, and compare the observable behaviour \
+             against the unoptimized program. Honours the supervision \
+             flags; exits non-zero on any mismatch.")
   in
-  Cmd.v (Cmd.info "workloads" ~doc) Term.(const run $ const ())
+  let run check level sup =
+    if not check then
+      List.iter
+        (fun w ->
+          Printf.printf "%-12s %s\n" w.Epre_workloads.Workloads.name
+            w.Epre_workloads.Workloads.description)
+        Epre_workloads.Workloads.all
+    else begin
+      let level = Option.value level ~default:Epre.Pipeline.Partial in
+      let failures = ref 0 in
+      let all_records = ref [] in
+      List.iter
+        (fun w ->
+          let name = w.Epre_workloads.Workloads.name in
+          let reference = Epre_workloads.Workloads.compile w in
+          let prog = Epre_workloads.Workloads.compile w in
+          (try
+             if supervised sup then begin
+               let inject =
+                 match sup.chaos with
+                 | None -> []
+                 | Some spec -> [ parse_chaos spec ]
+               in
+               let _, records =
+                 Epre.Pipeline.optimize_supervised ~inject
+                   ~config:(harness_config sup) ~level prog
+               in
+               all_records := !all_records @ records
+             end
+             else ignore (Epre.Pipeline.optimize ~level prog)
+           with
+          | Epre_harness.Harness.Supervision_failed record ->
+            all_records := !all_records @ [ record ];
+            incr failures;
+            Fmt.epr "FAIL %-12s %s@." name
+              (Epre_harness.Report.record_to_line record)
+          | e ->
+            incr failures;
+            Fmt.epr "FAIL %-12s pass raised: %s@." name (Printexc.to_string e));
+          let fuel = Epre_interp.Interp.default_fuel in
+          let before = Epre_harness.Harness.observe ~fuel reference in
+          let after = Epre_harness.Harness.observe ~fuel prog in
+          if Epre_harness.Harness.obs_equal before after then
+            Fmt.epr "ok   %-12s@." name
+          else begin
+            incr failures;
+            Fmt.epr "FAIL %-12s behaviour diverged@." name
+          end)
+        Epre_workloads.Workloads.all;
+      print_report sup Fmt.stdout !all_records;
+      if !failures > 0 then begin
+        Fmt.epr "%d workload(s) failed@." !failures;
+        exit 1
+      end
+    end
+  in
+  Cmd.v (Cmd.info "workloads" ~doc)
+    Term.(const run $ check_arg $ level_arg $ supervision_term)
 
 let main =
   let doc = "effective partial redundancy elimination (Briggs & Cooper, PLDI 1994)" in
   Cmd.group (Cmd.info "eprec" ~doc)
-    [ compile_cmd; run_cmd; table1_cmd; table2_cmd; hierarchy_cmd; passes_cmd;
-      workloads_cmd ]
+    [ compile_cmd; run_cmd; bisect_cmd; table1_cmd; table2_cmd; hierarchy_cmd;
+      passes_cmd; workloads_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -82,6 +82,19 @@ let all =
       description = "build and destroy pruned SSA (diagnostic)";
       run = (fun r -> ignore (Epre_ssa.Ssa.destroy (Epre_ssa.Ssa.build r))) };
   ]
+  (* Fault-injection passes: corrupt the IR on purpose, to exercise the
+     supervision harness. Seeded via [Epre_harness.Chaos.default_seed]. *)
+  @ List.map
+      (fun k ->
+        { name = Epre_harness.Chaos.name k;
+          description = Epre_harness.Chaos.description k;
+          run = (fun r -> Epre_harness.Chaos.run k r) })
+      Epre_harness.Chaos.all_kinds
+
+let is_chaos p = String.length p.name >= 6 && String.sub p.name 0 6 = "chaos:"
+
+(** A registry pass as the harness sees it. *)
+let to_named p = { Epre_harness.Harness.pass_name = p.name; run = p.run }
 
 let find name = List.find_opt (fun p -> p.name = name) all
 

@@ -14,6 +14,13 @@ val all : pass list
 
 val find : string -> pass option
 
+(** True for the [chaos:*] fault-injection entries, which corrupt IR on
+    purpose (they exist to exercise [Epre_harness.Harness]). *)
+val is_chaos : pass -> bool
+
+(** A registry pass as the harness sees it. *)
+val to_named : pass -> Epre_harness.Harness.named_pass
+
 (** Resolve a comma-separated sequence; [Error name] on the first unknown
     pass. *)
 val parse_sequence : string -> (pass list, string) result

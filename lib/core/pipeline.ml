@@ -13,7 +13,12 @@
 
     Every pass consumes and produces ILOC, exactly like the Unix-filter
     passes of the paper's optimizer; passes that need SSA build and destroy
-    it internally. *)
+    it internally.
+
+    A level's sequence can run two ways: bare ([optimize]), where a failing
+    pass aborts the run exactly like one broken filter poisons the paper's
+    pipeline; or supervised ([optimize_supervised]), where each pass runs
+    against an [Epre_harness] checkpoint and is rolled back on failure. *)
 
 open Epre_ir
 
@@ -39,6 +44,7 @@ type routine_stats = {
   reassoc : Epre_reassoc.Reassociate.stats option;
   gvn : Epre_gvn.Gvn.stats option;
   pre : Epre_pre.Pre.stats option;
+  exprs_renamed : int;
   constants_folded : int;
   peephole_rewrites : int;
   dce_removed : int;
@@ -54,39 +60,74 @@ let no_hooks = { dump = (fun _ _ -> ()) }
 let reassoc_config ~distribute =
   { Epre_reassoc.Expr_tree.default_config with Epre_reassoc.Expr_tree.distribute }
 
-let optimize_routine ?(hooks = no_hooks) ~level (r : Routine.t) =
-  let dump name = hooks.dump name r in
-  let reassoc = ref None and gvn = ref None and pre = ref None in
-  (match level with
-  | Baseline -> ()
-  | Partial ->
-    ignore (Epre_opt.Naming.run r);
-    dump "naming";
-    pre := Some (Epre_pre.Pre.run r);
-    dump "pre"
-  | Reassociation | Distribution ->
-    let distribute = level = Distribution in
-    reassoc := Some (Epre_reassoc.Reassociate.run ~config:(reassoc_config ~distribute) r);
-    dump "reassociation";
-    gvn := Some (Epre_gvn.Gvn.run r);
-    dump "gvn";
-    pre := Some (Epre_pre.Pre.run r);
-    dump "pre");
-  let constants_folded = Epre_opt.Constprop.run r in
-  dump "constprop";
-  let peephole_rewrites =
-    Epre_opt.Peephole.run ~config:{ Epre_opt.Peephole.mul_to_shift = true } r
+(* Mutable per-routine statistics, filled in by the pass closures as the
+   sequence runs (so the same pass list works routine-major and
+   supervised/pass-major). *)
+type acc = {
+  mutable s_reassoc : Epre_reassoc.Reassociate.stats option;
+  mutable s_gvn : Epre_gvn.Gvn.stats option;
+  mutable s_pre : Epre_pre.Pre.stats option;
+  mutable s_renamed : int;
+  mutable s_constants : int;
+  mutable s_peephole : int;
+  mutable s_dce : int;
+  mutable s_coalesce : int;
+}
+
+let fresh_acc () =
+  { s_reassoc = None; s_gvn = None; s_pre = None; s_renamed = 0; s_constants = 0;
+    s_peephole = 0; s_dce = 0; s_coalesce = 0 }
+
+let stats_of_acc ~routine a =
+  { routine; reassoc = a.s_reassoc; gvn = a.s_gvn; pre = a.s_pre;
+    exprs_renamed = a.s_renamed; constants_folded = a.s_constants;
+    peephole_rewrites = a.s_peephole; dce_removed = a.s_dce;
+    copies_coalesced = a.s_coalesce }
+
+(* A level's sequence as named harness passes; [acc_for] locates the stats
+   sink for the routine being transformed. *)
+let level_passes_into ~level ~acc_for =
+  let p pass_name f = { Epre_harness.Harness.pass_name; run = (fun r -> f (acc_for r) r) } in
+  let front =
+    match level with
+    | Baseline -> []
+    | Partial ->
+      [ p "naming" (fun a r -> a.s_renamed <- a.s_renamed + Epre_opt.Naming.run r);
+        p "pre" (fun a r -> a.s_pre <- Some (Epre_pre.Pre.run r)) ]
+    | Reassociation | Distribution ->
+      let distribute = level = Distribution in
+      [ p "reassociation"
+          (fun a r ->
+            a.s_reassoc <-
+              Some (Epre_reassoc.Reassociate.run ~config:(reassoc_config ~distribute) r));
+        p "gvn" (fun a r -> a.s_gvn <- Some (Epre_gvn.Gvn.run r));
+        p "pre" (fun a r -> a.s_pre <- Some (Epre_pre.Pre.run r)) ]
   in
-  dump "peephole";
-  let dce_removed = Epre_opt.Dce.run r in
-  dump "dce";
-  let copies_coalesced = Epre_opt.Coalesce.run r in
-  dump "coalesce";
-  ignore (Epre_opt.Clean.run r);
-  dump "clean";
+  front
+  @ [ p "constprop" (fun a r -> a.s_constants <- a.s_constants + Epre_opt.Constprop.run r);
+      p "peephole"
+        (fun a r ->
+          a.s_peephole <-
+            a.s_peephole
+            + Epre_opt.Peephole.run ~config:{ Epre_opt.Peephole.mul_to_shift = true } r);
+      p "dce" (fun a r -> a.s_dce <- a.s_dce + Epre_opt.Dce.run r);
+      p "coalesce" (fun a r -> a.s_coalesce <- a.s_coalesce + Epre_opt.Coalesce.run r);
+      p "clean" (fun _ r -> ignore (Epre_opt.Clean.run r)) ]
+
+let level_passes ~level =
+  let shared = fresh_acc () in
+  level_passes_into ~level ~acc_for:(fun _ -> shared)
+
+let optimize_routine ?(hooks = no_hooks) ~level (r : Routine.t) =
+  let acc = fresh_acc () in
+  let passes = level_passes_into ~level ~acc_for:(fun _ -> acc) in
+  List.iter
+    (fun np ->
+      np.Epre_harness.Harness.run r;
+      hooks.dump np.Epre_harness.Harness.pass_name r)
+    passes;
   Routine.validate r;
-  { routine = r.Routine.name; reassoc = !reassoc; gvn = !gvn; pre = !pre;
-    constants_folded; peephole_rewrites; dce_removed; copies_coalesced }
+  stats_of_acc ~routine:r.Routine.name acc
 
 (** Optimize a whole program in place; returns per-routine statistics. *)
 let optimize ?hooks ~level (p : Program.t) =
@@ -97,3 +138,46 @@ let optimized_copy ?hooks ~level (p : Program.t) =
   let p' = Program.copy p in
   let stats = optimize ?hooks ~level p' in
   (p', stats)
+
+(* Splice [np] into [passes] at [at] (clamped to the sequence bounds). *)
+let splice passes ~at np =
+  let n = List.length passes in
+  let at = max 0 (min at n) in
+  let rec go i = function
+    | rest when i = at -> np :: rest
+    | [] -> [ np ]
+    | x :: rest -> x :: go (i + 1) rest
+  in
+  go 0 passes
+
+(** Optimize under harness supervision: each (pass, routine) application
+    checkpoints, validates at the configured tier, and rolls back on
+    failure, continuing with the rest of the sequence. [inject] splices
+    extra passes (chaos faults, experimental passes) into the level's
+    sequence at the given positions. Statistics written by a pass that was
+    subsequently rolled back do survive in [routine_stats] — the records
+    are the source of truth for what is actually in effect. *)
+let optimize_supervised ?(hooks = no_hooks) ?(inject = []) ~config ~level
+    (p : Program.t) =
+  let accs = Hashtbl.create 7 in
+  let acc_for (r : Routine.t) =
+    match Hashtbl.find_opt accs r.Routine.name with
+    | Some a -> a
+    | None ->
+      let a = fresh_acc () in
+      Hashtbl.add accs r.Routine.name a;
+      a
+  in
+  let passes =
+    List.fold_left
+      (fun ps (at, np) -> splice ps ~at np)
+      (level_passes_into ~level ~acc_for)
+      inject
+  in
+  let records = Epre_harness.Harness.supervise ~dump:hooks.dump config ~passes p in
+  let stats =
+    List.map
+      (fun (r : Routine.t) -> stats_of_acc ~routine:r.Routine.name (acc_for r))
+      (Program.routines p)
+  in
+  (stats, records)

@@ -11,7 +11,12 @@
 
     Every pass consumes and produces ILOC, like the Unix-filter passes of
     the paper's optimizer; passes that need SSA build and destroy it
-    internally. *)
+    internally.
+
+    A level's sequence runs either bare ([optimize] — one broken pass
+    aborts the run) or supervised ([optimize_supervised] — each pass is
+    checkpointed, validated, and rolled back on failure; see
+    [Epre_harness.Harness]). *)
 
 open Epre_ir
 
@@ -28,6 +33,8 @@ type routine_stats = {
   reassoc : Epre_reassoc.Reassociate.stats option;
   gvn : Epre_gvn.Gvn.stats option;
   pre : Epre_pre.Pre.stats option;
+  exprs_renamed : int;
+      (** evaluation sites rewritten by [Naming] (Partial level only) *)
   constants_folded : int;
   peephole_rewrites : int;
   dce_removed : int;
@@ -44,6 +51,18 @@ val no_hooks : hooks
 
 val reassoc_config : distribute:bool -> Epre_reassoc.Expr_tree.config
 
+(** A level's pass sequence under its stage names, for the harness,
+    bisection, and chaos-injection experiments. Statistics are discarded;
+    use [optimize]/[optimize_supervised] to collect them. *)
+val level_passes : level:level -> Epre_harness.Harness.named_pass list
+
+(** Insert a pass at a 0-based position (clamped to the sequence). *)
+val splice :
+  Epre_harness.Harness.named_pass list ->
+  at:int ->
+  Epre_harness.Harness.named_pass ->
+  Epre_harness.Harness.named_pass list
+
 (** Optimize one routine in place. *)
 val optimize_routine : ?hooks:hooks -> level:level -> Routine.t -> routine_stats
 
@@ -53,3 +72,20 @@ val optimize : ?hooks:hooks -> level:level -> Program.t -> routine_stats list
 (** Copy, optimize the copy, return it with the stats. *)
 val optimized_copy :
   ?hooks:hooks -> level:level -> Program.t -> Program.t * routine_stats list
+
+(** Optimize in place under harness supervision: every (pass, routine)
+    application runs against a checkpoint, is validated at the tier in
+    [config], and is rolled back on failure while the rest of the sequence
+    continues. [inject] splices extra passes — typically
+    [Epre_harness.Chaos] faults — into the sequence at the given 0-based
+    positions (clamped). Returns the per-routine statistics and the
+    per-application outcome records in execution order.
+    @raise Epre_harness.Harness.Supervision_failed on the first rollback
+    when [config.keep_going] is false. *)
+val optimize_supervised :
+  ?hooks:hooks ->
+  ?inject:(int * Epre_harness.Harness.named_pass) list ->
+  config:Epre_harness.Harness.config ->
+  level:level ->
+  Program.t ->
+  routine_stats list * Epre_harness.Harness.record list

@@ -1,0 +1,124 @@
+(** Pass-sequence bisection. See the interface for the oracle. *)
+
+open Epre_ir
+
+type failure = {
+  index : int;
+  pass : string;
+  routine : string option;
+  reason : Harness.reason;
+  delta : (string * string) list;
+}
+
+(* Line diff by longest common subsequence; routines are small enough that
+   the quadratic table is irrelevant. *)
+let diff_lines before after =
+  let a = Array.of_list (String.split_on_char '\n' before) in
+  let b = Array.of_list (String.split_on_char '\n' after) in
+  let n = Array.length a and m = Array.length b in
+  let lcs = Array.make_matrix (n + 1) (m + 1) 0 in
+  for i = n - 1 downto 0 do
+    for j = m - 1 downto 0 do
+      lcs.(i).(j) <-
+        (if a.(i) = b.(j) then 1 + lcs.(i + 1).(j + 1)
+         else max lcs.(i + 1).(j) lcs.(i).(j + 1))
+    done
+  done;
+  let buf = Buffer.create 256 in
+  let emit tag line = Buffer.add_string buf (tag ^ line ^ "\n") in
+  let rec walk i j =
+    if i < n && j < m && a.(i) = b.(j) then (
+      emit "  " a.(i);
+      walk (i + 1) (j + 1))
+    else if i < n && (j = m || lcs.(i + 1).(j) >= lcs.(i).(j + 1)) then (
+      emit "- " a.(i);
+      walk (i + 1) j)
+    else if j < m then (
+      emit "+ " b.(j);
+      walk i (j + 1))
+  in
+  walk 0 0;
+  Buffer.contents buf
+
+let print_routine = Pp.routine_to_string
+
+let check_ir (r : Routine.t) =
+  match
+    Routine.validate r;
+    if r.Routine.in_ssa then Epre_ssa.Ssa_check.check r
+  with
+  | () -> Ok ()
+  | exception Routine.Ill_formed m -> Error m
+  | exception Epre_ssa.Ssa_check.Not_ssa m -> Error m
+
+let run ?(fuel = Epre_interp.Interp.default_fuel) ~passes (prog : Program.t) =
+  let p = Program.copy prog in
+  let obs0, count = Harness.observe_counted ~fuel p in
+  let check_fuel =
+    match count with Some n -> min fuel ((4 * n) + 10_000) | None -> fuel
+  in
+  let current_obs = ref obs0 in
+  let result = ref None in
+  let fail index (np : Harness.named_pass) routine reason ~before_texts =
+    let delta =
+      List.filter_map
+        (fun (r : Routine.t) ->
+          let before = List.assoc r.Routine.name before_texts in
+          let after = print_routine r in
+          if before = after then None
+          else Some (r.Routine.name, diff_lines before after))
+        (Program.routines p)
+    in
+    result := Some { index; pass = np.Harness.pass_name; routine; reason; delta }
+  in
+  let rec go index = function
+    | [] -> ()
+    | (np : Harness.named_pass) :: rest ->
+      let before_texts =
+        List.map
+          (fun (r : Routine.t) -> (r.Routine.name, print_routine r))
+          (Program.routines p)
+      in
+      let routine_failure =
+        List.find_map
+          (fun (r : Routine.t) ->
+            match np.Harness.run r with
+            | exception e ->
+              Some (Some r.Routine.name, Harness.Pass_exception (Printexc.to_string e))
+            | () -> begin
+              match check_ir r with
+              | Ok () -> None
+              | Error m -> Some (Some r.Routine.name, Harness.Ir_violation m)
+            end)
+          (Program.routines p)
+      in
+      (match routine_failure with
+      | Some (routine, reason) -> fail index np routine reason ~before_texts
+      | None -> begin
+        let after = Harness.observe ~fuel:check_fuel p in
+        if Harness.obs_equal !current_obs after then begin
+          current_obs := after;
+          go (index + 1) rest
+        end
+        else
+          fail index np None
+            (Harness.Behaviour_mismatch
+               (Printf.sprintf "observable behaviour changed after pass %d" index))
+            ~before_texts
+      end)
+  in
+  go 0 passes;
+  !result
+
+let pp_failure ppf f =
+  Format.fprintf ppf "minimal failing prefix: %d pass%s; culprit: #%d %s%s@."
+    (f.index + 1)
+    (if f.index = 0 then "" else "es")
+    f.index f.pass
+    (match f.routine with Some r -> " (routine " ^ r ^ ")" | None -> "");
+  Format.fprintf ppf "reason: %s@." (Harness.reason_to_string f.reason);
+  List.iter
+    (fun (name, diff) ->
+      Format.fprintf ppf "@.--- %s before %s@.+++ %s after  %s@.%s" name f.pass
+        name f.pass diff)
+    f.delta

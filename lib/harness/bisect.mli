@@ -1,0 +1,30 @@
+(** Pass-sequence bisection: shrink a failing pipeline to the minimal
+    offending prefix and show what the culprit pass did to the IR.
+
+    The oracle is the harness's strongest tier: each pass application is
+    checked structurally ([Routine.validate] / [Ssa_check]) and the whole
+    program is translation-validated (observable behaviour of [main])
+    after every pass. The first pass that fails any check is the culprit —
+    the prefix ending at it is, by construction, the minimal failing
+    prefix. The input program is not modified. *)
+
+open Epre_ir
+
+type failure = {
+  index : int;  (** 0-based position of the culprit in the sequence *)
+  pass : string;
+  routine : string option;
+      (** the routine the failure was detected in; [None] when translation
+          validation implicates the whole program *)
+  reason : Harness.reason;
+  delta : (string * string) list;
+      (** per changed routine, a line diff ([-]/[+] markers) of the IR
+          before vs after the culprit pass *)
+}
+
+(** [run ~passes p] replays the sequence on a copy of [p].
+    Returns [None] when the whole sequence is healthy. *)
+val run : ?fuel:int -> passes:Harness.named_pass list -> Program.t -> failure option
+
+(** Render a failure for the terminal: culprit header plus the IR delta. *)
+val pp_failure : Format.formatter -> failure -> unit

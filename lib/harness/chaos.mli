@@ -1,0 +1,43 @@
+(** Seeded fault injection — adversarial passes that corrupt IR on purpose.
+
+    Each kind models one failure class a buggy optimizer pass can exhibit,
+    chosen so that together they exercise every detection tier of the
+    harness:
+
+    - [Drop_instr] deletes a live instruction — IR stays structurally
+      well-formed; only translation validation ([Exec]) catches it;
+    - [Swap_operands] swaps the operands of a non-commutative binop —
+      again structurally valid, caught by translation validation;
+    - [Break_phi] plants a phi whose arguments disagree with the CFG
+      predecessors — caught by [Routine.validate] ([Ir] tier);
+    - [Detach_edge] retargets a terminator at a missing block — caught by
+      [Routine.validate] ([Ir] tier).
+
+    Corruption sites are chosen by a deterministic PRNG seeded from
+    [(seed, routine name)], so a given seed reproduces the same fault on
+    the same input — chaos runs are replayable and bisectable. A kind with
+    no applicable site in a routine is a no-op there. *)
+
+open Epre_ir
+
+type kind = Drop_instr | Swap_operands | Break_phi | Detach_edge
+
+val all_kinds : kind list
+
+(** Registry name, e.g. ["chaos:drop-instr"]. *)
+val name : kind -> string
+
+val description : kind -> string
+
+val of_name : string -> kind option
+
+(** Seed used by the registry entries and the CLI; settable via
+    [--chaos-seed]. *)
+val default_seed : int ref
+
+(** Corrupt one site of the routine, deterministically for a given
+    [(seed, routine name)] pair. Defaults to [!default_seed]. *)
+val run : ?seed:int -> kind -> Routine.t -> unit
+
+(** The four kinds as harness passes (seed read at call time). *)
+val named_passes : unit -> Harness.named_pass list

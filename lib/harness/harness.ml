@@ -1,0 +1,167 @@
+(** Supervised pass execution: checkpoint, run, validate, roll back.
+
+    See the interface for the model. Execution is pass-major — for each
+    pass, every routine is transformed and validated before the next pass
+    starts — so translation validation can interpret the whole program
+    (calls cross routines) while only one routine differs from the last
+    known-good state at any moment. *)
+
+open Epre_ir
+
+type validation = Off | Ir | Exec
+
+let validation_of_string = function
+  | "off" -> Some Off
+  | "ir" -> Some Ir
+  | "exec" -> Some Exec
+  | _ -> None
+
+let validation_to_string = function Off -> "off" | Ir -> "ir" | Exec -> "exec"
+
+type reason =
+  | Pass_exception of string
+  | Ir_violation of string
+  | Behaviour_mismatch of string
+
+let reason_to_string = function
+  | Pass_exception m -> "pass raised: " ^ m
+  | Ir_violation m -> "ill-formed IR: " ^ m
+  | Behaviour_mismatch m -> "behaviour mismatch: " ^ m
+
+type outcome = Passed | Rolled_back of reason
+
+type record = {
+  pass : string;
+  routine : string;
+  outcome : outcome;
+  duration_ms : float;
+}
+
+type config = { validation : validation; fuel : int; keep_going : bool }
+
+let default_config =
+  { validation = Ir; fuel = Epre_interp.Interp.default_fuel; keep_going = true }
+
+exception Supervision_failed of record
+
+type named_pass = { pass_name : string; run : Routine.t -> unit }
+
+type obs = (Value.t option * Value.t list, string) result
+
+(* Observable behaviour plus the dynamic operation count (for fuel
+   adaptation); [Error] carries the reason interpretation failed. *)
+let observe_counted ~fuel p =
+  match Epre_interp.Interp.run ~fuel p ~entry:"main" ~args:[] with
+  | r ->
+    ( Ok (r.Epre_interp.Interp.return_value, r.Epre_interp.Interp.trace),
+      Some (Epre_interp.Counts.total r.Epre_interp.Interp.counts) )
+  | exception Epre_interp.Interp.Runtime_error m -> (Error ("runtime error: " ^ m), None)
+  | exception Epre_interp.Interp.Out_of_fuel -> (Error "out of fuel", None)
+  | exception Invalid_argument m -> (Error m, None)
+
+let observe ~fuel p = fst (observe_counted ~fuel p)
+
+(* The differential test suite's tolerance: values equal up to
+   floating-point reassociation noise. *)
+let value_close a b =
+  match (a, b) with
+  | Value.F x, Value.F y ->
+    Float.abs (x -. y) <= 1e-9 *. (Float.abs x +. Float.abs y +. 1.0)
+  | a, b -> Value.equal a b
+
+let obs_equal a b =
+  match (a, b) with
+  | Error a, Error b -> a = b
+  | Ok (ra, ta), Ok (rb, tb) ->
+    (match (ra, rb) with
+    | Some a, Some b -> value_close a b
+    | None, None -> true
+    | Some _, None | None, Some _ -> false)
+    && List.length ta = List.length tb
+    && List.for_all2 value_close ta tb
+  | Ok _, Error _ | Error _, Ok _ -> false
+
+let describe_obs = function
+  | Error m -> m
+  | Ok (ret, trace) ->
+    Printf.sprintf "return %s, %d emits"
+      (match ret with Some v -> Value.to_string v | None -> "-")
+      (List.length trace)
+
+(* Structural validation; the dominance-aware SSA check applies only while
+   the routine is actually in SSA form. *)
+let check_ir (r : Routine.t) =
+  match
+    Routine.validate r;
+    if r.Routine.in_ssa then Epre_ssa.Ssa_check.check r
+  with
+  | () -> Ok ()
+  | exception Routine.Ill_formed m -> Error m
+  | exception Epre_ssa.Ssa_check.Not_ssa m -> Error m
+
+let rolled_back records =
+  List.filter (fun r -> match r.outcome with Rolled_back _ -> true | Passed -> false) records
+
+let supervise ?(dump = fun _ _ -> ()) config ~passes (p : Program.t) =
+  (* Post-pass interpretation gets a budget derived from the reference run,
+     so a pass that introduces an infinite loop burns seconds, not the full
+     [config.fuel]. *)
+  let check_fuel = ref config.fuel in
+  let current_obs =
+    if config.validation = Exec then begin
+      let obs, count = observe_counted ~fuel:config.fuel p in
+      (match count with
+      | Some n -> check_fuel := min config.fuel ((4 * n) + 10_000)
+      | None -> ());
+      Some obs
+    end
+    else None
+  in
+  let current_obs = ref current_obs in
+  let records = ref [] in
+  List.iter
+    (fun np ->
+      List.iter
+        (fun (r : Routine.t) ->
+          let snapshot = Routine.copy r in
+          let t0 = Sys.time () in
+          let finish outcome =
+            let duration_ms = (Sys.time () -. t0) *. 1000.0 in
+            let record =
+              { pass = np.pass_name; routine = r.Routine.name; outcome; duration_ms }
+            in
+            records := record :: !records;
+            dump np.pass_name r;
+            match outcome with
+            | Rolled_back _ when not config.keep_going ->
+              raise (Supervision_failed record)
+            | _ -> ()
+          in
+          let roll_back reason =
+            Routine.restore r ~from:snapshot;
+            finish (Rolled_back reason)
+          in
+          match np.run r with
+          | exception e -> roll_back (Pass_exception (Printexc.to_string e))
+          | () -> begin
+            match if config.validation = Off then Ok () else check_ir r with
+            | Error m -> roll_back (Ir_violation m)
+            | Ok () -> begin
+              match !current_obs with
+              | None -> finish Passed
+              | Some before -> begin
+                match observe ~fuel:!check_fuel p with
+                | after when obs_equal before after ->
+                  current_obs := Some after;
+                  finish Passed
+                | after ->
+                  roll_back
+                    (Behaviour_mismatch
+                       (Printf.sprintf "%s, was: %s" (describe_obs after)
+                          (describe_obs before)))
+              end
+            end
+          end)
+        (Program.routines p))
+    passes;
+  List.rev !records

@@ -1,0 +1,96 @@
+(** Supervised pass execution — the fault-tolerant replacement for running
+    optimizer passes bare.
+
+    The paper's optimizer is a chain of Unix filters: one ill-formed ILOC
+    output poisons every downstream pass. The harness runs each pass
+    against a checkpoint instead. A pass that raises, breaks IR
+    well-formedness, or changes the program's observable behaviour is
+    rolled back and recorded; the remaining passes still run — graceful
+    degradation in the style of a production compiler's per-pass bailout.
+
+    Validation tiers, each containing the previous:
+    - [Off]: trust the pass; only exceptions roll back;
+    - [Ir]: structural well-formedness ([Routine.validate]) plus the
+      dominance-aware [Epre_ssa.Ssa_check] when the routine is in SSA;
+    - [Exec]: translation validation — interpret the program's observable
+      behaviour (return value and [emit] trace from [main], under bounded
+      fuel) before and after the pass and require them to agree up to
+      floating-point reassociation noise. *)
+
+open Epre_ir
+
+type validation = Off | Ir | Exec
+
+val validation_of_string : string -> validation option
+
+val validation_to_string : validation -> string
+
+(** Why a pass application was rolled back. *)
+type reason =
+  | Pass_exception of string  (** the pass raised *)
+  | Ir_violation of string  (** [Routine.validate] or [Ssa_check] failed *)
+  | Behaviour_mismatch of string  (** translation validation failed *)
+
+val reason_to_string : reason -> string
+
+type outcome = Passed | Rolled_back of reason
+
+(** One per (pass, routine) application, in execution order. *)
+type record = {
+  pass : string;
+  routine : string;
+  outcome : outcome;
+  duration_ms : float;
+}
+
+type config = {
+  validation : validation;
+  fuel : int;
+      (** interpreter budget for the reference run of translation
+          validation; post-pass runs get [4 * reference + 10_000], so a
+          pass that introduces an infinite loop is caught quickly *)
+  keep_going : bool;
+      (** [true] (the [--safe] mode): roll back and continue with the
+          remaining passes; [false]: roll back, then raise
+          [Supervision_failed] *)
+}
+
+(** [Ir] validation, [Interp.default_fuel], [keep_going = true]. *)
+val default_config : config
+
+exception Supervision_failed of record
+
+(** A pass under its registry/pipeline name — the harness's view of a
+    pass; [Epre.Passes] and [Epre.Pipeline] both convert into it. *)
+type named_pass = { pass_name : string; run : Routine.t -> unit }
+
+(** Observable behaviour of a program's [main]: either a (return value,
+    emit trace) pair or the textual reason it could not be obtained. *)
+type obs = (Value.t option * Value.t list, string) result
+
+val observe : fuel:int -> Program.t -> obs
+
+(** [observe] plus the run's dynamic operation count when it succeeded —
+    the harness and [Bisect] derive a bounded re-check budget from it. *)
+val observe_counted : fuel:int -> Program.t -> obs * int option
+
+(** Equality up to floating-point reassociation noise (relative 1e-9), the
+    same tolerance the differential test suite uses. *)
+val obs_equal : obs -> obs -> bool
+
+(** Run every pass over every routine of the program, pass-major,
+    checkpointing each (pass, routine) application and rolling back on
+    failure. [dump name r] fires after each application (after the
+    rollback, if one happened). Returns the per-application records in
+    execution order.
+    @raise Supervision_failed on the first rollback when
+    [config.keep_going] is false (the routine is restored first). *)
+val supervise :
+  ?dump:(string -> Routine.t -> unit) ->
+  config ->
+  passes:named_pass list ->
+  Program.t ->
+  record list
+
+(** [rolled_back records] keeps only the failures. *)
+val rolled_back : record list -> record list

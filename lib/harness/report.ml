@@ -1,0 +1,44 @@
+(** JSON rendering of harness records. *)
+
+let escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let record_to_json (r : Harness.record) =
+  let outcome, reason =
+    match r.Harness.outcome with
+    | Harness.Passed -> ("ok", None)
+    | Harness.Rolled_back why -> ("rolled-back", Some (Harness.reason_to_string why))
+  in
+  Printf.sprintf "{\"pass\": \"%s\", \"routine\": \"%s\", \"outcome\": \"%s\"%s, \"duration_ms\": %.3f}"
+    (escape r.Harness.pass) (escape r.Harness.routine) outcome
+    (match reason with
+    | None -> ""
+    | Some m -> Printf.sprintf ", \"reason\": \"%s\"" (escape m))
+    r.Harness.duration_ms
+
+let to_json records =
+  match records with
+  | [] -> "[]"
+  | _ ->
+    "[\n  " ^ String.concat ",\n  " (List.map record_to_json records) ^ "\n]"
+
+let record_to_line (r : Harness.record) =
+  match r.Harness.outcome with
+  | Harness.Passed ->
+    Printf.sprintf "ok          %-16s %-12s %.2fms" r.Harness.pass r.Harness.routine
+      r.Harness.duration_ms
+  | Harness.Rolled_back why ->
+    Printf.sprintf "rolled-back %-16s %-12s %.2fms (%s)" r.Harness.pass
+      r.Harness.routine r.Harness.duration_ms (Harness.reason_to_string why)

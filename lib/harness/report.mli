@@ -1,0 +1,14 @@
+(** Structured diagnostics for supervised runs: the [--report=json]
+    rendering of harness records. No JSON dependency is baked into the
+    image, so the (tiny) encoder lives here. *)
+
+(** One record: [{"pass": ..., "routine": ..., "outcome": "ok" |
+    "rolled-back", "reason": ... (absent when ok), "duration_ms": ...}]. *)
+val record_to_json : Harness.record -> string
+
+(** The full report: a JSON array of records, one per line, in execution
+    order. *)
+val to_json : Harness.record list -> string
+
+(** Human-oriented one-liner, for non-JSON reporting. *)
+val record_to_line : Harness.record -> string

@@ -125,3 +125,19 @@ let copy cfg =
       ignore (Vec.push blocks b'))
     cfg.blocks;
   { blocks; entry = cfg.entry }
+
+(** Overwrite [cfg] in place with a deep copy of [from]'s blocks and entry.
+    [from] stays usable afterwards, so a snapshot can restore a graph more
+    than once. *)
+let restore cfg ~from =
+  Vec.clear cfg.blocks;
+  Vec.iteri
+    (fun _ b ->
+      let b' =
+        Option.map
+          (fun b -> Block.create ~id:b.Block.id ~instrs:b.Block.instrs ~term:b.Block.term ())
+          b
+      in
+      ignore (Vec.push cfg.blocks b'))
+    from.blocks;
+  cfg.entry <- from.entry

@@ -55,3 +55,8 @@ val reachable : t -> Epre_util.Bitset.t
 
 (** Deep copy: mutating the copy leaves the original untouched. *)
 val copy : t -> t
+
+(** Overwrite the graph in place with a deep copy of [from] — the rollback
+    half of a checkpoint/restore pair. [from] stays usable, so one snapshot
+    can restore more than once. *)
+val restore : t -> from:t -> unit

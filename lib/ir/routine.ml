@@ -19,6 +19,16 @@ let copy r =
   { name = r.name; params = r.params; cfg = Cfg.copy r.cfg; next_reg = r.next_reg;
     in_ssa = r.in_ssa }
 
+(** Roll [r] back to the state captured in a [copy]. The snapshot survives,
+    so one checkpoint can back out several failed attempts. *)
+let restore r ~from =
+  if r.name <> from.name then
+    invalid_arg
+      (Printf.sprintf "Routine.restore: %s from snapshot of %s" r.name from.name);
+  Cfg.restore r.cfg ~from:from.cfg;
+  r.next_reg <- from.next_reg;
+  r.in_ssa <- from.in_ssa
+
 let fresh_reg r =
   let v = r.next_reg in
   r.next_reg <- v + 1;

@@ -16,6 +16,12 @@ val create :
 (** Deep copy (blocks rebuilt; instruction lists are immutable values). *)
 val copy : t -> t
 
+(** Roll the routine back, in place, to the state captured in a [copy] —
+    the rollback half of the harness's checkpoint/restore. The snapshot
+    survives, so one checkpoint can back out several failed attempts.
+    @raise Invalid_argument when the snapshot is of a different routine. *)
+val restore : t -> from:t -> unit
+
 val fresh_reg : t -> Instr.reg
 
 (** Static ILOC operation count — instructions plus terminators, the metric

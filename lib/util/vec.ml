@@ -29,6 +29,8 @@ let push v x =
   v.len <- v.len + 1;
   v.len - 1
 
+let clear v = v.len <- 0
+
 let iteri f v =
   for i = 0 to v.len - 1 do
     f i v.data.(i)

@@ -17,6 +17,9 @@ val set : 'a t -> int -> 'a -> unit
 val push : 'a t -> 'a -> int
 (** [push v x] appends [x] and returns its index. *)
 
+val clear : 'a t -> unit
+(** [clear v] drops every element; capacity is retained. *)
+
 val iteri : (int -> 'a -> unit) -> 'a t -> unit
 
 val to_list : 'a t -> 'a list

@@ -1,0 +1,388 @@
+(** The fault-tolerant pass harness: checkpoint/rollback supervision,
+    translation validation, chaos injection, reporting, and bisection.
+
+    The acceptance matrix: with any single [chaos:*] pass injected into any
+    pipeline level, every workload still produces its seed behaviour (the
+    rollback engaged), the report lists exactly the injected failures, and
+    [Bisect] identifies the injected pass. *)
+
+open Epre_ir
+module Harness = Epre_harness.Harness
+module Chaos = Epre_harness.Chaos
+module Report = Epre_harness.Report
+module Bisect = Epre_harness.Bisect
+
+let exec_config =
+  { Harness.default_config with Harness.validation = Harness.Exec }
+
+let chaos_pass kind =
+  { Harness.pass_name = Chaos.name kind; run = (fun r -> Chaos.run kind r) }
+
+let is_chaos_record (r : Harness.record) =
+  Helpers.contains_substring ~needle:"chaos:" r.Harness.pass
+
+(* --- the acceptance matrix -------------------------------------------- *)
+
+(* Rotate every workload through a (chaos kind, level, position) triple so
+   the suite covers the full kind x level product several times without
+   running the 16-fold matrix on all 50 workloads. *)
+let test_chaos_rotation () =
+  let kinds = Array.of_list Chaos.all_kinds in
+  let levels = Array.of_list Epre.Pipeline.all_levels in
+  let total_rollbacks = ref 0 in
+  List.iteri
+    (fun i w ->
+      let kind = kinds.(i mod Array.length kinds) in
+      let level = levels.(i / Array.length kinds mod Array.length levels) in
+      let name = w.Epre_workloads.Workloads.name in
+      let what =
+        Printf.sprintf "%s %s + %s" name
+          (Epre.Pipeline.level_to_string level)
+          (Chaos.name kind)
+      in
+      let reference = Epre_workloads.Workloads.compile w in
+      let prog = Epre_workloads.Workloads.compile w in
+      let _, records =
+        Epre.Pipeline.optimize_supervised
+          ~inject:[ (i mod 3, chaos_pass kind) ]
+          ~config:exec_config ~level prog
+      in
+      (* Graceful degradation: behaviour is the seed behaviour. *)
+      Helpers.check_same_behaviour ~what reference prog;
+      (* Exactly the injected failures: a real pass never rolls back. *)
+      List.iter
+        (fun (r : Harness.record) ->
+          match r.Harness.outcome with
+          | Harness.Passed -> ()
+          | Harness.Rolled_back _ ->
+            incr total_rollbacks;
+            Alcotest.(check string)
+              (what ^ ": only the chaos pass may fail")
+              (Chaos.name kind) r.Harness.pass)
+        records)
+    Epre_workloads.Workloads.all;
+  (* The injectors are not duds: corruption was caught across the suite. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "rollbacks engaged (%d)" !total_rollbacks)
+    true (!total_rollbacks > 30)
+
+(* The full kind x level matrix on one workload with a known-corruptible
+   kernel (loops, non-commutative arithmetic, live instructions). *)
+let test_chaos_full_matrix () =
+  let w = Option.get (Epre_workloads.Workloads.find "dot") in
+  List.iter
+    (fun kind ->
+      List.iter
+        (fun level ->
+          let what =
+            Printf.sprintf "dot %s + %s"
+              (Epre.Pipeline.level_to_string level)
+              (Chaos.name kind)
+          in
+          let reference = Epre_workloads.Workloads.compile w in
+          let prog = Epre_workloads.Workloads.compile w in
+          let _, records =
+            Epre.Pipeline.optimize_supervised
+              ~inject:[ (1, chaos_pass kind) ]
+              ~config:exec_config ~level prog
+          in
+          Helpers.check_same_behaviour ~what reference prog;
+          let failed = Harness.rolled_back records in
+          Alcotest.(check bool) (what ^ ": chaos caught") true (failed <> []);
+          List.iter
+            (fun (r : Harness.record) ->
+              Alcotest.(check string) (what ^ ": culprit name") (Chaos.name kind)
+                r.Harness.pass)
+            failed)
+        Epre.Pipeline.all_levels)
+    Chaos.all_kinds
+
+(* --- detection tiers --------------------------------------------------- *)
+
+let test_ir_tier_catches_structural_faults () =
+  (* break-phi and detach-edge violate well-formedness: the [Ir] tier
+     catches them without interpreting anything. *)
+  let w = Option.get (Epre_workloads.Workloads.find "saxpy") in
+  List.iter
+    (fun kind ->
+      let prog = Epre_workloads.Workloads.compile w in
+      let reference = Epre_workloads.Workloads.compile w in
+      let _, records =
+        Epre.Pipeline.optimize_supervised
+          ~inject:[ (0, chaos_pass kind) ]
+          ~config:Harness.default_config (* Ir tier *)
+          ~level:Epre.Pipeline.Partial prog
+      in
+      let failed = Harness.rolled_back records in
+      Alcotest.(check bool)
+        (Chaos.name kind ^ " caught at ir tier")
+        true
+        (List.exists (fun (r : Harness.record) -> r.Harness.pass = Chaos.name kind) failed);
+      List.iter
+        (fun (r : Harness.record) ->
+          match r.Harness.outcome with
+          | Harness.Rolled_back (Harness.Ir_violation _) | Harness.Passed -> ()
+          | Harness.Rolled_back why ->
+            Alcotest.failf "%s: expected an IR violation, got %s" r.Harness.pass
+              (Harness.reason_to_string why))
+        failed;
+      Helpers.check_same_behaviour ~what:(Chaos.name kind) reference prog)
+    [ Chaos.Break_phi; Chaos.Detach_edge ]
+
+let test_exec_tier_catches_semantic_faults () =
+  (* drop-instr and swap-operands leave the IR structurally valid: only
+     translation validation notices. *)
+  let w = Option.get (Epre_workloads.Workloads.find "saxpy") in
+  List.iter
+    (fun kind ->
+      let prog = Epre_workloads.Workloads.compile w in
+      let _, records =
+        Epre.Pipeline.optimize_supervised
+          ~inject:[ (0, chaos_pass kind) ]
+          ~config:exec_config ~level:Epre.Pipeline.Partial prog
+      in
+      match
+        List.find_opt
+          (fun (r : Harness.record) -> r.Harness.pass = Chaos.name kind)
+          (Harness.rolled_back records)
+      with
+      | Some { Harness.outcome = Harness.Rolled_back (Harness.Behaviour_mismatch _); _ } -> ()
+      | Some { Harness.outcome = Harness.Rolled_back why; _ } ->
+        Alcotest.failf "%s: expected a behaviour mismatch, got %s" (Chaos.name kind)
+          (Harness.reason_to_string why)
+      | _ -> Alcotest.failf "%s: not caught" (Chaos.name kind))
+    [ Chaos.Drop_instr; Chaos.Swap_operands ]
+
+let test_exception_rolls_back () =
+  let prog = Helpers.compile "fn main(): int { return 6 * 7; }" in
+  let before = Pp.routine_to_string (Program.find_exn prog "main") in
+  let bomb = { Harness.pass_name = "bomb"; run = (fun _ -> failwith "kaboom") } in
+  let records =
+    Harness.supervise
+      { Harness.default_config with Harness.validation = Harness.Off }
+      ~passes:[ bomb ] prog
+  in
+  (match records with
+  | [ { Harness.outcome = Harness.Rolled_back (Harness.Pass_exception m); _ } ] ->
+    Alcotest.(check bool) "message kept" true
+      (Helpers.contains_substring ~needle:"kaboom" m)
+  | _ -> Alcotest.fail "expected exactly one rolled-back record");
+  Alcotest.(check string) "IR restored bit-for-bit" before
+    (Pp.routine_to_string (Program.find_exn prog "main"))
+
+let test_rollback_restores_ir_exactly () =
+  (* Chaos may land a harmless mutation (e.g. dropping an instruction in an
+     unreachable block), which the harness rightly keeps — so assert
+     bit-for-bit restoration only for the routines that rolled back. *)
+  let w = Option.get (Epre_workloads.Workloads.find "euclid") in
+  let prog = Epre_workloads.Workloads.compile w in
+  List.iter
+    (fun kind ->
+      let before =
+        List.map
+          (fun (r : Routine.t) -> (r.Routine.name, Pp.routine_to_string r))
+          (Program.routines prog)
+      in
+      let records =
+        Harness.supervise exec_config ~passes:[ chaos_pass kind ] prog
+      in
+      List.iter
+        (fun (rcd : Harness.record) ->
+          match rcd.Harness.outcome with
+          | Harness.Passed -> ()
+          | Harness.Rolled_back _ ->
+            Alcotest.(check string)
+              (Chaos.name kind ^ ": " ^ rcd.Harness.routine ^ " restored")
+              (List.assoc rcd.Harness.routine before)
+              (Pp.routine_to_string (Program.find_exn prog rcd.Harness.routine)))
+        records)
+    Chaos.all_kinds
+
+let test_fail_fast_without_safe () =
+  let w = Option.get (Epre_workloads.Workloads.find "euclid") in
+  let prog = Epre_workloads.Workloads.compile w in
+  let config = { exec_config with Harness.keep_going = false } in
+  match
+    Epre.Pipeline.optimize_supervised
+      ~inject:[ (0, chaos_pass Chaos.Detach_edge) ]
+      ~config ~level:Epre.Pipeline.Baseline prog
+  with
+  | _ -> Alcotest.fail "expected Supervision_failed"
+  | exception Harness.Supervision_failed record ->
+    Alcotest.(check string) "culprit" (Chaos.name Chaos.Detach_edge)
+      record.Harness.pass
+
+(* --- reporting --------------------------------------------------------- *)
+
+let test_report_json_shape () =
+  let w = Option.get (Epre_workloads.Workloads.find "saxpy") in
+  let prog = Epre_workloads.Workloads.compile w in
+  let _, records =
+    Epre.Pipeline.optimize_supervised
+      ~inject:[ (0, chaos_pass Chaos.Detach_edge) ]
+      ~config:exec_config ~level:Epre.Pipeline.Partial prog
+  in
+  let json = Report.to_json records in
+  let has n = Helpers.contains_substring ~needle:n json in
+  Alcotest.(check bool) "rolled-back entry" true (has "\"outcome\": \"rolled-back\"");
+  Alcotest.(check bool) "ok entry" true (has "\"outcome\": \"ok\"");
+  Alcotest.(check bool) "culprit named" true (has "\"pass\": \"chaos:detach-edge\"");
+  Alcotest.(check bool) "reason given" true (has "\"reason\": \"ill-formed IR:");
+  Alcotest.(check bool) "timings present" true (has "\"duration_ms\":");
+  (* An ok record carries no reason field. *)
+  List.iter
+    (fun (r : Harness.record) ->
+      match r.Harness.outcome with
+      | Harness.Passed ->
+        Alcotest.(check bool) "ok record has no reason" false
+          (Helpers.contains_substring ~needle:"reason" (Report.record_to_json r))
+      | Harness.Rolled_back _ -> ())
+    records
+
+let test_report_lists_exactly_the_failures () =
+  let w = Option.get (Epre_workloads.Workloads.find "dot") in
+  let prog = Epre_workloads.Workloads.compile w in
+  let _, records =
+    Epre.Pipeline.optimize_supervised
+      ~inject:[ (2, chaos_pass Chaos.Drop_instr) ]
+      ~config:exec_config ~level:Epre.Pipeline.Distribution prog
+  in
+  let failed = Harness.rolled_back records in
+  Alcotest.(check bool) "at least one failure" true (failed <> []);
+  List.iter
+    (fun r ->
+      Alcotest.(check bool) "every failure is the injected pass" true
+        (is_chaos_record r))
+    failed;
+  (* and the report renders one rolled-back line per failure *)
+  let json = Report.to_json records in
+  let count_occurrences needle =
+    let rec go i acc =
+      if i + String.length needle > String.length json then acc
+      else if String.sub json i (String.length needle) = needle then
+        go (i + 1) (acc + 1)
+      else go (i + 1) acc
+    in
+    go 0 0
+  in
+  Alcotest.(check int) "one rolled-back JSON record per failure"
+    (List.length failed)
+    (count_occurrences "\"rolled-back\"")
+
+(* --- chaos determinism ------------------------------------------------- *)
+
+let test_chaos_is_seed_deterministic () =
+  let corrupt seed =
+    let prog =
+      Epre_workloads.Workloads.compile
+        (Option.get (Epre_workloads.Workloads.find "euclid"))
+    in
+    List.iter (fun r -> Chaos.run ~seed Chaos.Drop_instr r) (Program.routines prog);
+    String.concat "\n" (List.map Pp.routine_to_string (Program.routines prog))
+  in
+  Alcotest.(check string) "same seed, same corruption" (corrupt 7) (corrupt 7);
+  Alcotest.(check bool) "chaos corrupts under some seed" true
+    (corrupt 7 <> corrupt 8 || corrupt 7 <> corrupt 9)
+
+(* --- bisection --------------------------------------------------------- *)
+
+let test_bisect_finds_injected_pass () =
+  let w = Option.get (Epre_workloads.Workloads.find "dot") in
+  let prog = Epre_workloads.Workloads.compile w in
+  List.iter
+    (fun (kind, position) ->
+      let base = Epre.Pipeline.level_passes ~level:Epre.Pipeline.Partial in
+      let rec splice i = function
+        | rest when i = position -> chaos_pass kind :: rest
+        | [] -> [ chaos_pass kind ]
+        | x :: rest -> x :: splice (i + 1) rest
+      in
+      let passes = splice 0 base in
+      match Bisect.run ~passes prog with
+      | None -> Alcotest.failf "%s: bisect found nothing" (Chaos.name kind)
+      | Some failure ->
+        Alcotest.(check string)
+          (Chaos.name kind ^ ": culprit name")
+          (Chaos.name kind) failure.Bisect.pass;
+        Alcotest.(check int)
+          (Chaos.name kind ^ ": culprit position")
+          position failure.Bisect.index;
+        Alcotest.(check bool)
+          (Chaos.name kind ^ ": IR delta shown")
+          true
+          (failure.Bisect.delta <> []))
+    [ (Chaos.Drop_instr, 0); (Chaos.Swap_operands, 1); (Chaos.Break_phi, 2);
+      (Chaos.Detach_edge, 3) ]
+
+let test_bisect_healthy_sequence () =
+  let w = Option.get (Epre_workloads.Workloads.find "saxpy") in
+  let prog = Epre_workloads.Workloads.compile w in
+  let passes = Epre.Pipeline.level_passes ~level:Epre.Pipeline.Distribution in
+  Alcotest.(check bool) "healthy" true (Bisect.run ~passes prog = None)
+
+let test_bisect_does_not_mutate_input () =
+  let w = Option.get (Epre_workloads.Workloads.find "euclid") in
+  let prog = Epre_workloads.Workloads.compile w in
+  let before = List.map Pp.routine_to_string (Program.routines prog) in
+  let passes =
+    chaos_pass Chaos.Drop_instr :: Epre.Pipeline.level_passes ~level:Epre.Pipeline.Baseline
+  in
+  ignore (Bisect.run ~passes prog);
+  List.iter2
+    (fun b a -> Alcotest.(check string) "input untouched" b a)
+    before
+    (List.map Pp.routine_to_string (Program.routines prog))
+
+(* --- satellite: Naming stats surfaced --------------------------------- *)
+
+let test_exprs_renamed_recorded () =
+  (* Two expressions fighting over one target register: [Naming] must
+     rewrite, and the Partial pipeline must surface the count. *)
+  let b = Builder.start ~name:"main" ~nparams:0 in
+  let x = Builder.int b 3 in
+  let y = Builder.int b 4 in
+  let t = Builder.fresh_reg b in
+  Builder.emit b (Instr.Binop { op = Op.Add; dst = t; a = x; b = y });
+  Builder.emit b (Instr.Binop { op = Op.Mul; dst = t; a = x; b = y });
+  Builder.ret b (Some t);
+  let prog = Program.create [ Builder.finish b ] in
+  let stats = Epre.Pipeline.optimize ~level:Epre.Pipeline.Partial prog in
+  (match stats with
+  | [ s ] ->
+    Alcotest.(check bool) "renamed sites surfaced" true
+      (s.Epre.Pipeline.exprs_renamed > 0)
+  | _ -> Alcotest.fail "one routine expected");
+  let prog2 =
+    Epre_workloads.Workloads.compile
+      (Option.get (Epre_workloads.Workloads.find "saxpy"))
+  in
+  List.iter
+    (fun s ->
+      Alcotest.(check int) "baseline never renames" 0 s.Epre.Pipeline.exprs_renamed)
+    (Epre.Pipeline.optimize ~level:Epre.Pipeline.Baseline prog2)
+
+let suite =
+  [
+    Alcotest.test_case "chaos x level rotation over all workloads" `Slow
+      test_chaos_rotation;
+    Alcotest.test_case "chaos x level full matrix on dot" `Slow test_chaos_full_matrix;
+    Alcotest.test_case "ir tier catches structural faults" `Quick
+      test_ir_tier_catches_structural_faults;
+    Alcotest.test_case "exec tier catches semantic faults" `Quick
+      test_exec_tier_catches_semantic_faults;
+    Alcotest.test_case "pass exception rolls back" `Quick test_exception_rolls_back;
+    Alcotest.test_case "rollback restores IR exactly" `Quick
+      test_rollback_restores_ir_exactly;
+    Alcotest.test_case "keep_going=false fails fast" `Quick test_fail_fast_without_safe;
+    Alcotest.test_case "report JSON shape" `Quick test_report_json_shape;
+    Alcotest.test_case "report lists exactly the failures" `Quick
+      test_report_lists_exactly_the_failures;
+    Alcotest.test_case "chaos is seed-deterministic" `Quick
+      test_chaos_is_seed_deterministic;
+    Alcotest.test_case "bisect finds the injected pass" `Slow
+      test_bisect_finds_injected_pass;
+    Alcotest.test_case "bisect on a healthy sequence" `Quick test_bisect_healthy_sequence;
+    Alcotest.test_case "bisect leaves the input program intact" `Quick
+      test_bisect_does_not_mutate_input;
+    Alcotest.test_case "naming rename count surfaced" `Quick test_exprs_renamed_recorded;
+  ]

@@ -28,4 +28,6 @@ let () =
       ("experiments", Test_experiments.suite);
       ("checksums", Test_workload_checksums.suite);
       ("cfg-dot", Test_cfg_dot.suite);
+      ("validate", Test_validate.suite);
+      ("harness", Test_harness.suite);
     ]

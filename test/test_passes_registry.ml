@@ -29,7 +29,8 @@ let test_parse_sequence () =
 
 let test_every_pass_preserves_behaviour () =
   (* Each registered pass, run alone on every workload. [naming]-dependent
-     passes get their prerequisite. *)
+     passes get their prerequisite. The chaos:* fault injectors corrupt IR
+     by design and are exercised by the harness suite instead. *)
   let needs_naming = [ "pre"; "pre-classic"; "cse-avail" ] in
   List.iter
     (fun pass ->
@@ -48,6 +49,24 @@ let test_every_pass_preserves_behaviour () =
             ~what:(w.Epre_workloads.Workloads.name ^ "+" ^ pass.Epre.Passes.name)
             prog p)
         (List.filteri (fun i _ -> i mod 6 = 0) Epre_workloads.Workloads.all))
+    (List.filter (fun p -> not (Epre.Passes.is_chaos p)) Epre.Passes.all)
+
+let test_chaos_entries_registered () =
+  List.iter
+    (fun kind ->
+      let name = Epre_harness.Chaos.name kind in
+      match Epre.Passes.find name with
+      | Some p ->
+        Alcotest.(check bool) (name ^ " classified as chaos") true
+          (Epre.Passes.is_chaos p)
+      | None -> Alcotest.failf "chaos pass %s not registered" name)
+    Epre_harness.Chaos.all_kinds;
+  List.iter
+    (fun p ->
+      if Epre.Passes.is_chaos p then
+        Alcotest.(check bool) (p.Epre.Passes.name ^ " resolvable as chaos kind")
+          true
+          (Option.is_some (Epre_harness.Chaos.of_name p.Epre.Passes.name)))
     Epre.Passes.all
 
 let test_custom_sequence_end_to_end () =
@@ -79,5 +98,6 @@ let suite =
     Alcotest.test_case "sequence parsing" `Quick test_parse_sequence;
     Alcotest.test_case "every pass preserves behaviour" `Slow
       test_every_pass_preserves_behaviour;
+    Alcotest.test_case "chaos entries registered" `Quick test_chaos_entries_registered;
     Alcotest.test_case "custom 10-pass pipeline" `Quick test_custom_sequence_end_to_end;
   ]

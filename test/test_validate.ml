@@ -1,0 +1,184 @@
+(** Diagnostics of the IR validators, [Routine.validate] and
+    [Epre_ssa.Ssa_check] — the harness's [Ir] tier. Each test hand-builds
+    an ill-formed routine exercising one diagnostic class and asserts the
+    error message names the offending block or instruction. *)
+
+open Epre_ir
+
+let expect_ill_formed ~what ~mentions f =
+  match f () with
+  | () -> Alcotest.failf "%s: expected Routine.Ill_formed" what
+  | exception Routine.Ill_formed msg ->
+    List.iter
+      (fun needle ->
+        if not (Helpers.contains_substring ~needle msg) then
+          Alcotest.failf "%s: diagnostic %S does not mention %S" what msg needle)
+      mentions
+
+let expect_not_ssa ~what ~mentions f =
+  match f () with
+  | () -> Alcotest.failf "%s: expected Ssa_check.Not_ssa" what
+  | exception Epre_ssa.Ssa_check.Not_ssa msg ->
+    List.iter
+      (fun needle ->
+        if not (Helpers.contains_substring ~needle msg) then
+          Alcotest.failf "%s: diagnostic %S does not mention %S" what msg needle)
+      mentions
+
+(* --- Routine.validate: structural classes ----------------------------- *)
+
+let test_dangling_edge () =
+  let b = Builder.start ~name:"f" ~nparams:0 in
+  Builder.set_term b (Instr.Jump 99);
+  expect_ill_formed ~what:"dangling edge" ~mentions:[ "block 0"; "missing block 99" ]
+    (fun () -> Routine.validate b.Builder.routine)
+
+let test_phi_preds_mismatch () =
+  (* A two-block routine whose join has a phi naming a non-predecessor. *)
+  let b = Builder.start ~name:"f" ~nparams:1 in
+  let join = Builder.new_block b in
+  Builder.jump b join;
+  Builder.switch b join;
+  let d = Builder.fresh_reg b in
+  Block.prepend
+    (Cfg.block (Builder.cfg b) join)
+    (Instr.Phi { dst = d; args = [ (join, 0) ] });
+  Builder.ret b (Some d);
+  expect_ill_formed ~what:"phi preds mismatch"
+    ~mentions:[ Printf.sprintf "block %d" join; "phi preds" ]
+    (fun () -> Routine.validate b.Builder.routine)
+
+let test_phi_arity_mismatch () =
+  (* A phi in a two-predecessor join carrying only one argument. *)
+  let b = Builder.start ~name:"f" ~nparams:1 in
+  let left = Builder.new_block b in
+  let right = Builder.new_block b in
+  let join = Builder.new_block b in
+  Builder.cbr b ~cond:0 ~ifso:left ~ifnot:right;
+  Builder.switch b left;
+  Builder.jump b join;
+  Builder.switch b right;
+  Builder.jump b join;
+  Builder.switch b join;
+  let d = Builder.fresh_reg b in
+  Block.prepend
+    (Cfg.block (Builder.cfg b) join)
+    (Instr.Phi { dst = d; args = [ (left, 0) ] });
+  Builder.ret b (Some d);
+  expect_ill_formed ~what:"phi arity mismatch"
+    ~mentions:[ Printf.sprintf "block %d" join; "phi preds" ]
+    (fun () -> Routine.validate b.Builder.routine)
+
+let test_phi_after_non_phi () =
+  let b = Builder.start ~name:"f" ~nparams:1 in
+  let next = Builder.new_block b in
+  Builder.jump b next;
+  Builder.switch b next;
+  let x = Builder.int b 7 in
+  let blk = Cfg.block (Builder.cfg b) next in
+  blk.Block.instrs <-
+    blk.Block.instrs @ [ Instr.Phi { dst = Builder.fresh_reg b; args = [ (0, x) ] } ];
+  Builder.ret b (Some x);
+  expect_ill_formed ~what:"phi after non-phi"
+    ~mentions:[ Printf.sprintf "block %d" next; "phi after non-phi" ]
+    (fun () -> Routine.validate b.Builder.routine)
+
+let test_use_out_of_range () =
+  let b = Builder.start ~name:"f" ~nparams:1 in
+  let d = Builder.fresh_reg b in
+  Builder.emit b (Instr.Binop { op = Op.Add; dst = d; a = 0; b = 55 });
+  Builder.ret b (Some d);
+  expect_ill_formed ~what:"use out of range"
+    ~mentions:[ "block 0"; "r55"; "out of range" ]
+    (fun () -> Routine.validate b.Builder.routine)
+
+(* --- Ssa_check: dominance-aware classes ------------------------------- *)
+
+let test_duplicate_definition () =
+  let b = Builder.start ~name:"f" ~nparams:2 in
+  let d = Builder.fresh_reg b in
+  Builder.emit b (Instr.Binop { op = Op.Add; dst = d; a = 0; b = 1 });
+  Builder.emit b (Instr.Binop { op = Op.Mul; dst = d; a = 0; b = 1 });
+  Builder.ret b (Some d);
+  let r = Builder.finish b in
+  expect_not_ssa ~what:"duplicate definition"
+    ~mentions:[ "f"; Printf.sprintf "r%d" d; "multiple definitions" ]
+    (fun () -> Epre_ssa.Ssa_check.check r)
+
+let test_use_before_def () =
+  (* The register is in range (validate passes) but no instruction defines
+     it. *)
+  let b = Builder.start ~name:"f" ~nparams:1 in
+  let ghost = Builder.fresh_reg b in
+  let d = Builder.fresh_reg b in
+  Builder.emit b (Instr.Binop { op = Op.Add; dst = d; a = 0; b = ghost });
+  Builder.ret b (Some d);
+  let r = Builder.finish b in
+  expect_not_ssa ~what:"use before def"
+    ~mentions:[ "f"; Printf.sprintf "r%d" ghost; "never defined" ]
+    (fun () -> Epre_ssa.Ssa_check.check r)
+
+let test_use_not_dominated () =
+  (* Definition on one arm of a diamond, use in the join: defined, but not
+     on every path. *)
+  let b = Builder.start ~name:"f" ~nparams:1 in
+  let left = Builder.new_block b in
+  let right = Builder.new_block b in
+  let join = Builder.new_block b in
+  Builder.cbr b ~cond:0 ~ifso:left ~ifnot:right;
+  Builder.switch b left;
+  let d = Builder.int b 1 in
+  Builder.jump b join;
+  Builder.switch b right;
+  Builder.jump b join;
+  Builder.switch b join;
+  Builder.ret b (Some d);
+  let r = Builder.finish b in
+  expect_not_ssa ~what:"use not dominated"
+    ~mentions:
+      [ "f"; Printf.sprintf "r%d" d; Printf.sprintf "B%d" join; "not dominated" ]
+    (fun () -> Epre_ssa.Ssa_check.check r)
+
+let test_phi_arg_not_dominating_pred () =
+  (* A structurally valid phi whose argument is defined in the join itself,
+     so it cannot dominate the predecessor it flows in from. *)
+  let b = Builder.start ~name:"f" ~nparams:1 in
+  let pre = Builder.new_block b in
+  let join = Builder.new_block b in
+  Builder.jump b pre;
+  Builder.switch b pre;
+  Builder.jump b join;
+  Builder.switch b join;
+  let late = Builder.int b 3 in
+  let d = Builder.fresh_reg b in
+  Block.prepend
+    (Cfg.block (Builder.cfg b) join)
+    (Instr.Phi { dst = d; args = [ (pre, late) ] });
+  Builder.ret b (Some d);
+  let r = Builder.finish b in
+  expect_not_ssa ~what:"phi arg not dominating pred"
+    ~mentions:[ "f"; Printf.sprintf "r%d" late; "phi arg" ]
+    (fun () -> Epre_ssa.Ssa_check.check r)
+
+let test_well_formed_passes_both () =
+  let b = Builder.start ~name:"f" ~nparams:2 in
+  let d = Builder.binop b Op.Add 0 1 in
+  Builder.ret b (Some d);
+  let r = Builder.finish b in
+  Routine.validate r;
+  Epre_ssa.Ssa_check.check r
+
+let suite =
+  [
+    Alcotest.test_case "dangling edge names source and target" `Quick test_dangling_edge;
+    Alcotest.test_case "phi preds mismatch names block" `Quick test_phi_preds_mismatch;
+    Alcotest.test_case "phi arity mismatch names block" `Quick test_phi_arity_mismatch;
+    Alcotest.test_case "phi after non-phi names block" `Quick test_phi_after_non_phi;
+    Alcotest.test_case "out-of-range use names register" `Quick test_use_out_of_range;
+    Alcotest.test_case "duplicate definition names register" `Quick test_duplicate_definition;
+    Alcotest.test_case "use-before-def names register" `Quick test_use_before_def;
+    Alcotest.test_case "undominated use names block" `Quick test_use_not_dominated;
+    Alcotest.test_case "phi arg dominance names register" `Quick
+      test_phi_arg_not_dominating_pred;
+    Alcotest.test_case "well-formed routine passes" `Quick test_well_formed_passes_both;
+  ]
