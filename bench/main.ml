@@ -10,6 +10,10 @@
                   blocking reassociation
      bechamel   - compile-time cost of each optimizer pass (Bechamel, one
                   Test.make per pass, plus one per table-regeneration row)
+     baseline   - write BENCH_pipeline.json: per-pass wall-clock ns/run
+                  (monotonic clock, best of several suite sweeps) plus the
+                  Table 1 dynamic-count table — the perf trajectory seed
+                  that CI uploads and future PRs regress against
 
    With no argument, everything except the (slow) bechamel timings runs;
    `bench/main.exe all` includes them. *)
@@ -207,21 +211,27 @@ let bench_pass name pass =
 
 let reassoc_cfg = { Epre_reassoc.Expr_tree.reassoc_float = true; distribute = true }
 
+(* The per-pass timing subjects, shared between the Bechamel benches and
+   the `baseline` JSON snapshot so the two report the same work. *)
+let pass_specs : (string * (Epre_ir.Routine.t -> unit)) list =
+  [
+    ("ssa-roundtrip", fun r -> ignore (Epre_ssa.Ssa.destroy (Epre_ssa.Ssa.build r)));
+    ("constprop", fun r -> ignore (Epre_opt.Constprop.run r));
+    ("peephole", fun r -> ignore (Epre_opt.Peephole.run r));
+    ("dce", fun r -> ignore (Epre_opt.Dce.run r));
+    ("coalesce", fun r -> ignore (Epre_opt.Coalesce.run r));
+    ( "naming+pre",
+      fun r ->
+        ignore (Epre_opt.Naming.run r);
+        ignore (Epre_pre.Pre.run r) );
+    ("reassociate", fun r -> ignore (Epre_reassoc.Reassociate.run ~config:reassoc_cfg r));
+    ("gvn", fun r -> ignore (Epre_gvn.Gvn.run r));
+  ]
+
 let benches () =
   let open Bechamel in
-  [
-    bench_pass "ssa-roundtrip" (fun r ->
-        ignore (Epre_ssa.Ssa.destroy (Epre_ssa.Ssa.build r)));
-    bench_pass "constprop" (fun r -> ignore (Epre_opt.Constprop.run r));
-    bench_pass "peephole" (fun r -> ignore (Epre_opt.Peephole.run r));
-    bench_pass "dce" (fun r -> ignore (Epre_opt.Dce.run r));
-    bench_pass "coalesce" (fun r -> ignore (Epre_opt.Coalesce.run r));
-    bench_pass "naming+pre" (fun r ->
-        ignore (Epre_opt.Naming.run r);
-        ignore (Epre_pre.Pre.run r));
-    bench_pass "reassociate" (fun r ->
-        ignore (Epre_reassoc.Reassociate.run ~config:reassoc_cfg r));
-    bench_pass "gvn" (fun r -> ignore (Epre_gvn.Gvn.run r));
+  List.map (fun (name, pass) -> bench_pass name pass) pass_specs
+  @ [
     Test.make ~name:"table1-row-saxpy"
       (Staged.stage (fun () ->
            ignore
@@ -257,6 +267,77 @@ let run_bechamel () =
     (benches ())
 
 (* ------------------------------------------------------------------ *)
+(* Perf baseline snapshot                                              *)
+
+(* Quick wall-clock estimate without Bechamel's OLS machinery: best of
+   [runs] sweeps over fresh copies of the whole workload suite, on the
+   telemetry monotonic clock. Coarser than `bechamel`, but fast enough for
+   CI and stable enough to regress against. *)
+let baseline_runs = 5
+
+let time_pass pass =
+  let sweep () =
+    List.iter
+      (fun prog ->
+        let p = Epre_ir.Program.copy prog in
+        List.iter pass (Epre_ir.Program.routines p))
+      (Lazy.force suite_cache)
+  in
+  sweep () (* warm-up: fault in the suite cache and the pass's tables *);
+  let best = ref Int64.max_int in
+  for _ = 1 to baseline_runs do
+    let t0 = Epre_telemetry.Telemetry.Clock.now_ns () in
+    sweep ();
+    let d = Int64.sub (Epre_telemetry.Telemetry.Clock.now_ns ()) t0 in
+    if Int64.compare d !best < 0 then best := d
+  done;
+  Int64.to_int !best
+
+let baseline_json () =
+  let module J = Epre_telemetry.Tjson in
+  let passes =
+    List.map
+      (fun (name, pass) ->
+        J.Obj
+          [
+            ("name", J.Str name);
+            ("ns_per_run", J.Int (time_pass pass));
+            ("runs", J.Int baseline_runs);
+          ])
+      pass_specs
+  in
+  let counts =
+    List.map
+      (fun (r : Epre.Experiments.table1_row) ->
+        J.Obj
+          [
+            ("routine", J.Str r.Epre.Experiments.name);
+            ("baseline", J.Int r.Epre.Experiments.baseline);
+            ("partial", J.Int r.Epre.Experiments.partial);
+            ("reassociation", J.Int r.Epre.Experiments.reassociation);
+            ("distribution", J.Int r.Epre.Experiments.distribution);
+          ])
+      (Epre.Experiments.table1 ())
+  in
+  J.Obj
+    [
+      ("schema", J.Str "epre/bench-baseline/v1");
+      ("note", J.Str "per-pass wall clock over one sweep of the workload \
+                      suite (best of runs), plus Table 1 dynamic counts");
+      ("passes", J.Arr passes);
+      ("dynamic_counts", J.Arr counts);
+    ]
+
+let run_baseline () =
+  section "Perf baseline: per-pass wall clock + dynamic counts -> BENCH_pipeline.json";
+  let json = Epre_telemetry.Tjson.to_string (baseline_json ()) in
+  let oc = open_out_bin "BENCH_pipeline.json" in
+  output_string oc json;
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "wrote BENCH_pipeline.json (%d bytes)\n" (String.length json + 1)
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let what = if Array.length Sys.argv > 1 then Sys.argv.(1) else "tables" in
@@ -269,6 +350,7 @@ let () =
   | "strength" -> run_strength ()
   | "adce" -> run_adce ()
   | "bechamel" -> run_bechamel ()
+  | "baseline" -> run_baseline ()
   | "all" ->
     run_table1 ();
     run_table2 ();

@@ -14,7 +14,12 @@
      --safe            roll a failing pass back and keep optimizing
      --validate=TIER   off | ir | exec (translation validation)
      --report=json     emit per-pass outcome records
-     --chaos NAME[@N]  inject a fault pass at position N of the pipeline *)
+     --chaos NAME[@N]  inject a fault pass at position N of the pipeline
+
+   Telemetry flags (compile, run, workloads --check):
+     --trace-out FILE  write a Chrome trace-event JSON of the run's spans
+     --profile         per-pass wall-clock profile summary on stderr
+     --metrics=json    per-routine pipeline stats + counters, JSONL on stderr *)
 
 open Cmdliner
 
@@ -128,7 +133,74 @@ let stats_arg =
     & info [ "stats" ]
         ~doc:
           "Print per-routine pass statistics (renamed expression sites, \
-           constants folded, rewrites, ...) to stderr.")
+           constants folded, rewrites, ...) to stderr; with \
+           $(b,--metrics=json) they come as JSON records instead.")
+
+(* --- telemetry flags --------------------------------------------------- *)
+
+let trace_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-out" ] ~docv:"FILE"
+        ~doc:
+          "Write a Chrome trace-event JSON file of the run's telemetry \
+           spans (per-stage wall clock, allocation and IR size deltas); \
+           open it in Perfetto (ui.perfetto.dev) or chrome://tracing.")
+
+let profile_arg =
+  Arg.(
+    value & flag
+    & info [ "profile" ]
+        ~doc:
+          "Print a per-pass wall-clock profile (call counts, totals sorted \
+           descending, share of pipeline time) to stderr.")
+
+let metrics_arg =
+  Arg.(
+    value
+    & opt (some (enum [ ("json", `Json) ])) None
+    & info [ "metrics" ] ~docv:"FMT"
+        ~doc:
+          "Emit one-line-per-record JSON metrics to stderr: the per-routine \
+           pipeline statistics (see $(b,--stats)) followed by the counters \
+           registry. Only $(b,json).")
+
+type telemetry_opts = {
+  trace_out : string option;
+  profile : bool;
+  metrics : [ `Json ] option;
+}
+
+let telemetry_term =
+  let mk trace_out profile metrics = { trace_out; profile; metrics } in
+  Term.(const mk $ trace_out_arg $ profile_arg $ metrics_arg)
+
+(* Run [f] under a telemetry recorder when --trace-out/--profile ask for
+   one, exporting when [f] finishes; otherwise spans stay no-ops. *)
+let with_telemetry tel f =
+  if tel.trace_out = None && not tel.profile then f ()
+  else begin
+    let rc = Epre_telemetry.Telemetry.install () in
+    let finish () =
+      Epre_telemetry.Telemetry.uninstall ();
+      let spans = Epre_telemetry.Telemetry.spans rc in
+      (match tel.trace_out with
+      | Some path -> Epre_telemetry.Chrome_trace.write ~path spans
+      | None -> ());
+      if tel.profile then Fmt.epr "%s@?" (Epre_telemetry.Profile.render spans)
+    in
+    Fun.protect ~finally:finish f
+  end
+
+let emit_metrics tel stats =
+  match tel.metrics with
+  | None -> ()
+  | Some `Json ->
+    if stats <> [] then Fmt.epr "%s@." (Epre.Pipeline.stats_jsonl stats);
+    (match Epre_telemetry.Metrics.snapshot () with
+    | [] -> ()
+    | entries -> Fmt.epr "%s@." (Epre_telemetry.Metrics.to_jsonl entries))
 
 (* "chaos:drop-instr@2" -> (position, named pass) *)
 let parse_chaos spec =
@@ -200,19 +272,38 @@ let print_stats stats =
         s.Epre.Pipeline.copies_coalesced)
     stats
 
-let dump_hooks trace =
-  if trace then
+(* --trace is change-aware: a stage whose output is textually identical to
+   the routine's previous dump prints a one-line "unchanged" marker
+   instead of the full IR, so the Figures 2-10 walkthroughs aren't buried
+   in identical dumps. Seeded from the pre-pipeline program, so even a
+   first pass that does nothing is marked. *)
+let dump_hooks trace prog =
+  if not trace then Epre.Pipeline.no_hooks
+  else begin
+    let last = Hashtbl.create 7 in
+    let render r = Fmt.str "%a" Epre_ir.Pp.routine r in
+    List.iter
+      (fun (r : Epre_ir.Routine.t) ->
+        Hashtbl.replace last r.Epre_ir.Routine.name (render r))
+      (Epre_ir.Program.routines prog);
     { Epre.Pipeline.dump =
-        (fun pass r -> Fmt.epr "=== after %s ===@.%a@.@." pass Epre_ir.Pp.routine r)
-    }
-  else Epre.Pipeline.no_hooks
+        (fun pass r ->
+          let name = r.Epre_ir.Routine.name in
+          let text = render r in
+          match Hashtbl.find_opt last name with
+          | Some prev when String.equal prev text ->
+            Fmt.epr "=== after %s: %s unchanged ===@.@." pass name
+          | _ ->
+            Hashtbl.replace last name text;
+            Fmt.epr "=== after %s ===@.%s@.@." pass text) }
+  end
 
 (* Optimize [prog] in place per the CLI flags; returns the pipeline stats
    (empty for custom --passes sequences). The per-pass records go to
    [--report]; supervision failures without --safe abort with a
    diagnostic. *)
 let optimize ?level ?passes ~trace ~sup prog =
-  let hooks = dump_hooks trace in
+  let hooks = dump_hooks trace prog in
   (* Parse --chaos eagerly so a typo'd pass name or position always errors,
      even when there is no pipeline to splice it into. *)
   let chaos = Option.map parse_chaos sup.chaos in
@@ -273,10 +364,13 @@ let format_arg =
 
 let compile_cmd =
   let doc = "compile a source file and print the resulting ILOC" in
-  let run file level trace passes format sup stats =
+  let run file level trace passes format sup tel stats =
     let prog = compile_source file in
-    let pipeline_stats = optimize ?level ?passes ~trace ~sup prog in
-    if stats then print_stats pipeline_stats;
+    let pipeline_stats =
+      with_telemetry tel (fun () -> optimize ?level ?passes ~trace ~sup prog)
+    in
+    if stats && tel.metrics = None then print_stats pipeline_stats;
+    emit_metrics tel pipeline_stats;
     match format with
     | `Pretty -> Fmt.pr "%a@." Epre_ir.Pp.program prog
     | `Text -> print_string (Epre_ir.Ir_text.print_program prog)
@@ -285,19 +379,30 @@ let compile_cmd =
   Cmd.v (Cmd.info "compile" ~doc)
     Term.(
       const run $ file_arg $ level_arg $ trace_arg $ passes_arg $ format_arg
-      $ supervision_term $ stats_arg)
+      $ supervision_term $ telemetry_term $ stats_arg)
 
 let run_cmd =
   let doc = "compile, optimize and interpret a program (entry: main)" in
   let entry_arg =
     Arg.(value & opt string "main" & info [ "entry" ] ~docv:"NAME" ~doc:"Entry routine.")
   in
-  let run file level trace passes entry sup stats =
+  let run file level trace passes entry sup tel stats =
     let prog = compile_source file in
-    let pipeline_stats = optimize ?level ?passes ~trace ~sup prog in
-    if stats then print_stats pipeline_stats;
-    match Epre_interp.Interp.run prog ~entry ~args:[] with
-    | result ->
+    let interp () =
+      Epre_telemetry.Telemetry.Span.with_ ~kind:"interp" ~name:entry (fun () ->
+          Epre_interp.Interp.run prog ~entry ~args:[])
+    in
+    let outcome =
+      with_telemetry tel (fun () ->
+          let pipeline_stats = optimize ?level ?passes ~trace ~sup prog in
+          if stats && tel.metrics = None then print_stats pipeline_stats;
+          emit_metrics tel pipeline_stats;
+          match interp () with
+          | result -> Ok result
+          | exception Epre_interp.Interp.Runtime_error msg -> Error msg)
+    in
+    match outcome with
+    | Ok result ->
       List.iter
         (fun v -> Fmt.pr "emit %a@." Epre_ir.Value.pp v)
         result.Epre_interp.Interp.trace;
@@ -306,14 +411,14 @@ let run_cmd =
       | None -> ());
       Fmt.pr "dynamic operations: %a@." Epre_interp.Counts.pp
         result.Epre_interp.Interp.counts
-    | exception Epre_interp.Interp.Runtime_error msg ->
+    | Error msg ->
       Fmt.epr "runtime error: %s@." msg;
       exit 1
   in
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
       const run $ file_arg $ level_arg $ trace_arg $ passes_arg $ entry_arg
-      $ supervision_term $ stats_arg)
+      $ supervision_term $ telemetry_term $ stats_arg)
 
 let bisect_cmd =
   let doc =
@@ -416,7 +521,7 @@ let workloads_cmd =
              against the unoptimized program. Honours the supervision \
              flags; exits non-zero on any mismatch.")
   in
-  let run check level sup =
+  let run check level sup tel =
     if not check then
       List.iter
         (fun w ->
@@ -427,45 +532,49 @@ let workloads_cmd =
       let level = Option.value level ~default:Epre.Pipeline.Partial in
       let failures = ref 0 in
       let all_records = ref [] in
-      List.iter
-        (fun w ->
-          let name = w.Epre_workloads.Workloads.name in
-          let reference = Epre_workloads.Workloads.compile w in
-          let prog = Epre_workloads.Workloads.compile w in
-          (try
-             if supervised sup then begin
-               let inject =
-                 match sup.chaos with
-                 | None -> []
-                 | Some spec -> [ parse_chaos spec ]
-               in
-               let _, records =
-                 Epre.Pipeline.optimize_supervised ~inject
-                   ~config:(harness_config sup) ~level prog
-               in
-               all_records := !all_records @ records
-             end
-             else ignore (Epre.Pipeline.optimize ~level prog)
-           with
-          | Epre_harness.Harness.Supervision_failed record ->
-            all_records := !all_records @ [ record ];
-            incr failures;
-            Fmt.epr "FAIL %-12s %s@." name
-              (Epre_harness.Report.record_to_line record)
-          | e ->
-            incr failures;
-            Fmt.epr "FAIL %-12s pass raised: %s@." name (Printexc.to_string e));
-          let fuel = Epre_interp.Interp.default_fuel in
-          let before = Epre_harness.Harness.observe ~fuel reference in
-          let after = Epre_harness.Harness.observe ~fuel prog in
-          if Epre_harness.Harness.obs_equal before after then
-            Fmt.epr "ok   %-12s@." name
-          else begin
-            incr failures;
-            Fmt.epr "FAIL %-12s behaviour diverged@." name
-          end)
-        Epre_workloads.Workloads.all;
+      let all_stats = ref [] in
+      with_telemetry tel (fun () ->
+          List.iter
+            (fun w ->
+              let name = w.Epre_workloads.Workloads.name in
+              let reference = Epre_workloads.Workloads.compile w in
+              let prog = Epre_workloads.Workloads.compile w in
+              (try
+                 if supervised sup then begin
+                   let inject =
+                     match sup.chaos with
+                     | None -> []
+                     | Some spec -> [ parse_chaos spec ]
+                   in
+                   let stats, records =
+                     Epre.Pipeline.optimize_supervised ~inject
+                       ~config:(harness_config sup) ~level prog
+                   in
+                   all_stats := !all_stats @ stats;
+                   all_records := !all_records @ records
+                 end
+                 else all_stats := !all_stats @ Epre.Pipeline.optimize ~level prog
+               with
+              | Epre_harness.Harness.Supervision_failed record ->
+                all_records := !all_records @ [ record ];
+                incr failures;
+                Fmt.epr "FAIL %-12s %s@." name
+                  (Epre_harness.Report.record_to_line record)
+              | e ->
+                incr failures;
+                Fmt.epr "FAIL %-12s pass raised: %s@." name (Printexc.to_string e));
+              let fuel = Epre_interp.Interp.default_fuel in
+              let before = Epre_harness.Harness.observe ~fuel reference in
+              let after = Epre_harness.Harness.observe ~fuel prog in
+              if Epre_harness.Harness.obs_equal before after then
+                Fmt.epr "ok   %-12s@." name
+              else begin
+                incr failures;
+                Fmt.epr "FAIL %-12s behaviour diverged@." name
+              end)
+            Epre_workloads.Workloads.all);
       print_report sup Fmt.stdout !all_records;
+      emit_metrics tel !all_stats;
       if !failures > 0 then begin
         Fmt.epr "%d workload(s) failed@." !failures;
         exit 1
@@ -473,7 +582,7 @@ let workloads_cmd =
     end
   in
   Cmd.v (Cmd.info "workloads" ~doc)
-    Term.(const run $ check_arg $ level_arg $ supervision_term)
+    Term.(const run $ check_arg $ level_arg $ supervision_term $ telemetry_term)
 
 let main =
   let doc = "effective partial redundancy elimination (Briggs & Cooper, PLDI 1994)" in

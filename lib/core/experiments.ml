@@ -38,17 +38,25 @@ let run_level prog level =
   let p, _stats = Pipeline.optimized_copy ~level prog in
   dynamic_count p
 
-let table1_row (w : Workloads.t) =
-  let prog = Workloads.compile w in
-  {
-    name = w.Workloads.name;
-    baseline = run_level prog Pipeline.Baseline;
-    partial = run_level prog Pipeline.Partial;
-    reassociation = run_level prog Pipeline.Reassociation;
-    distribution = run_level prog Pipeline.Distribution;
-  }
+(* Table regeneration is traced: one "experiment" span per table and per
+   row, so a --trace-out of `eprec table1` (or the bench baseline) shows
+   where regeneration time goes. *)
+let experiment_span name f =
+  Epre_telemetry.Telemetry.Span.with_ ~kind:"experiment" ~name f
 
-let table1 ?(workloads = Workloads.all) () = List.map table1_row workloads
+let table1_row (w : Workloads.t) =
+  experiment_span ("table1:" ^ w.Workloads.name) (fun () ->
+      let prog = Workloads.compile w in
+      {
+        name = w.Workloads.name;
+        baseline = run_level prog Pipeline.Baseline;
+        partial = run_level prog Pipeline.Partial;
+        reassociation = run_level prog Pipeline.Reassociation;
+        distribution = run_level prog Pipeline.Distribution;
+      })
+
+let table1 ?(workloads = Workloads.all) () =
+  experiment_span "table1" (fun () -> List.map table1_row workloads)
 
 (* Improvement of [now] over [prev], in percent; the paper prints nothing
    for no change, "0%" and "-0%" for tiny changes. *)
@@ -104,6 +112,7 @@ let expansion_factor r =
    vs. after forward propagation (distribution off — the growth comes from
    propagation itself). *)
 let table2_row (w : Workloads.t) =
+  experiment_span ("table2:" ^ w.Workloads.name) @@ fun () ->
   let prog = Workloads.compile w in
   let stats =
     List.map
@@ -121,7 +130,8 @@ let table2_row (w : Workloads.t) =
   in
   { name = w.Workloads.name; before; after }
 
-let table2 ?(workloads = Workloads.all) () = List.map table2_row workloads
+let table2 ?(workloads = Workloads.all) () =
+  experiment_span "table2" (fun () -> List.map table2_row workloads)
 
 let render_table2 rows =
   let buf = Buffer.create 2048 in
@@ -180,15 +190,17 @@ let run_hierarchy_level prog m =
   dynamic_count p
 
 let hierarchy_row (w : Workloads.t) =
-  let prog = Workloads.compile w in
-  {
-    name = w.Workloads.name;
-    dom_cse = run_hierarchy_level prog Dom_cse;
-    avail_cse = run_hierarchy_level prog Avail_cse;
-    pre = run_hierarchy_level prog Full_pre;
-  }
+  experiment_span ("hierarchy:" ^ w.Workloads.name) (fun () ->
+      let prog = Workloads.compile w in
+      {
+        name = w.Workloads.name;
+        dom_cse = run_hierarchy_level prog Dom_cse;
+        avail_cse = run_hierarchy_level prog Avail_cse;
+        pre = run_hierarchy_level prog Full_pre;
+      })
 
-let hierarchy ?(workloads = Workloads.all) () = List.map hierarchy_row workloads
+let hierarchy ?(workloads = Workloads.all) () =
+  experiment_span "hierarchy" (fun () -> List.map hierarchy_row workloads)
 
 let render_hierarchy rows =
   let buf = Buffer.create 2048 in

@@ -118,20 +118,103 @@ let level_passes ~level =
   let shared = fresh_acc () in
   level_passes_into ~level ~acc_for:(fun _ -> shared)
 
+(* Funnel the per-routine record into the generic counters registry, so
+   the CLI's --metrics=json, CI and the bench baseline read pipeline
+   results and pass-private counters through one interface. *)
+let record_metrics (s : routine_stats) =
+  let add name v = Epre_telemetry.Metrics.add ~routine:s.routine ~name v in
+  add "naming.exprs_renamed" s.exprs_renamed;
+  add "constprop.constants_folded" s.constants_folded;
+  add "peephole.rewrites" s.peephole_rewrites;
+  add "dce.removed" s.dce_removed;
+  add "coalesce.copies" s.copies_coalesced;
+  (match s.pre with
+  | Some p ->
+    add "pre.inserted" p.Epre_pre.Pre.inserted;
+    add "pre.deleted" p.Epre_pre.Pre.deleted;
+    add "pre.cse_deleted" p.Epre_pre.Pre.cse_deleted;
+    add "pre.rounds" p.Epre_pre.Pre.rounds
+  | None -> ());
+  (match s.gvn with
+  | Some g ->
+    add "gvn.classes_merged" g.Epre_gvn.Gvn.classes_merged;
+    add "gvn.renamed" g.Epre_gvn.Gvn.renamed
+  | None -> ());
+  match s.reassoc with
+  | Some re ->
+    add "reassoc.before_ops" re.Epre_reassoc.Reassociate.before_ops;
+    add "reassoc.after_ops" re.Epre_reassoc.Reassociate.after_ops
+  | None -> ()
+
+let stats_to_json (s : routine_stats) =
+  let module J = Epre_telemetry.Tjson in
+  let opt f = function Some x -> f x | None -> J.Null in
+  J.Obj
+    [
+      ("type", J.Str "routine_stats");
+      ("routine", J.Str s.routine);
+      ("exprs_renamed", J.Int s.exprs_renamed);
+      ("constants_folded", J.Int s.constants_folded);
+      ("peephole_rewrites", J.Int s.peephole_rewrites);
+      ("dce_removed", J.Int s.dce_removed);
+      ("copies_coalesced", J.Int s.copies_coalesced);
+      ( "pre",
+        opt
+          (fun (p : Epre_pre.Pre.stats) ->
+            J.Obj
+              [
+                ("inserted", J.Int p.Epre_pre.Pre.inserted);
+                ("deleted", J.Int p.Epre_pre.Pre.deleted);
+                ("cse_deleted", J.Int p.Epre_pre.Pre.cse_deleted);
+                ("rounds", J.Int p.Epre_pre.Pre.rounds);
+              ])
+          s.pre );
+      ( "gvn",
+        opt
+          (fun (g : Epre_gvn.Gvn.stats) ->
+            J.Obj
+              [
+                ("classes_merged", J.Int g.Epre_gvn.Gvn.classes_merged);
+                ("renamed", J.Int g.Epre_gvn.Gvn.renamed);
+              ])
+          s.gvn );
+      ( "reassoc",
+        opt
+          (fun (re : Epre_reassoc.Reassociate.stats) ->
+            J.Obj
+              [
+                ("before_ops", J.Int re.Epre_reassoc.Reassociate.before_ops);
+                ("after_ops", J.Int re.Epre_reassoc.Reassociate.after_ops);
+              ])
+          s.reassoc );
+    ]
+
+let stats_jsonl stats =
+  String.concat "\n"
+    (List.map (fun s -> Epre_telemetry.Tjson.to_string (stats_to_json s)) stats)
+
 let optimize_routine ?(hooks = no_hooks) ~level (r : Routine.t) =
   let acc = fresh_acc () in
   let passes = level_passes_into ~level ~acc_for:(fun _ -> acc) in
-  List.iter
-    (fun np ->
-      np.Epre_harness.Harness.run r;
-      hooks.dump np.Epre_harness.Harness.pass_name r)
-    passes;
-  Routine.validate r;
-  stats_of_acc ~routine:r.Routine.name acc
+  Epre_telemetry.Telemetry.Span.with_ ~kind:"routine" ~routine:r
+    ~name:r.Routine.name (fun () ->
+      List.iter
+        (fun np ->
+          Epre_telemetry.Telemetry.Span.with_ ~kind:"pass" ~routine:r
+            ~name:np.Epre_harness.Harness.pass_name (fun () ->
+              np.Epre_harness.Harness.run r);
+          hooks.dump np.Epre_harness.Harness.pass_name r)
+        passes;
+      Routine.validate r);
+  let stats = stats_of_acc ~routine:r.Routine.name acc in
+  record_metrics stats;
+  stats
 
 (** Optimize a whole program in place; returns per-routine statistics. *)
 let optimize ?hooks ~level (p : Program.t) =
-  List.map (optimize_routine ?hooks ~level) (Program.routines p)
+  Epre_telemetry.Telemetry.Span.with_ ~kind:"pipeline"
+    ~name:(level_to_string level) (fun () ->
+      List.map (optimize_routine ?hooks ~level) (Program.routines p))
 
 (** Convenience: copy, optimize the copy, return it with the stats. *)
 let optimized_copy ?hooks ~level (p : Program.t) =
@@ -174,10 +257,16 @@ let optimize_supervised ?(hooks = no_hooks) ?(inject = []) ~config ~level
       (level_passes_into ~level ~acc_for)
       inject
   in
-  let records = Epre_harness.Harness.supervise ~dump:hooks.dump config ~passes p in
+  let records =
+    (* Per-(pass, routine) spans come from the harness itself. *)
+    Epre_telemetry.Telemetry.Span.with_ ~kind:"pipeline"
+      ~name:(level_to_string level ^ "/supervised") (fun () ->
+        Epre_harness.Harness.supervise ~dump:hooks.dump config ~passes p)
+  in
   let stats =
     List.map
       (fun (r : Routine.t) -> stats_of_acc ~routine:r.Routine.name (acc_for r))
       (Program.routines p)
   in
+  List.iter record_metrics stats;
   (stats, records)

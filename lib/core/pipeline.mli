@@ -16,7 +16,14 @@
     A level's sequence runs either bare ([optimize] — one broken pass
     aborts the run) or supervised ([optimize_supervised] — each pass is
     checkpointed, validated, and rolled back on failure; see
-    [Epre_harness.Harness]). *)
+    [Epre_harness.Harness]).
+
+    Both entry points are traced: when a telemetry recorder is installed
+    ([Epre_telemetry.Telemetry]), each run opens a ["pipeline"] span and
+    one ["pass"] span per (routine, stage), and the per-routine statistics
+    are mirrored into the [Epre_telemetry.Metrics] counters registry
+    (names like ["constprop.constants_folded"]; the registry is live even
+    without a recorder). *)
 
 open Epre_ir
 
@@ -40,6 +47,13 @@ type routine_stats = {
   dce_removed : int;
   copies_coalesced : int;
 }
+
+(** One-line-per-routine JSON records of [routine_stats]
+    ([{"type":"routine_stats","routine":...,...}]), encoded with
+    [Epre_telemetry.Tjson] — the `--metrics=json` / CI format. *)
+val stats_to_json : routine_stats -> Epre_telemetry.Tjson.t
+
+val stats_jsonl : routine_stats list -> string
 
 (** [dump] observes the routine after each named stage (IR tracing; the
     Figures 2-10 walkthrough uses it). Stage names: ["naming"],

@@ -124,9 +124,12 @@ let supervise ?(dump = fun _ _ -> ()) config ~passes (p : Program.t) =
       List.iter
         (fun (r : Routine.t) ->
           let snapshot = Routine.copy r in
-          let t0 = Sys.time () in
+          Epre_telemetry.Telemetry.Span.with_ ~kind:"pass" ~routine:r
+            ~name:np.pass_name
+          @@ fun () ->
+          let t0 = Epre_telemetry.Telemetry.Clock.now_ns () in
           let finish outcome =
-            let duration_ms = (Sys.time () -. t0) *. 1000.0 in
+            let duration_ms = Epre_telemetry.Telemetry.Clock.elapsed_ms ~since:t0 in
             let record =
               { pass = np.pass_name; routine = r.Routine.name; outcome; duration_ms }
             in

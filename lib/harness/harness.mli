@@ -41,6 +41,8 @@ type record = {
   routine : string;
   outcome : outcome;
   duration_ms : float;
+      (** wall clock on the telemetry monotonic clock (pass run plus
+          validation and any rollback), not process CPU time *)
 }
 
 type config = {

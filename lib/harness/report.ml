@@ -1,32 +1,23 @@
-(** JSON rendering of harness records. *)
+(** JSON rendering of harness records, over the telemetry JSON encoder
+    ([Epre_telemetry.Tjson] — the same encoder the metrics stream and the
+    bench baseline use, so every machine-readable output escapes and
+    formats identically). *)
 
-let escape s =
-  let buf = Buffer.create (String.length s + 8) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string buf "\\\""
-      | '\\' -> Buffer.add_string buf "\\\\"
-      | '\n' -> Buffer.add_string buf "\\n"
-      | '\t' -> Buffer.add_string buf "\\t"
-      | '\r' -> Buffer.add_string buf "\\r"
-      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char buf c)
-    s;
-  Buffer.contents buf
+module Tjson = Epre_telemetry.Tjson
 
-let record_to_json (r : Harness.record) =
+let record_fields (r : Harness.record) =
   let outcome, reason =
     match r.Harness.outcome with
     | Harness.Passed -> ("ok", None)
     | Harness.Rolled_back why -> ("rolled-back", Some (Harness.reason_to_string why))
   in
-  Printf.sprintf "{\"pass\": \"%s\", \"routine\": \"%s\", \"outcome\": \"%s\"%s, \"duration_ms\": %.3f}"
-    (escape r.Harness.pass) (escape r.Harness.routine) outcome
-    (match reason with
-    | None -> ""
-    | Some m -> Printf.sprintf ", \"reason\": \"%s\"" (escape m))
-    r.Harness.duration_ms
+  [ ("pass", Tjson.Str r.Harness.pass);
+    ("routine", Tjson.Str r.Harness.routine);
+    ("outcome", Tjson.Str outcome) ]
+  @ (match reason with None -> [] | Some m -> [ ("reason", Tjson.Str m) ])
+  @ [ ("duration_ms", Tjson.Float r.Harness.duration_ms) ]
+
+let record_to_json r = Tjson.to_string (Tjson.Obj (record_fields r))
 
 let to_json records =
   match records with

@@ -1,6 +1,7 @@
 (** Structured diagnostics for supervised runs: the [--report=json]
-    rendering of harness records. No JSON dependency is baked into the
-    image, so the (tiny) encoder lives here. *)
+    rendering of harness records, encoded with [Epre_telemetry.Tjson] (one
+    encoder for every machine-readable output — reports, metrics JSONL,
+    traces, the bench baseline). *)
 
 (** One record: [{"pass": ..., "routine": ..., "outcome": "ok" |
     "rolled-back", "reason": ... (absent when ok), "duration_ms": ...}]. *)

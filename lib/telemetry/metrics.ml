@@ -1,0 +1,38 @@
+(** Counters registry. See the interface. *)
+
+let table : (string * string, int ref) Hashtbl.t = Hashtbl.create 64
+
+let add ~routine ~name n =
+  match Hashtbl.find_opt table (routine, name) with
+  | Some cell -> cell := !cell + n
+  | None -> Hashtbl.add table (routine, name) (ref n)
+
+let incr ~routine ~name = add ~routine ~name 1
+
+let get ~routine ~name =
+  match Hashtbl.find_opt table (routine, name) with
+  | Some cell -> !cell
+  | None -> 0
+
+let reset () = Hashtbl.reset table
+
+type entry = { routine : string; name : string; value : int }
+
+let snapshot () =
+  Hashtbl.fold
+    (fun (routine, name) cell acc -> { routine; name; value = !cell } :: acc)
+    table []
+  |> List.sort (fun a b ->
+         match compare a.routine b.routine with 0 -> compare a.name b.name | c -> c)
+
+let entry_to_json e =
+  Tjson.Obj
+    [
+      ("type", Tjson.Str "counter");
+      ("routine", Tjson.Str e.routine);
+      ("name", Tjson.Str e.name);
+      ("value", Tjson.Int e.value);
+    ]
+
+let to_jsonl entries =
+  String.concat "\n" (List.map (fun e -> Tjson.to_string (entry_to_json e)) entries)

@@ -1,0 +1,27 @@
+(** A process-wide counters registry, keyed by (routine, counter name).
+
+    This generalizes the pipeline's hand-plumbed [routine_stats] record:
+    any pass can bump a named counter ([add] / [incr]) without a new field
+    threaded through [Pipeline], and every consumer (the CLI's
+    [--metrics=json], CI, the bench baseline) reads one snapshot format.
+    Counters accumulate across routines and runs until [reset]. *)
+
+val add : routine:string -> name:string -> int -> unit
+
+val incr : routine:string -> name:string -> unit
+
+(** Current value; 0 when never bumped. *)
+val get : routine:string -> name:string -> int
+
+val reset : unit -> unit
+
+type entry = { routine : string; name : string; value : int }
+
+(** All counters, sorted by routine then name. *)
+val snapshot : unit -> entry list
+
+(** [{"type":"counter","routine":...,"name":...,"value":...}] *)
+val entry_to_json : entry -> Tjson.t
+
+(** One JSON object per line, in [snapshot] order; [""] when empty. *)
+val to_jsonl : entry list -> string

@@ -1,0 +1,95 @@
+(** Span recording over the monotonic clock. See the interface for the
+    model; the design constraint is that the disabled path is one ref
+    probe, so telemetry can stay linked into every build. *)
+
+module Clock = struct
+  let now_ns () = Monotonic_clock.now ()
+
+  let elapsed_ms ~since = Int64.to_float (Int64.sub (now_ns ()) since) /. 1e6
+end
+
+type ir_size = { blocks : int; instrs : int }
+
+let measure_routine (r : Epre_ir.Routine.t) =
+  {
+    blocks = List.length (Epre_ir.Cfg.blocks r.Epre_ir.Routine.cfg);
+    instrs = Epre_ir.Routine.instr_count r;
+  }
+
+type span = {
+  name : string;
+  kind : string;
+  routine : string option;
+  depth : int;
+  start_ns : int64;
+  dur_ns : int64;
+  alloc_minor_words : float;
+  ir_before : ir_size option;
+  ir_after : ir_size option;
+  raised : bool;
+}
+
+type recorder = {
+  epoch : int64;
+  mutable depth : int;
+  mutable finished : span list;  (** completion order, newest first *)
+}
+
+let current : recorder option ref = ref None
+
+let install () =
+  let r = { epoch = Clock.now_ns (); depth = 0; finished = [] } in
+  current := Some r;
+  r
+
+let uninstall () = current := None
+
+let enabled () = !current <> None
+
+let spans r = List.rev r.finished
+
+let with_recorder f =
+  let r = install () in
+  Fun.protect ~finally:uninstall (fun () -> f r)
+
+module Span = struct
+  let with_ ?(kind = "task") ?routine ~name f =
+    match !current with
+    | None -> f ()
+    | Some rec_ ->
+      let routine_name = Option.map (fun r -> r.Epre_ir.Routine.name) routine in
+      let ir_before = Option.map measure_routine routine in
+      let depth = rec_.depth in
+      rec_.depth <- depth + 1;
+      let alloc0 = Gc.minor_words () in
+      let t0 = Clock.now_ns () in
+      let finish raised =
+        let dur_ns = Int64.sub (Clock.now_ns ()) t0 in
+        let alloc_minor_words = Gc.minor_words () -. alloc0 in
+        (* Restore the open-time depth rather than decrementing: an
+           exception that escaped several nested spans still leaves the
+           recorder balanced once the outermost one closes. *)
+        rec_.depth <- depth;
+        rec_.finished <-
+          {
+            name;
+            kind;
+            routine = routine_name;
+            depth;
+            start_ns = Int64.sub t0 rec_.epoch;
+            dur_ns;
+            alloc_minor_words;
+            ir_before;
+            ir_after = Option.map measure_routine routine;
+            raised;
+          }
+          :: rec_.finished
+      in
+      (match f () with
+      | v ->
+        finish false;
+        v
+      | exception e ->
+        finish true;
+        raise e)
+end

@@ -224,10 +224,10 @@ let test_report_json_shape () =
   in
   let json = Report.to_json records in
   let has n = Helpers.contains_substring ~needle:n json in
-  Alcotest.(check bool) "rolled-back entry" true (has "\"outcome\": \"rolled-back\"");
-  Alcotest.(check bool) "ok entry" true (has "\"outcome\": \"ok\"");
-  Alcotest.(check bool) "culprit named" true (has "\"pass\": \"chaos:detach-edge\"");
-  Alcotest.(check bool) "reason given" true (has "\"reason\": \"ill-formed IR:");
+  Alcotest.(check bool) "rolled-back entry" true (has "\"outcome\":\"rolled-back\"");
+  Alcotest.(check bool) "ok entry" true (has "\"outcome\":\"ok\"");
+  Alcotest.(check bool) "culprit named" true (has "\"pass\":\"chaos:detach-edge\"");
+  Alcotest.(check bool) "reason given" true (has "\"reason\":\"ill-formed IR:");
   Alcotest.(check bool) "timings present" true (has "\"duration_ms\":");
   (* An ok record carries no reason field. *)
   List.iter

@@ -30,4 +30,5 @@ let () =
       ("cfg-dot", Test_cfg_dot.suite);
       ("validate", Test_validate.suite);
       ("harness", Test_harness.suite);
+      ("telemetry", Test_telemetry.suite);
     ]

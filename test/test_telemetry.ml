@@ -1,0 +1,355 @@
+(** The telemetry subsystem: Tjson encode/parse round-trips, span
+    nesting/balance (including under exceptions), the no-op disabled path,
+    Chrome trace well-formedness (parsed back and validated — one span per
+    (routine, stage), monotonic timestamps, balanced nesting), counters
+    accumulation across routines, harness wall-clock timing, and the
+    --profile / --metrics rendering smoke tests. *)
+
+open Epre_telemetry
+
+(* ------------------------------------------------------------------ *)
+(* Tjson                                                               *)
+
+let test_tjson_roundtrip () =
+  let v =
+    Tjson.Obj
+      [
+        ("null", Tjson.Null);
+        ("bools", Tjson.Arr [ Tjson.Bool true; Tjson.Bool false ]);
+        ("int", Tjson.Int (-42));
+        ("float", Tjson.Float 1.25);
+        ("integral_float", Tjson.Float 3.0);
+        ("string", Tjson.Str "quote \" backslash \\ newline \n tab \t");
+        ("nested", Tjson.Obj [ ("empty_arr", Tjson.Arr []); ("empty_obj", Tjson.Obj []) ]);
+      ]
+  in
+  match Tjson.parse (Tjson.to_string v) with
+  | Error msg -> Alcotest.failf "round-trip parse failed: %s" msg
+  | Ok parsed ->
+    (* Integral floats intentionally re-read as ints; normalize both. *)
+    let rec norm = function
+      | Tjson.Float f when Float.is_integer f -> Tjson.Int (int_of_float f)
+      | Tjson.Arr xs -> Tjson.Arr (List.map norm xs)
+      | Tjson.Obj kvs -> Tjson.Obj (List.map (fun (k, x) -> (k, norm x)) kvs)
+      | x -> x
+    in
+    Alcotest.(check bool) "round-trips" true (norm v = norm parsed)
+
+let test_tjson_rejects () =
+  List.iter
+    (fun s ->
+      match Tjson.parse s with
+      | Ok _ -> Alcotest.failf "parser accepted malformed input %S" s
+      | Error _ -> ())
+    [ ""; "{"; "[1,]"; "{\"a\":}"; "[1] trailing"; "\"unterminated"; "nul"; "{'a':1}" ]
+
+let test_tjson_unicode () =
+  match Tjson.parse {|"aéb"|} with
+  | Ok (Tjson.Str s) -> Alcotest.(check string) "utf-8 decoded" "a\xc3\xa9b" s
+  | Ok _ | Error _ -> Alcotest.fail "unicode escape did not parse to a string"
+
+(* ------------------------------------------------------------------ *)
+(* Spans                                                               *)
+
+exception Boom
+
+let test_span_nesting_and_exceptions () =
+  let spans =
+    Telemetry.with_recorder (fun rc ->
+        Telemetry.Span.with_ ~kind:"outer" ~name:"outer" (fun () ->
+            Telemetry.Span.with_ ~kind:"inner" ~name:"ok-child" (fun () -> ());
+            try
+              Telemetry.Span.with_ ~kind:"inner" ~name:"raising-child" (fun () ->
+                  raise Boom)
+            with Boom -> ());
+        (* Depth must be balanced after nested spans and a caught raise. *)
+        Telemetry.Span.with_ ~name:"after" (fun () -> ());
+        Telemetry.spans rc)
+  in
+  let find name = List.find (fun s -> s.Telemetry.name = name) spans in
+  Alcotest.(check int) "span count" 4 (List.length spans);
+  Alcotest.(check int) "outer depth" 0 (find "outer").Telemetry.depth;
+  Alcotest.(check int) "child depth" 1 (find "ok-child").Telemetry.depth;
+  Alcotest.(check int) "raising child depth" 1 (find "raising-child").Telemetry.depth;
+  Alcotest.(check int) "post-exception depth balanced" 0 (find "after").Telemetry.depth;
+  Alcotest.(check bool) "raise recorded" true (find "raising-child").Telemetry.raised;
+  Alcotest.(check bool) "no spurious raise flag" false (find "outer").Telemetry.raised;
+  (* Completion order: children close before their parent. *)
+  let names = List.map (fun s -> s.Telemetry.name) spans in
+  Alcotest.(check (list string)) "completion order"
+    [ "ok-child"; "raising-child"; "outer"; "after" ] names
+
+let test_span_escaping_exception_balances () =
+  let spans =
+    Telemetry.with_recorder (fun rc ->
+        (try
+           Telemetry.Span.with_ ~name:"outer" (fun () ->
+               Telemetry.Span.with_ ~name:"inner" (fun () -> raise Boom))
+         with Boom -> ());
+        Telemetry.Span.with_ ~name:"after" (fun () -> ());
+        Telemetry.spans rc)
+  in
+  let find name = List.find (fun s -> s.Telemetry.name = name) spans in
+  Alcotest.(check bool) "inner raised" true (find "inner").Telemetry.raised;
+  Alcotest.(check bool) "outer raised" true (find "outer").Telemetry.raised;
+  Alcotest.(check int) "depth rebalanced" 0 (find "after").Telemetry.depth
+
+let test_disabled_is_noop () =
+  Telemetry.uninstall ();
+  Alcotest.(check bool) "disabled" false (Telemetry.enabled ());
+  let v = Telemetry.Span.with_ ~name:"ignored" (fun () -> 17) in
+  Alcotest.(check int) "value passes through" 17 v;
+  let spans = Telemetry.with_recorder (fun rc -> Telemetry.spans rc) in
+  Alcotest.(check int) "nothing was recorded" 0 (List.length spans)
+
+(* ------------------------------------------------------------------ *)
+(* Chrome trace of a pipeline run                                      *)
+
+let distribution_stages =
+  [ "reassociation"; "gvn"; "pre"; "constprop"; "peephole"; "dce"; "coalesce"; "clean" ]
+
+let trace_of_optimized_workload () =
+  let w = Option.get (Epre_workloads.Workloads.find "saxpy") in
+  let prog = Epre_workloads.Workloads.compile w in
+  Telemetry.with_recorder (fun rc ->
+      ignore (Epre.Pipeline.optimize ~level:Epre.Pipeline.Distribution prog);
+      (Telemetry.spans rc, List.map (fun (r : Epre_ir.Routine.t) -> r.Epre_ir.Routine.name)
+                             (Epre_ir.Program.routines prog)))
+
+let test_chrome_trace_wellformed () =
+  let spans, routines = trace_of_optimized_workload () in
+  let json =
+    match Tjson.parse (Chrome_trace.to_string spans) with
+    | Ok j -> j
+    | Error msg -> Alcotest.failf "trace JSON malformed: %s" msg
+  in
+  let events =
+    match Tjson.member "traceEvents" json with
+    | Some (Tjson.Arr evs) -> evs
+    | _ -> Alcotest.fail "traceEvents array missing"
+  in
+  Alcotest.(check bool) "has events" true (events <> []);
+  let str_field name ev =
+    match Tjson.member name ev with
+    | Some (Tjson.Str s) -> s
+    | _ -> Alcotest.failf "event field %s missing or not a string" name
+  in
+  let num_field name ev =
+    match Tjson.member name ev with
+    | Some (Tjson.Int i) -> float_of_int i
+    | Some (Tjson.Float f) -> f
+    | _ -> Alcotest.failf "event field %s missing or not a number" name
+  in
+  (* Every event is a complete event with monotone non-decreasing ts. *)
+  List.iter
+    (fun ev -> Alcotest.(check string) "phase" "X" (str_field "ph" ev))
+    events;
+  let ts = List.map (num_field "ts") events in
+  Alcotest.(check bool) "timestamps monotone" true (ts = List.sort compare ts);
+  (* Exactly one "pass" event per (routine, stage) of the level. *)
+  let pass_events =
+    List.filter (fun ev -> str_field "cat" ev = "pass") events
+  in
+  List.iter
+    (fun routine ->
+      List.iter
+        (fun stage ->
+          let n =
+            List.length
+              (List.filter
+                 (fun ev ->
+                   str_field "name" ev = stage
+                   && (match Tjson.member "args" ev with
+                      | Some args -> Tjson.member "routine" args = Some (Tjson.Str routine)
+                      | None -> false))
+                 pass_events)
+          in
+          Alcotest.(check int)
+            (Printf.sprintf "one span for (%s, %s)" routine stage)
+            1 n)
+        distribution_stages)
+    routines;
+  (* Balanced nesting: on the single track, events either nest or are
+     disjoint — no partial overlap. *)
+  let intervals =
+    List.map (fun ev -> (num_field "ts" ev, num_field "ts" ev +. num_field "dur" ev)) events
+  in
+  List.iteri
+    (fun i (s1, e1) ->
+      List.iteri
+        (fun j (s2, e2) ->
+          if i < j && s2 < e1 && s1 < e2 then
+            (* overlap: must be containment one way or the other *)
+            Alcotest.(check bool) "events nest" true
+              ((s1 <= s2 && e2 <= e1) || (s2 <= s1 && e1 <= e2)))
+        intervals)
+    intervals
+
+let test_ir_size_deltas () =
+  let spans, _ = trace_of_optimized_workload () in
+  let pass_spans = List.filter (fun s -> s.Telemetry.kind = "pass") spans in
+  List.iter
+    (fun s ->
+      match (s.Telemetry.ir_before, s.Telemetry.ir_after) with
+      | Some b, Some a ->
+        Alcotest.(check bool) "sizes positive" true
+          (b.Telemetry.blocks > 0 && b.Telemetry.instrs > 0
+          && a.Telemetry.blocks > 0 && a.Telemetry.instrs > 0)
+      | _ -> Alcotest.failf "pass span %s lost its IR sizes" s.Telemetry.name)
+    pass_spans;
+  (* The whole distribution pipeline shrinks saxpy's instruction count. *)
+  let total_delta =
+    List.fold_left
+      (fun acc s ->
+        match (s.Telemetry.ir_before, s.Telemetry.ir_after) with
+        | Some b, Some a -> acc + a.Telemetry.instrs - b.Telemetry.instrs
+        | _ -> acc)
+      0 pass_spans
+  in
+  Alcotest.(check bool) "pipeline net shrink recorded" true (total_delta < 0)
+
+(* ------------------------------------------------------------------ *)
+(* Counters registry                                                   *)
+
+let test_counters_accumulate () =
+  Metrics.reset ();
+  Metrics.add ~routine:"a" ~name:"widgets" 2;
+  Metrics.add ~routine:"a" ~name:"widgets" 3;
+  Metrics.incr ~routine:"b" ~name:"widgets";
+  Metrics.add ~routine:"a" ~name:"gadgets" 1;
+  Alcotest.(check int) "accumulates" 5 (Metrics.get ~routine:"a" ~name:"widgets");
+  Alcotest.(check int) "separate routines" 1 (Metrics.get ~routine:"b" ~name:"widgets");
+  Alcotest.(check int) "unknown is zero" 0 (Metrics.get ~routine:"c" ~name:"widgets");
+  let snap = Metrics.snapshot () in
+  Alcotest.(check int) "entries" 3 (List.length snap);
+  Alcotest.(check bool) "sorted by routine then name" true
+    (List.map (fun e -> (e.Metrics.routine, e.Metrics.name)) snap
+    = [ ("a", "gadgets"); ("a", "widgets"); ("b", "widgets") ]);
+  Metrics.reset ();
+  Alcotest.(check int) "reset" 0 (List.length (Metrics.snapshot ()))
+
+let test_pipeline_fills_registry () =
+  Metrics.reset ();
+  let prog =
+    Helpers.compile
+      {|
+fn f(x: int): int { return x * 4 + x * 4; }
+fn main(): int { var a: int = f(3); var b: int = f(5); return a + b; }
+|}
+  in
+  ignore (Epre.Pipeline.optimize ~level:Epre.Pipeline.Partial prog);
+  let snap = Metrics.snapshot () in
+  let routines_seen =
+    List.sort_uniq compare (List.map (fun e -> e.Metrics.routine) snap)
+  in
+  Alcotest.(check (list string)) "counters for every routine" [ "f"; "main" ]
+    routines_seen;
+  List.iter
+    (fun routine ->
+      Alcotest.(check bool)
+        (routine ^ " has pipeline counters")
+        true
+        (List.exists
+           (fun e -> e.Metrics.routine = routine && e.Metrics.name = "dce.removed")
+           snap))
+    routines_seen;
+  (* JSONL rendering: every line parses as a JSON object. *)
+  String.split_on_char '\n' (Metrics.to_jsonl snap)
+  |> List.iter (fun line ->
+         match Tjson.parse line with
+         | Ok (Tjson.Obj _) -> ()
+         | Ok _ | Error _ -> Alcotest.failf "bad metrics JSONL line %S" line);
+  Metrics.reset ()
+
+(* ------------------------------------------------------------------ *)
+(* Harness timing and stats JSON                                       *)
+
+let test_harness_wall_clock () =
+  let prog = Helpers.compile "fn main(): int { return 2 + 3; }" in
+  let spin = { Epre_harness.Harness.pass_name = "spin";
+               run = (fun _ ->
+                 (* Burn ~2ms of wall clock on the monotonic clock itself. *)
+                 let t0 = Telemetry.Clock.now_ns () in
+                 while Telemetry.Clock.elapsed_ms ~since:t0 < 2.0 do () done) }
+  in
+  let records =
+    Epre_harness.Harness.supervise Epre_harness.Harness.default_config
+      ~passes:[ spin ] prog
+  in
+  match records with
+  | [ r ] ->
+    Alcotest.(check bool) "duration is wall clock (>= 2ms)" true
+      (r.Epre_harness.Harness.duration_ms >= 2.0);
+    Alcotest.(check bool) "duration sane (< 5s)" true
+      (r.Epre_harness.Harness.duration_ms < 5000.0)
+  | rs -> Alcotest.failf "expected one record, got %d" (List.length rs)
+
+let test_stats_jsonl () =
+  let prog =
+    Helpers.compile "fn main(): int { var i: int; var s: int; for i = 1 to 9 { s = s + i * 3; } return s; }"
+  in
+  let stats = Epre.Pipeline.optimize ~level:Epre.Pipeline.Distribution prog in
+  let lines = String.split_on_char '\n' (Epre.Pipeline.stats_jsonl stats) in
+  Alcotest.(check int) "one line per routine" (List.length stats) (List.length lines);
+  List.iter
+    (fun line ->
+      match Tjson.parse line with
+      | Ok (Tjson.Obj fields) ->
+        Alcotest.(check bool) "typed record" true
+          (List.assoc_opt "type" fields = Some (Tjson.Str "routine_stats"));
+        Alcotest.(check bool) "has routine" true
+          (List.mem_assoc "routine" fields);
+        Alcotest.(check bool) "has gvn sub-object" true
+          (match List.assoc_opt "gvn" fields with
+          | Some (Tjson.Obj _) -> true
+          | _ -> false)
+      | Ok _ | Error _ -> Alcotest.failf "bad stats JSONL line %S" line)
+    lines
+
+(* ------------------------------------------------------------------ *)
+(* Profile rendering                                                   *)
+
+let test_profile_render () =
+  let spans, _ = trace_of_optimized_workload () in
+  let rows = Profile.rows spans in
+  Alcotest.(check bool) "a row per stage" true
+    (List.length rows = List.length distribution_stages);
+  let shares = List.fold_left (fun acc r -> acc +. r.Profile.share) 0.0 rows in
+  Alcotest.(check bool) "shares sum to ~100" true (Float.abs (shares -. 100.0) < 0.5);
+  let sorted_desc =
+    let totals = List.map (fun r -> r.Profile.total_ms) rows in
+    totals = List.sort (fun a b -> compare b a) totals
+  in
+  Alcotest.(check bool) "sorted by total desc" true sorted_desc;
+  let text = Profile.render spans in
+  List.iter
+    (fun stage ->
+      Alcotest.(check bool) ("mentions " ^ stage) true
+        (Helpers.contains_substring ~needle:stage text))
+    distribution_stages;
+  (* Profiling an empty recording stays graceful. *)
+  Alcotest.(check bool) "empty profile is a diagnostic" true
+    (Helpers.contains_substring ~needle:"no spans" (Profile.render []))
+
+let suite =
+  [
+    Alcotest.test_case "tjson round-trip" `Quick test_tjson_roundtrip;
+    Alcotest.test_case "tjson rejects malformed input" `Quick test_tjson_rejects;
+    Alcotest.test_case "tjson unicode escapes" `Quick test_tjson_unicode;
+    Alcotest.test_case "span nesting and caught exceptions" `Quick
+      test_span_nesting_and_exceptions;
+    Alcotest.test_case "escaping exception keeps balance" `Quick
+      test_span_escaping_exception_balances;
+    Alcotest.test_case "disabled spans are no-ops" `Quick test_disabled_is_noop;
+    Alcotest.test_case "chrome trace is well-formed" `Quick
+      test_chrome_trace_wellformed;
+    Alcotest.test_case "spans carry IR size deltas" `Quick test_ir_size_deltas;
+    Alcotest.test_case "counters accumulate across routines" `Quick
+      test_counters_accumulate;
+    Alcotest.test_case "pipeline fills the counters registry" `Quick
+      test_pipeline_fills_registry;
+    Alcotest.test_case "harness durations are wall clock" `Quick
+      test_harness_wall_clock;
+    Alcotest.test_case "routine stats export as JSONL" `Quick test_stats_jsonl;
+    Alcotest.test_case "profile summary renders" `Quick test_profile_render;
+  ]
