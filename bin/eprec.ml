@@ -4,6 +4,7 @@
      compile   compile a source file, optimize at a chosen level, dump ILOC
      run       compile, optimize, interpret; report result and dynamic counts
      bisect    shrink a failing pass sequence to the minimal offending prefix
+     fuzz      differentially fuzz the optimizer; reduce and persist failures
      table1    regenerate the paper's Table 1
      table2    regenerate the paper's Table 2 (forward-propagation expansion)
      hierarchy regenerate the Section 5.3 CSE-hierarchy comparison
@@ -399,7 +400,17 @@ let run_cmd =
           emit_metrics tel pipeline_stats;
           match interp () with
           | result -> Ok result
-          | exception Epre_interp.Interp.Runtime_error msg -> Error msg)
+          | exception Epre_interp.Interp.Runtime_error msg ->
+            Error (2, "runtime error: " ^ msg)
+          | exception Epre_interp.Interp.Out_of_fuel ->
+            (* Exit codes (see README): 1 compile/supervision failure,
+               2 runtime error, 3 fuel exhaustion. *)
+            Error
+              ( 3,
+                Printf.sprintf
+                  "out of fuel: interpreter budget (%d operations) exhausted \
+                   — the program may not terminate"
+                  Epre_interp.Interp.default_fuel ))
     in
     match outcome with
     | Ok result ->
@@ -411,9 +422,9 @@ let run_cmd =
       | None -> ());
       Fmt.pr "dynamic operations: %a@." Epre_interp.Counts.pp
         result.Epre_interp.Interp.counts
-    | Error msg ->
-      Fmt.epr "runtime error: %s@." msg;
-      exit 1
+    | Error (code, msg) ->
+      Fmt.epr "%s@." msg;
+      exit code
   in
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
@@ -481,6 +492,155 @@ let bisect_cmd =
     Term.(
       const run $ bisect_file_arg $ workload_arg $ level_arg $ passes_arg
       $ supervision_term)
+
+let fuzz_cmd =
+  let doc =
+    "differentially fuzz the optimizer with seeded random programs; reduce \
+     and persist failures"
+  in
+  let man =
+    [ `S Manpage.s_description;
+      `P
+        "Generates seeded random programs (well-typed and trap-free by \
+         construction), runs each through every optimization level — or \
+         just $(b,-O), or with a $(b,--chaos) fault spliced in — and \
+         compares observable behaviour against the unoptimized program. \
+         Failures are classified (pass exception, IR violation, behaviour \
+         mismatch, fuel divergence), greedily reduced to a minimal \
+         reproducer, and saved under $(b,--corpus). The verdict summary on \
+         stdout is deterministic for a given seed: no timestamps, no \
+         durations.";
+      `P
+        "$(b,--replay) DIR re-checks saved reproducers (one entry \
+         directory, or a whole corpus) against their recorded failure \
+         signatures.";
+      `P
+        "Exit status: 0 when every program survives (or every replayed \
+         entry loads), 1 when the campaign found failures or a replayed \
+         entry is broken." ]
+  in
+  let runs_arg =
+    Arg.(
+      value & opt int 200
+      & info [ "runs" ] ~docv:"N" ~doc:"Number of programs to generate.")
+  in
+  let seed_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "seed" ] ~docv:"N"
+          ~doc:
+            "Master seed; each case's seed derives from it, so the whole \
+             campaign is reproducible.")
+  in
+  let max_size_arg =
+    Arg.(
+      value & opt int 30
+      & info [ "max-size" ] ~docv:"N"
+          ~doc:"Statement budget for each generated program's main body.")
+  in
+  let reduce_arg =
+    Arg.(
+      value
+      & vflag true
+          [ ( true,
+              info [ "reduce" ]
+                ~doc:"Reduce each failure to a minimal reproducer (default)." );
+            (false, info [ "no-reduce" ] ~doc:"Keep failures unreduced.") ])
+  in
+  let corpus_arg =
+    Arg.(
+      value
+      & opt string "fuzz/corpus"
+      & info [ "corpus" ] ~docv:"DIR" ~doc:"Where reproducers are persisted.")
+  in
+  let replay_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "replay" ] ~docv:"DIR"
+          ~doc:
+            "Replay saved reproducers instead of fuzzing: DIR is one corpus \
+             entry or a corpus root.")
+  in
+  let pinpoint_arg =
+    Arg.(
+      value & flag
+      & info [ "pinpoint" ]
+          ~doc:
+            "Bisect each failure to its culprit pass (slower; names the \
+             pass in the verdict).")
+  in
+  let replay_entries dir =
+    if Sys.file_exists (Filename.concat dir "meta.json") then [ dir ]
+    else
+      Epre_fuzz.Corpus.list ~dir |> List.map (Filename.concat dir)
+  in
+  let run runs seed max_size reduce corpus replay level chaos chaos_seed
+      pinpoint tel =
+    (match chaos_seed with
+    | Some s -> Epre_harness.Chaos.default_seed := s
+    | None -> ());
+    match replay with
+    | Some dir -> begin
+      match replay_entries dir with
+      | [] ->
+        Fmt.epr "no corpus entries under %s@." dir;
+        exit 1
+      | dirs ->
+        let broken = ref 0 in
+        List.iter
+          (fun d ->
+            match Epre_fuzz.Campaign.replay d with
+            | Error m ->
+              incr broken;
+              Fmt.pr "broken       %s: %s@." d m
+            | Ok (entry, verdict) ->
+              (match verdict with
+              | Epre_fuzz.Campaign.Broken _ -> incr broken
+              | _ -> ());
+              Fmt.pr "%-12s %s@."
+                (Epre_fuzz.Campaign.replay_result_to_string verdict)
+                entry.Epre_fuzz.Corpus.id)
+          dirs;
+        if !broken > 0 then exit 1
+    end
+    | None ->
+      (* Validate --chaos before spending any time generating. *)
+      (match chaos with
+      | None -> ()
+      | Some spec -> (
+        match Epre_fuzz.Campaign.parse_chaos spec with
+        | Ok _ -> ()
+        | Error m ->
+          Fmt.epr "%s (see `eprec passes`)@." m;
+          exit 1));
+      let config =
+        { Epre_fuzz.Campaign.default_config with
+          runs; seed; max_size; reduce; chaos;
+          levels =
+            (match level with
+            | Some l -> [ l ]
+            | None -> Epre.Pipeline.all_levels);
+          corpus_dir = Some corpus;
+          pinpoint }
+      in
+      let summary =
+        with_telemetry tel (fun () ->
+            Epre_fuzz.Campaign.run ~log:(Fmt.epr "%s@.") config)
+      in
+      print_endline (Epre_fuzz.Campaign.summary_to_json summary);
+      Fmt.epr "fuzz: %d runs, %d failing case(s), %d failure(s), %d reduced@."
+        summary.Epre_fuzz.Campaign.runs summary.Epre_fuzz.Campaign.cases_failed
+        (List.length summary.Epre_fuzz.Campaign.failures)
+        summary.Epre_fuzz.Campaign.reduced;
+      if summary.Epre_fuzz.Campaign.cases_failed > 0 then exit 1
+  in
+  Cmd.v
+    (Cmd.info "fuzz" ~doc ~man)
+    Term.(
+      const run $ runs_arg $ seed_arg $ max_size_arg $ reduce_arg $ corpus_arg
+      $ replay_arg $ level_arg $ chaos_arg $ chaos_seed_arg $ pinpoint_arg
+      $ telemetry_term)
 
 let table1_cmd =
   let doc = "regenerate Table 1 (dynamic counts at all optimization levels)" in
@@ -587,7 +747,7 @@ let workloads_cmd =
 let main =
   let doc = "effective partial redundancy elimination (Briggs & Cooper, PLDI 1994)" in
   Cmd.group (Cmd.info "eprec" ~doc)
-    [ compile_cmd; run_cmd; bisect_cmd; table1_cmd; table2_cmd; hierarchy_cmd;
+    [ compile_cmd; run_cmd; bisect_cmd; fuzz_cmd; table1_cmd; table2_cmd; hierarchy_cmd;
       passes_cmd; workloads_cmd ]
 
 let () = exit (Cmd.eval main)

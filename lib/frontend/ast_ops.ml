@@ -1,0 +1,266 @@
+(** AST printing, sizing and indexed edits. See the interface for the
+    addressing scheme. *)
+
+open Ast
+
+(* ------------------------------------------------------------------ *)
+(* Source printer                                                      *)
+
+(* Precedence, loosest to tightest, mirroring the parser: || < && <
+   comparisons < additive < multiplicative < unary < postfix. *)
+let binary_prec = function
+  | BOr -> 1
+  | BAnd -> 2
+  | BEq | BNe | BLt | BLe | BGt | BGe -> 3
+  | BAdd | BSub -> 4
+  | BMul | BDiv | BRem -> 5
+
+let binary_sym = function
+  | BOr -> "||"
+  | BAnd -> "&&"
+  | BEq -> "=="
+  | BNe -> "!="
+  | BLt -> "<"
+  | BLe -> "<="
+  | BGt -> ">"
+  | BGe -> ">="
+  | BAdd -> "+"
+  | BSub -> "-"
+  | BMul -> "*"
+  | BDiv -> "/"
+  | BRem -> "%"
+
+(* The lexer's float grammar has no sign and needs a digit before any '.',
+   which every [Printf] rendering of a finite non-negative float satisfies;
+   negative literals print with a leading '-' and reparse as a (semantically
+   identical) unary negation. *)
+let float_lit f =
+  if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.1f" f
+  else Printf.sprintf "%.17g" f
+
+let rec expr_str ctx e =
+  match e with
+  | Int_lit i -> if i < 0 then "(" ^ string_of_int i ^ ")" else string_of_int i
+  | Float_lit f -> float_lit f
+  | Var v -> v
+  | Index (a, subs) ->
+    a ^ "[" ^ String.concat ", " (List.map (expr_str 0) subs) ^ "]"
+  | Call (f, args) ->
+    f ^ "(" ^ String.concat ", " (List.map (expr_str 0) args) ^ ")"
+  | Unary (op, x) ->
+    let s = (match op with UNeg -> "-" | UNot -> "!") ^ expr_str 6 x in
+    if ctx > 6 then "(" ^ s ^ ")" else s
+  | Binary (op, a, b) ->
+    let p = binary_prec op in
+    (* Comparisons do not chain in the grammar, so both operands must bind
+       tighter; the associative levels only need it on the right. *)
+    let lhs_ctx = if p = 3 then p + 1 else p in
+    let s =
+      expr_str lhs_ctx a ^ " " ^ binary_sym op ^ " " ^ expr_str (p + 1) b
+    in
+    if p < ctx then "(" ^ s ^ ")" else s
+
+let print_program prog =
+  let buf = Buffer.create 1024 in
+  let line ind s =
+    Buffer.add_string buf (String.make (2 * ind) ' ');
+    Buffer.add_string buf s;
+    Buffer.add_char buf '\n'
+  in
+  let rec stmt ind s =
+    match s.desc with
+    | Decl (n, ty, init) ->
+      line ind
+        (Printf.sprintf "var %s: %s%s;" n (vtype_to_string ty)
+           (match init with Some e -> " = " ^ expr_str 0 e | None -> ""))
+    | Assign (v, e) -> line ind (Printf.sprintf "%s = %s;" v (expr_str 0 e))
+    | Assign_index (a, subs, e) ->
+      line ind
+        (Printf.sprintf "%s[%s] = %s;" a
+           (String.concat ", " (List.map (expr_str 0) subs))
+           (expr_str 0 e))
+    | If (c, then_, else_) ->
+      line ind (Printf.sprintf "if (%s) {" (expr_str 0 c));
+      List.iter (stmt (ind + 1)) then_;
+      if else_ = [] then line ind "}"
+      else begin
+        line ind "} else {";
+        List.iter (stmt (ind + 1)) else_;
+        line ind "}"
+      end
+    | While (c, body) ->
+      line ind (Printf.sprintf "while (%s) {" (expr_str 0 c));
+      List.iter (stmt (ind + 1)) body;
+      line ind "}"
+    | For { var; start; stop; step; down; body } ->
+      line ind
+        (Printf.sprintf "for %s = %s %s %s%s {" var (expr_str 0 start)
+           (if down then "downto" else "to")
+           (expr_str 0 stop)
+           (match step with Some e -> " step " ^ expr_str 0 e | None -> ""));
+      List.iter (stmt (ind + 1)) body;
+      line ind "}"
+    | Return None -> line ind "return;"
+    | Return (Some e) -> line ind (Printf.sprintf "return %s;" (expr_str 0 e))
+    | Expr_stmt (Call (f, args)) ->
+      line ind
+        (Printf.sprintf "%s(%s);" f (String.concat ", " (List.map (expr_str 0) args)))
+    | Expr_stmt _ ->
+      invalid_arg "Ast_ops.print_program: bare expression statement"
+  in
+  List.iteri
+    (fun i (f : fndef) ->
+      if i > 0 then Buffer.add_char buf '\n';
+      let params =
+        String.concat ", "
+          (List.map (fun (n, ty) -> n ^ ": " ^ vtype_to_string ty) f.params)
+      in
+      let ret = match f.ret with Some t -> ": " ^ scalar_ty_to_string t | None -> "" in
+      line 0 (Printf.sprintf "fn %s(%s)%s {" f.name params ret);
+      List.iter (stmt 1) f.body;
+      line 0 "}")
+    prog;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Sizing and indexed edits                                            *)
+
+(* [List.map] with a guaranteed left-to-right application order, so the
+   numbering of the counting and transforming traversals always agrees. *)
+let map_ordered f xs = List.rev (List.fold_left (fun acc x -> f x :: acc) [] xs)
+
+let stmt_count prog =
+  let n = ref 0 in
+  let rec go s =
+    incr n;
+    match s.desc with
+    | If (_, t, e) ->
+      List.iter go t;
+      List.iter go e
+    | While (_, b) -> List.iter go b
+    | For { body; _ } -> List.iter go body
+    | Decl _ | Assign _ | Assign_index _ | Return _ | Expr_stmt _ -> ()
+  in
+  List.iter (fun (f : fndef) -> List.iter go f.body) prog;
+  !n
+
+let transform_stmt prog target f =
+  let n = ref (-1) in
+  let hit = ref false in
+  let rec go_list ss = List.concat (map_ordered go ss)
+  and go s =
+    incr n;
+    if !n = target then
+      match f s with
+      | Some rep ->
+        hit := true;
+        rep
+      | None -> [ keep s ]
+    else [ keep s ]
+  and keep s =
+    let desc =
+      match s.desc with
+      | If (c, t, e) ->
+        let t = go_list t in
+        If (c, t, go_list e)
+      | While (c, b) -> While (c, go_list b)
+      | For fr -> For { fr with body = go_list fr.body }
+      | (Decl _ | Assign _ | Assign_index _ | Return _ | Expr_stmt _) as d -> d
+    in
+    { s with desc }
+  in
+  let prog' = map_ordered (fun (fd : fndef) -> { fd with body = go_list fd.body }) prog in
+  if !hit then Some prog' else None
+
+(* The two expression traversals below must enumerate identically:
+   statements in program order, expressions preorder (node before
+   children), children left to right. *)
+
+let expr_count prog =
+  let n = ref 0 in
+  let rec ge e =
+    incr n;
+    match e with
+    | Int_lit _ | Float_lit _ | Var _ -> ()
+    | Index (_, subs) -> List.iter ge subs
+    | Binary (_, a, b) ->
+      ge a;
+      ge b
+    | Unary (_, x) -> ge x
+    | Call (_, args) -> List.iter ge args
+  in
+  let rec gs s =
+    match s.desc with
+    | Decl (_, _, init) -> Option.iter ge init
+    | Assign (_, e) -> ge e
+    | Assign_index (_, subs, e) ->
+      List.iter ge subs;
+      ge e
+    | If (c, t, e) ->
+      ge c;
+      List.iter gs t;
+      List.iter gs e
+    | While (c, b) ->
+      ge c;
+      List.iter gs b
+    | For { start; stop; step; body; _ } ->
+      ge start;
+      ge stop;
+      Option.iter ge step;
+      List.iter gs body
+    | Return e -> Option.iter ge e
+    | Expr_stmt e -> ge e
+  in
+  List.iter (fun (f : fndef) -> List.iter gs f.body) prog;
+  !n
+
+let transform_expr prog target f =
+  let n = ref (-1) in
+  let hit = ref false in
+  let rec ge e =
+    incr n;
+    if !n = target then
+      match f e with
+      | Some e' ->
+        hit := true;
+        e'
+      | None -> children e
+    else children e
+  and children e =
+    match e with
+    | Int_lit _ | Float_lit _ | Var _ -> e
+    | Index (a, subs) -> Index (a, map_ordered ge subs)
+    | Binary (op, a, b) ->
+      let a = ge a in
+      let b = ge b in
+      Binary (op, a, b)
+    | Unary (op, x) -> Unary (op, ge x)
+    | Call (nm, args) -> Call (nm, map_ordered ge args)
+  in
+  let rec gs s =
+    let desc =
+      match s.desc with
+      | Decl (nm, ty, init) -> Decl (nm, ty, Option.map ge init)
+      | Assign (v, e) -> Assign (v, ge e)
+      | Assign_index (a, subs, e) ->
+        let subs = map_ordered ge subs in
+        Assign_index (a, subs, ge e)
+      | If (c, t, e) ->
+        let c = ge c in
+        let t = map_ordered gs t in
+        If (c, t, map_ordered gs e)
+      | While (c, b) ->
+        let c = ge c in
+        While (c, map_ordered gs b)
+      | For fr ->
+        let start = ge fr.start in
+        let stop = ge fr.stop in
+        let step = Option.map ge fr.step in
+        For { fr with start; stop; step; body = map_ordered gs fr.body }
+      | Return e -> Return (Option.map ge e)
+      | Expr_stmt e -> Expr_stmt (ge e)
+    in
+    { s with desc }
+  in
+  let prog' = map_ordered (fun (fd : fndef) -> { fd with body = map_ordered gs fd.body }) prog in
+  if !hit then Some prog' else None

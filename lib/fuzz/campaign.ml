@@ -1,0 +1,259 @@
+(** Campaign driver. See the interface for the determinism contract. *)
+
+module Frontend = Epre_frontend.Frontend
+module Ast_ops = Epre_frontend.Ast_ops
+module Harness = Epre_harness.Harness
+module Chaos = Epre_harness.Chaos
+module Report = Epre_harness.Report
+module Pipeline = Epre.Pipeline
+module Span = Epre_telemetry.Telemetry.Span
+module Tjson = Epre_telemetry.Tjson
+
+type config = {
+  runs : int;
+  seed : int;
+  max_size : int;
+  levels : Pipeline.level list;
+  chaos : string option;
+  reduce : bool;
+  corpus_dir : string option;
+  fuel : int;
+  pinpoint : bool;
+}
+
+let default_config =
+  { runs = 200; seed = 0; max_size = 30; levels = Pipeline.all_levels;
+    chaos = None; reduce = true; corpus_dir = None; fuel = 1_000_000;
+    pinpoint = false }
+
+let parse_chaos spec =
+  let name, pos =
+    match String.index_opt spec '@' with
+    | None -> (spec, Ok 0)
+    | Some i ->
+      ( String.sub spec 0 i,
+        match
+          int_of_string_opt (String.sub spec (i + 1) (String.length spec - i - 1))
+        with
+        | Some p when p >= 0 -> Ok p
+        | _ -> Error (Printf.sprintf "bad chaos position in %S" spec) )
+  in
+  match pos with
+  | Error _ as e -> e
+  | Ok pos -> (
+    match Chaos.of_name name with
+    | Some kind ->
+      Ok (pos, { Harness.pass_name = name; run = Chaos.run kind })
+    | None -> Error (Printf.sprintf "unknown chaos pass %S" name))
+
+let compile_ast ast =
+  match Frontend.compile_string (Ast_ops.print_program ast) with
+  | prog -> Some prog
+  | exception Frontend.Error _ -> None
+
+let still_fails ocfg ~level ~cls ast =
+  match compile_ast ast with
+  | None -> false
+  | Some prog ->
+    let ocfg = { ocfg with Oracle.levels = [ level ]; pinpoint = false } in
+    List.exists (fun (f : Oracle.failure) -> f.cls = cls) (Oracle.check ocfg prog)
+
+type summary = {
+  runs : int;
+  seed : int;
+  chaos : string option;
+  cases_failed : int;
+  failures : Harness.record list;
+  reduced : int;
+  saved : string list;
+}
+
+(* One oracle failure -> (record, corpus entry if a dir is configured). *)
+let handle_failure (config : config) ocfg ~case_seed ~ast ~source (f : Oracle.failure) =
+  let reduction, repro_ast =
+    if config.reduce then begin
+      let still = still_fails ocfg ~level:f.level ~cls:f.cls in
+      let reduced, stats = Reduce.run ~still_fails:still ast in
+      (Some stats, reduced)
+    end
+    else (None, ast)
+  in
+  let repro_source = Ast_ops.print_program repro_ast in
+  let id = Corpus.entry_id ~seed:case_seed ~level:f.level ~cls:f.cls in
+  let repro_path =
+    Option.map
+      (fun dir -> Filename.concat (Filename.concat dir id) "repro.mf")
+      config.corpus_dir
+  in
+  let record =
+    Oracle.failure_record ~seed:case_seed ?chaos:config.chaos ?repro:repro_path f
+  in
+  let record =
+    match reduction with
+    | None -> record
+    | Some (st : Reduce.stats) ->
+      { record with
+        Harness.meta =
+          record.Harness.meta
+          @ [ ("fuzz_original_stmts", Tjson.Int st.original_stmts);
+              ("fuzz_reduced_stmts", Tjson.Int st.reduced_stmts) ] }
+  in
+  let saved =
+    match config.corpus_dir with
+    | None -> None
+    | Some dir ->
+      let entry =
+        { Corpus.id; seed = case_seed; level = f.level; cls = f.cls;
+          chaos = config.chaos; reduction; record; repro_source }
+      in
+      Some (Corpus.save ~dir ~original:source entry)
+  in
+  (record, reduction <> None, saved)
+
+let run ?(log = ignore) (config : config) =
+  let chaos =
+    match config.chaos with
+    | None -> None
+    | Some spec -> (
+      match parse_chaos spec with
+      | Ok c -> Some c
+      | Error m -> invalid_arg ("Campaign.run: " ^ m))
+  in
+  let ocfg =
+    { Oracle.levels = config.levels; chaos; chaos_name = config.chaos;
+      fuel = config.fuel; pinpoint = config.pinpoint }
+  in
+  let gen_config = { Gen.default_config with max_stmts = config.max_size } in
+  let master = Rng.create config.seed in
+  Span.with_ ~kind:"fuzz" ~name:"campaign" @@ fun () ->
+  let cases_failed = ref 0 in
+  let failures = ref [] in
+  let reduced = ref 0 in
+  let saved = ref [] in
+  for _ = 1 to config.runs do
+    let case_seed = Rng.int master 1_000_000_000 in
+    Span.with_ ~kind:"fuzz-case" ~name:(Printf.sprintf "seed%d" case_seed)
+    @@ fun () ->
+    let ast = Gen.program ~config:gen_config case_seed in
+    let source = Ast_ops.print_program ast in
+    match Frontend.compile_string source with
+    | exception Frontend.Error { line; message } ->
+      (* The generator promises well-typed programs; a compile failure is
+         itself a finding (frontend or generator bug). *)
+      incr cases_failed;
+      let detail = Printf.sprintf "line %d: %s" line message in
+      log (Printf.sprintf "case seed %d: does not compile (%s)" case_seed detail);
+      let record =
+        { Harness.pass = "<frontend>"; routine = "<program>";
+          outcome = Harness.Rolled_back (Harness.Pass_exception detail);
+          duration_ms = 0.;
+          meta = [ ("fuzz_seed", Tjson.Int case_seed) ] }
+      in
+      failures := record :: !failures
+    | prog -> (
+      match Oracle.check ocfg prog with
+      | [] -> ()
+      | fs ->
+        incr cases_failed;
+        List.iter
+          (fun (f : Oracle.failure) ->
+            log
+              (Printf.sprintf "case seed %d: %s at %s (%s)" case_seed
+                 (Oracle.class_to_string f.cls)
+                 (Pipeline.level_to_string f.level)
+                 f.pass);
+            let record, was_reduced, entry_dir =
+              handle_failure config ocfg ~case_seed ~ast ~source f
+            in
+            failures := record :: !failures;
+            if was_reduced then incr reduced;
+            match entry_dir with
+            | Some d -> saved := d :: !saved
+            | None -> ())
+          fs)
+  done;
+  { runs = config.runs; seed = config.seed; chaos = config.chaos;
+    cases_failed = !cases_failed; failures = List.rev !failures;
+    reduced = !reduced; saved = List.rev !saved }
+
+let summary_to_json s =
+  let classes =
+    List.fold_left
+      (fun acc (r : Harness.record) ->
+        let cls =
+          match List.assoc_opt "fuzz_class" r.meta with
+          | Some (Tjson.Str c) -> c
+          | _ -> "compile-error"
+        in
+        let n = match List.assoc_opt cls acc with Some n -> n | None -> 0 in
+        (cls, n + 1) :: List.remove_assoc cls acc)
+      [] s.failures
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  Tjson.to_string
+    (Tjson.Obj
+       [ ("runs", Tjson.Int s.runs);
+         ("seed", Tjson.Int s.seed);
+         ( "chaos",
+           match s.chaos with None -> Tjson.Null | Some c -> Tjson.Str c );
+         ("cases_failed", Tjson.Int s.cases_failed);
+         ("failures_found", Tjson.Int (List.length s.failures));
+         ("reduced", Tjson.Int s.reduced);
+         ("classes", Tjson.Obj (List.map (fun (c, n) -> (c, Tjson.Int n)) classes));
+         ("failures", Tjson.Arr (List.map Report.record_to_tjson s.failures)) ])
+
+(* ------------------------------------------------------------------ *)
+(* Replay                                                              *)
+
+type replay_result =
+  | Still_fails of Oracle.failure_class
+  | Class_changed of {
+      expected : Oracle.failure_class;
+      got : Oracle.failure_class;
+    }
+  | Fixed
+  | Broken of string
+
+let replay_result_to_string = function
+  | Still_fails c -> "still-fails (" ^ Oracle.class_to_string c ^ ")"
+  | Class_changed { expected; got } ->
+    Printf.sprintf "class-changed (%s -> %s)"
+      (Oracle.class_to_string expected)
+      (Oracle.class_to_string got)
+  | Fixed -> "fixed"
+  | Broken m -> "broken: " ^ m
+
+let replay ?(fuel = default_config.fuel) dir =
+  match Corpus.load dir with
+  | Error _ as e -> e
+  | Ok entry -> (
+    let verdict =
+      match Frontend.compile_string entry.Corpus.repro_source with
+      | exception Frontend.Error { line; message } ->
+        Broken (Printf.sprintf "line %d: %s" line message)
+      | prog -> (
+        let chaos =
+          match entry.Corpus.chaos with
+          | None -> Ok None
+          | Some spec -> Result.map Option.some (parse_chaos spec)
+        in
+        match chaos with
+        | Error m -> Broken m
+        | Ok chaos -> (
+          let ocfg =
+            { Oracle.levels = [ entry.Corpus.level ]; chaos;
+              chaos_name = entry.Corpus.chaos; fuel; pinpoint = false }
+          in
+          match Oracle.check ocfg prog with
+          | [] -> Fixed
+          | fs ->
+            if
+              List.exists
+                (fun (f : Oracle.failure) -> f.cls = entry.Corpus.cls)
+                fs
+            then Still_fails entry.Corpus.cls
+            else
+              Class_changed
+                { expected = entry.Corpus.cls; got = (List.hd fs).cls }))
+    in
+    Ok (entry, verdict))

@@ -1,0 +1,365 @@
+(** Seeded program generator. See the interface for the invariants every
+    program satisfies by construction. *)
+
+open Epre_frontend.Ast
+
+type config = {
+  max_stmts : int;
+  stmt_depth : int;
+  expr_depth : int;
+  helpers : int;
+}
+
+let default_config = { max_stmts = 30; stmt_depth = 3; expr_depth = 3; helpers = 2 }
+
+let mk desc = { desc; line = 1 }
+
+(* What a routine body may reference while being generated. *)
+type ctx = {
+  rng : Rng.t;
+  ints : string list;  (** readable int scalars *)
+  int_targets : string list;  (** assignable int scalars *)
+  flts : string list;
+  flt_targets : string list;
+  arrays : bool;  (** the fixed arrays [a], [m], [fa] are in scope *)
+  int_callees : string list;  (** generated [..(int, int): int] helpers *)
+  flt_callee : string option;  (** generated [(float, float): float] helper *)
+}
+
+(* 1-based in-bounds subscript: [1 + mod(abs e, dim)]. *)
+let guard_index dim e =
+  Binary (BAdd, Int_lit 1, Call ("mod", [ Call ("abs", [ e ]); Int_lit dim ]))
+
+(* Non-zero divisor: [1 + abs e]. *)
+let guard_divisor e = Binary (BAdd, Int_lit 1, Call ("abs", [ e ]))
+
+(* Keep float magnitudes representable: every float assignment clamps. *)
+let clamp_float e = Call ("min", [ e; Float_lit 1000000.0 ])
+
+let rec int_expr ctx depth =
+  let g = ctx.rng in
+  (* Fall back to a literal when no int scalar is in scope (e.g. inside
+     the float helper, whose only variables are floats). *)
+  let atom () =
+    match ctx.ints with
+    | [] -> Int_lit (Rng.int g 21)
+    | vs -> Var (Rng.pick g vs)
+  in
+  if depth <= 0 then
+    Rng.weighted g
+      [ (2, fun () -> Int_lit (Rng.int g 21)); (3, fun () -> atom ()) ]
+      ()
+  else begin
+    let sub () = int_expr ctx (depth - 1) in
+    let choices =
+      [ (2, fun () -> Int_lit (Rng.int g 21));
+        (3, fun () -> atom ());
+        (4, fun () -> Binary (Rng.pick g [ BAdd; BSub; BMul ], sub (), sub ()));
+        (1, fun () -> Binary (BDiv, sub (), guard_divisor (sub ())));
+        (1, fun () -> Binary (BRem, sub (), guard_divisor (sub ())));
+        (1, fun () -> Call (Rng.pick g [ "min"; "max" ], [ sub (); sub () ]));
+        (1, fun () -> Call ("abs", [ sub () ])) ]
+      @ (if ctx.arrays then
+           [ (2, fun () -> Index ("a", [ guard_index 8 (sub ()) ]));
+             ( 1,
+               fun () ->
+                 Index ("m", [ guard_index 4 (sub ()); guard_index 4 (sub ()) ]) ) ]
+         else [])
+      @
+      match ctx.int_callees with
+      | [] -> []
+      | hs -> [ (1, fun () -> Call (Rng.pick g hs, [ sub (); sub () ])) ]
+    in
+    (Rng.weighted g choices) ()
+  end
+
+(* Float expressions: non-negative atoms under monotone non-negative
+   operators only (no subtraction, no negation, no int operands except
+   through [float(abs ...)]), so reassociation error stays relative. *)
+let rec flt_expr ctx depth =
+  let g = ctx.rng in
+  let lit () = Float_lit (float_of_int (Rng.int g 33) /. 4.0) in
+  if depth <= 0 then
+    match ctx.flts with
+    | [] -> lit ()
+    | vs ->
+      Rng.weighted g [ (2, fun () -> lit ()); (3, fun () -> Var (Rng.pick g vs)) ] ()
+  else begin
+    let sub () = flt_expr ctx (depth - 1) in
+    let choices =
+      [ (2, fun () -> lit ());
+        (3,
+         fun () ->
+           match ctx.flts with [] -> lit () | vs -> Var (Rng.pick g vs));
+        (3, fun () -> Binary (Rng.pick g [ BAdd; BMul ], sub (), sub ()));
+        (1, fun () -> Binary (BDiv, sub (), Binary (BAdd, Float_lit 1.0, sub ())));
+        (1, fun () -> Call (Rng.pick g [ "min"; "max" ], [ sub (); sub () ]));
+        (1, fun () -> Call ("sqrt", [ sub () ]));
+        (1, fun () -> Call ("float", [ Call ("abs", [ int_expr ctx (depth - 1) ]) ])) ]
+      @ (if ctx.arrays then
+           [ (2, fun () -> Index ("fa", [ guard_index 8 (int_expr ctx (depth - 1)) ])) ]
+         else [])
+      @
+      match ctx.flt_callee with
+      | None -> []
+      | Some h -> [ (1, fun () -> Call (h, [ sub (); sub () ])) ]
+    in
+    (Rng.weighted g choices) ()
+  end
+
+(* Conditions branch on integers only (see the float invariant above). *)
+let cond ctx =
+  let g = ctx.rng in
+  let cmp () =
+    Binary
+      ( Rng.pick g [ BEq; BNe; BLt; BLe; BGt; BGe ],
+        int_expr ctx 2,
+        int_expr ctx 2 )
+  in
+  Rng.weighted g
+    [ (4, fun () -> cmp ());
+      (1, fun () -> Binary (Rng.pick g [ BAnd; BOr ], cmp (), cmp ()));
+      (1, fun () -> Unary (UNot, cmp ())) ]
+    ()
+
+(* ------------------------------------------------------------------ *)
+(* Statements                                                          *)
+
+let rec stmts config ctx ~budget ~depth ~fors ~whiles =
+  let g = ctx.rng in
+  let count = Rng.range g 1 4 in
+  let rec go i acc =
+    if i >= count || !budget <= 0 then List.rev acc
+    else begin
+      let generated = stmt config ctx ~budget ~depth ~fors ~whiles in
+      go (i + 1) (List.rev_append generated acc)
+    end
+  in
+  go 0 []
+
+and stmt config ctx ~budget ~depth ~fors ~whiles =
+  let g = ctx.rng in
+  decr budget;
+  let leaf =
+    [ ( 4,
+        fun () ->
+          [ mk (Assign (Rng.pick g ctx.int_targets, int_expr ctx config.expr_depth)) ] );
+      ( 2,
+        fun () ->
+          match ctx.flt_targets with
+          | [] -> [ mk (Expr_stmt (Call ("emit", [ int_expr ctx 2 ]))) ]
+          | vs ->
+            [ mk (Assign (Rng.pick g vs, clamp_float (flt_expr ctx config.expr_depth))) ]
+      );
+      ( 2,
+        fun () ->
+          let e =
+            if ctx.flts <> [] && Rng.bool g then flt_expr ctx 2 else int_expr ctx 2
+          in
+          [ mk (Expr_stmt (Call ("emit", [ e ]))) ] ) ]
+    @ (if ctx.arrays then
+         [ ( 2,
+             fun () ->
+               [ mk
+                   (Assign_index
+                      ("a", [ guard_index 8 (int_expr ctx 1) ], int_expr ctx config.expr_depth))
+               ] );
+           ( 1,
+             fun () ->
+               [ mk
+                   (Assign_index
+                      ( "m",
+                        [ guard_index 4 (int_expr ctx 1); guard_index 4 (int_expr ctx 1) ],
+                        int_expr ctx config.expr_depth ))
+               ] );
+           ( 1,
+             fun () ->
+               [ mk
+                   (Assign_index
+                      ( "fa",
+                        [ guard_index 8 (int_expr ctx 1) ],
+                        clamp_float (flt_expr ctx config.expr_depth) ))
+               ] ) ]
+       else [])
+    @
+    match ctx.int_callees with
+    | [] -> []
+    | hs ->
+      [ (1, fun () -> [ mk (Expr_stmt (Call (Rng.pick g hs, [ int_expr ctx 1; int_expr ctx 1 ]))) ]) ]
+  in
+  let nested =
+    if depth <= 0 then []
+    else
+      [ ( 2,
+          fun () ->
+            let c = cond ctx in
+            let then_ = stmts config ctx ~budget ~depth:(depth - 1) ~fors ~whiles in
+            let else_ =
+              if Rng.bool g then []
+              else stmts config ctx ~budget ~depth:(depth - 1) ~fors ~whiles
+            in
+            [ mk (If (c, then_, else_)) ] ) ]
+      @ (match fors with
+        | [] -> []
+        | counter :: rest ->
+          [ ( 2,
+              fun () ->
+                let hi = Int_lit (Rng.range g 1 6) in
+                let step =
+                  if Rng.int g 3 = 0 then Some (Int_lit (Rng.range g 1 2)) else None
+                in
+                let down = Rng.int g 4 = 0 in
+                let body =
+                  stmts config ctx ~budget ~depth:(depth - 1) ~fors:rest ~whiles
+                in
+                let start = if down then hi else Int_lit 1 in
+                let stop = if down then Int_lit 1 else hi in
+                [ mk (For { var = counter; start; stop; step; down; body }) ] ) ])
+      @
+      match whiles with
+      | [] -> []
+      | w :: rest ->
+        [ ( 1,
+            fun () ->
+              let trips = Int_lit (Rng.range g 1 4) in
+              let body =
+                stmts config ctx ~budget ~depth:(depth - 1) ~fors ~whiles:rest
+              in
+              (* The dedicated counter [w] is not an assignment target
+                 anywhere else, so the loop always terminates. *)
+              [ mk (Assign (w, Int_lit 0));
+                mk
+                  (While
+                     ( Binary (BLt, Var w, trips),
+                       body @ [ mk (Assign (w, Binary (BAdd, Var w, Int_lit 1))) ] ))
+              ] ) ]
+  in
+  (Rng.weighted g (leaf @ nested)) ()
+
+(* ------------------------------------------------------------------ *)
+(* Routines                                                            *)
+
+let int_helper config rng ~name ~callees =
+  let ctx =
+    { rng; ints = [ "x"; "y"; "t0" ]; int_targets = [ "t0" ]; flts = [];
+      flt_targets = []; arrays = false; int_callees = callees; flt_callee = None }
+  in
+  let n = Rng.range rng 1 3 in
+  let rec assigns i =
+    if i >= n then []
+    else mk (Assign ("t0", int_expr ctx config.expr_depth)) :: assigns (i + 1)
+  in
+  let body =
+    mk (Decl ("t0", Scalar TInt, Some (Int_lit (Rng.int rng 21))))
+    :: assigns 0
+    @ [ mk (Return (Some (int_expr ctx config.expr_depth))) ]
+  in
+  { name; params = [ ("x", Scalar TInt); ("y", Scalar TInt) ]; ret = Some TInt;
+    body; line = 1 }
+
+let flt_helper config rng ~name =
+  let ctx =
+    { rng; ints = []; int_targets = []; flts = [ "x"; "y"; "t0" ];
+      flt_targets = [ "t0" ]; arrays = false; int_callees = []; flt_callee = None }
+  in
+  let n = Rng.range rng 1 2 in
+  let rec assigns i =
+    if i >= n then []
+    else mk (Assign ("t0", clamp_float (flt_expr ctx config.expr_depth))) :: assigns (i + 1)
+  in
+  let body =
+    mk (Decl ("t0", Scalar TFlt, Some (Float_lit (float_of_int (Rng.int rng 9)))))
+    :: assigns 0
+    @ [ mk (Return (Some (clamp_float (flt_expr ctx config.expr_depth)))) ]
+  in
+  { name; params = [ ("x", Scalar TFlt); ("y", Scalar TFlt) ]; ret = Some TFlt;
+    body; line = 1 }
+
+let int_vars = [ "v0"; "v1"; "v2"; "v3"; "v4" ]
+
+let flt_vars = [ "f0"; "f1"; "f2" ]
+
+let program ?(config = default_config) seed =
+  let master = Rng.create seed in
+  (* Helper routines first, each on its own split stream. *)
+  let n_helpers = Rng.int master (config.helpers + 1) in
+  let with_flt_helper = config.helpers > 0 && Rng.bool master in
+  let int_names = List.init n_helpers (fun i -> Printf.sprintf "h%d" i) in
+  let helpers =
+    List.rev
+      (snd
+         (List.fold_left
+            (fun (i, acc) name ->
+              let callees = List.filteri (fun j _ -> j < i) int_names in
+              (i + 1, int_helper config (Rng.split master) ~name ~callees :: acc))
+            (0, []) int_names))
+  in
+  let flt_name = if with_flt_helper then Some "g0" else None in
+  let helpers =
+    helpers
+    @ match flt_name with
+      | Some name -> [ flt_helper config (Rng.split master) ~name ]
+      | None -> []
+  in
+  (* main: declarations, a deterministic array prelude, the generated
+     body, then an observability tail. *)
+  let rng = Rng.split master in
+  let ctx =
+    { rng;
+      ints = int_vars @ [ "k0"; "k1"; "k2"; "w0"; "w1" ];
+      int_targets = int_vars; flts = flt_vars; flt_targets = flt_vars;
+      arrays = true; int_callees = int_names; flt_callee = flt_name }
+  in
+  let decls =
+    List.map
+      (fun v -> mk (Decl (v, Scalar TInt, Some (Int_lit (Rng.int rng 10)))))
+      int_vars
+    @ List.map
+        (fun v ->
+          mk (Decl (v, Scalar TFlt, Some (Float_lit (float_of_int (Rng.int rng 17) /. 4.0)))))
+        flt_vars
+    @ List.map (fun v -> mk (Decl (v, Scalar TInt, None))) [ "k0"; "k1"; "k2"; "w0"; "w1" ]
+    @ [ mk (Decl ("a", Array { elt = TInt; dims = [ 8 ] }, None));
+        mk (Decl ("m", Array { elt = TInt; dims = [ 4; 4 ] }, None));
+        mk (Decl ("fa", Array { elt = TFlt; dims = [ 8 ] }, None)) ]
+  in
+  let c1 = Rng.range rng 1 5 in
+  let prelude =
+    [ mk
+        (For
+           { var = "k0"; start = Int_lit 1; stop = Int_lit 8; step = None; down = false;
+             body =
+               [ mk (Assign_index ("a", [ Var "k0" ], Binary (BMul, Var "k0", Int_lit c1)));
+                 mk
+                   (Assign_index
+                      ( "fa",
+                        [ Var "k0" ],
+                        Binary (BMul, Call ("float", [ Var "k0" ]), Float_lit 0.5) ))
+               ] });
+      mk (Assign_index ("m", [ Int_lit 1; Int_lit 2 ], Int_lit (Rng.int rng 21)));
+      mk (Assign_index ("m", [ Int_lit 3; Int_lit 3 ], Int_lit (Rng.int rng 21))) ]
+  in
+  let budget = ref config.max_stmts in
+  let body = stmts config ctx ~budget ~depth:config.stmt_depth ~fors:[ "k0"; "k1"; "k2" ] ~whiles:[ "w0"; "w1" ] in
+  let emit e = mk (Expr_stmt (Call ("emit", [ e ]))) in
+  let tail =
+    List.map (fun v -> emit (Var v)) int_vars
+    @ [ emit (Index ("a", [ Int_lit 1 ])); emit (Index ("a", [ Int_lit 6 ]));
+        emit (Index ("m", [ Int_lit 2; Int_lit 2 ])) ]
+    @ List.map (fun v -> emit (Var v)) flt_vars
+    @ [ emit (Index ("fa", [ Int_lit 3 ])); emit (Index ("fa", [ Int_lit 7 ])) ]
+  in
+  let checksum =
+    List.fold_left
+      (fun acc v -> Binary (BAdd, acc, Var v))
+      (Binary (BAdd, Index ("a", [ Int_lit 3 ]), Index ("m", [ Int_lit 3; Int_lit 3 ])))
+      int_vars
+  in
+  let main =
+    { name = "main"; params = []; ret = Some TInt;
+      body = decls @ prelude @ body @ tail @ [ mk (Return (Some checksum)) ];
+      line = 1 }
+  in
+  helpers @ [ main ]
+
+let source ?config seed = Epre_frontend.Ast_ops.print_program (program ?config seed)

@@ -1,0 +1,34 @@
+(** Seeded program generator for the mini language — the fuzzer's front
+    half, generalizing the test suite's original QCheck generator: float
+    scalars and a float array, a 2-D array, helper routine calls, [while]
+    loops and [downto]/[step] loops, all reproducible from one [int] seed
+    via the splittable [Rng].
+
+    Every generated program is well-typed and trap-free by construction:
+
+    - divisions and [mod] take a [1 + abs e] (or [1.0 + e]) divisor;
+    - array subscripts go through [1 + mod(abs e, dim)];
+    - loops are counted with literal bounds ([while] over a dedicated
+      counter the body cannot otherwise assign), so execution is finite;
+    - floats never reach control flow, subscripts or [int(...)], and
+      float expressions are built only from non-negative atoms under
+      monotone operators with clamped assignments — so reassociation
+      noise stays relative (no catastrophic cancellation, no NaN/inf) and
+      the differential oracle's tolerance-based comparison is sound;
+    - observability: the program tail [emit]s every scalar and sample
+      array cells, and [main] returns an integer checksum. *)
+
+type config = {
+  max_stmts : int;  (** budget for [main]'s generated body (the CLI's [--max-size]) *)
+  stmt_depth : int;  (** nesting depth of ifs and loops *)
+  expr_depth : int;
+  helpers : int;  (** maximum number of generated helper routines *)
+}
+
+val default_config : config
+
+(** Deterministic: same config and seed, same program. *)
+val program : ?config:config -> int -> Epre_frontend.Ast.program
+
+(** [Ast_ops.print_program (program seed)] — the replayable source text. *)
+val source : ?config:config -> int -> string

@@ -1,0 +1,112 @@
+(** Greedy AST delta debugging. See the interface for the move set. *)
+
+open Epre_frontend
+module Tjson = Epre_telemetry.Tjson
+
+type stats = {
+  original_stmts : int;
+  reduced_stmts : int;
+  rounds : int;
+  tried : int;
+  accepted : int;
+}
+
+let stats_to_tjson s =
+  Tjson.Obj
+    [ ("original_stmts", Tjson.Int s.original_stmts);
+      ("reduced_stmts", Tjson.Int s.reduced_stmts);
+      ("rounds", Tjson.Int s.rounds);
+      ("tried", Tjson.Int s.tried);
+      ("accepted", Tjson.Int s.accepted) ]
+
+(* One sweep = one move tried at every applicable site, highest index
+   first. [attempt] returns the candidate or [None] when the move does
+   not apply at that site. *)
+let sweep ~still_fails ~tried ~accepted ~count ~attempt prog =
+  let prog = ref prog in
+  for i = count !prog - 1 downto 0 do
+    match attempt !prog i with
+    | None -> ()
+    | Some candidate ->
+      incr tried;
+      if still_fails candidate then begin
+        incr accepted;
+        prog := candidate
+      end
+  done;
+  !prog
+
+let delete_stmt prog i = Ast_ops.transform_stmt prog i (fun _ -> Some [])
+
+let hoist_stmt prog i =
+  Ast_ops.transform_stmt prog i (fun s ->
+      match s.Ast.desc with
+      | Ast.If (_, then_, else_) -> Some (then_ @ else_)
+      | Ast.While (_, body) -> Some body
+      | Ast.For { body; _ } -> Some body
+      | _ -> None)
+
+let literal_candidates =
+  [ Ast.Int_lit 0; Ast.Int_lit 1; Ast.Float_lit 0.0; Ast.Float_lit 1.0 ]
+
+(* The literal sweep tries several replacements per site, so it manages
+   its own inner loop instead of going through [sweep]'s single
+   [attempt]. *)
+let literal_sweep ~still_fails ~tried ~accepted prog =
+  let prog = ref prog in
+  for i = Ast_ops.expr_count !prog - 1 downto 0 do
+    let replace lit =
+      Ast_ops.transform_expr !prog i (fun e ->
+          match e with
+          | Ast.Int_lit _ | Ast.Float_lit _ -> None  (* already minimal *)
+          | _ -> Some lit)
+    in
+    let rec try_lits = function
+      | [] -> ()
+      | lit :: rest -> (
+        match replace lit with
+        | None -> ()  (* site is a literal (or gone): no point trying others *)
+        | Some candidate ->
+          incr tried;
+          if still_fails candidate then begin
+            incr accepted;
+            prog := candidate
+          end
+          else try_lits rest)
+    in
+    try_lits literal_candidates
+  done;
+  !prog
+
+let run ?(max_rounds = 10) ~still_fails prog =
+  (* A move can build an unprintable AST (e.g. a bare-literal expression
+     statement); if the caller's oracle trips on it while printing, that
+     candidate is simply rejected. *)
+  let still_fails cand =
+    try still_fails cand with Invalid_argument _ -> false
+  in
+  let original_stmts = Ast_ops.stmt_count prog in
+  let tried = ref 0 and accepted = ref 0 in
+  let rec rounds n prog =
+    if n >= max_rounds then (prog, n)
+    else begin
+      let before = !accepted in
+      let prog =
+        sweep ~still_fails ~tried ~accepted ~count:Ast_ops.stmt_count
+          ~attempt:delete_stmt prog
+      in
+      let prog =
+        sweep ~still_fails ~tried ~accepted ~count:Ast_ops.stmt_count
+          ~attempt:hoist_stmt prog
+      in
+      let prog = literal_sweep ~still_fails ~tried ~accepted prog in
+      if !accepted = before then (prog, n + 1) else rounds (n + 1) prog
+    end
+  in
+  let reduced, rounds = rounds 0 prog in
+  ( reduced,
+    { original_stmts;
+      reduced_stmts = Ast_ops.stmt_count reduced;
+      rounds;
+      tried = !tried;
+      accepted = !accepted } )

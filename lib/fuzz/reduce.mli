@@ -1,0 +1,38 @@
+(** Greedy delta debugging over the mini-language AST.
+
+    Shrinks a failing program while preserving its failure signature —
+    [still_fails] is the caller's oracle (typically "compiles, and
+    {!Oracle.check} still reports the same (level, class)"); a candidate
+    that no longer compiles is simply rejected by it.
+
+    Three moves, swept from the highest preorder index down (so earlier
+    indices stay valid within a sweep — see [Ast_ops]):
+
+    - delete a statement;
+    - hoist the body of an [if] / [while] / [for] in place of the
+      construct;
+    - replace a non-literal expression with a literal ([0], [1], [0.0],
+      [1.0] — the wrongly-typed candidates fail to compile and are
+      rejected by the oracle for free).
+
+    Rounds repeat until a full round accepts nothing or [max_rounds] is
+    reached. Greedy and deterministic: no randomness, first accepted
+    candidate wins. *)
+
+type stats = {
+  original_stmts : int;
+  reduced_stmts : int;
+  rounds : int;  (** rounds actually run, including the final no-progress one *)
+  tried : int;  (** candidates offered to [still_fails] *)
+  accepted : int;
+}
+
+val stats_to_tjson : stats -> Epre_telemetry.Tjson.t
+
+(** [run ~still_fails prog] — [prog] itself must satisfy [still_fails];
+    the result always does. [max_rounds] defaults to 10. *)
+val run :
+  ?max_rounds:int ->
+  still_fails:(Epre_frontend.Ast.program -> bool) ->
+  Epre_frontend.Ast.program ->
+  Epre_frontend.Ast.program * stats

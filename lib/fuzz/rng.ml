@@ -1,0 +1,53 @@
+(** SplitMix64. See the interface for why not [Stdlib.Random]. *)
+
+type t = { mutable state : int64; gamma : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let mix64 z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+(* Gammas must be odd; mixing keeps the split streams decorrelated. *)
+let mix_gamma z =
+  let z = Int64.logor (mix64 z) 1L in
+  let flips = Int64.logxor z (Int64.shift_right_logical z 1) in
+  (* Popcount of the bit transitions; SplitMix64 patches low-entropy gammas. *)
+  let rec popcount acc v =
+    if Int64.equal v 0L then acc
+    else popcount (acc + 1) (Int64.logand v (Int64.sub v 1L))
+  in
+  if popcount 0 flips < 24 then Int64.logxor z 0xAAAAAAAAAAAAAAAAL else z
+
+let create seed = { state = mix64 (Int64.of_int seed); gamma = golden_gamma }
+
+let next t =
+  t.state <- Int64.add t.state t.gamma;
+  mix64 t.state
+
+let split t =
+  let state = next t in
+  let gamma = mix_gamma (next t) in
+  { state; gamma }
+
+let int t bound =
+  if bound <= 0 then 0
+  else
+    let v = Int64.to_int (Int64.shift_right_logical (next t) 2) in
+    v mod bound
+
+let range t lo hi = lo + int t (hi - lo + 1)
+
+let bool t = Int64.logand (next t) 1L = 1L
+
+let pick t xs = List.nth xs (int t (List.length xs))
+
+let weighted t choices =
+  let total = List.fold_left (fun acc (w, _) -> acc + w) 0 choices in
+  let n = int t total in
+  let rec go n = function
+    | [] -> invalid_arg "Rng.weighted: empty choice list"
+    | (w, x) :: rest -> if n < w then x else go (n - w) rest
+  in
+  go n choices

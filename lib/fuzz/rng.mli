@@ -1,0 +1,27 @@
+(** Splittable deterministic PRNG (SplitMix64, Steele et al.), the fuzz
+    subsystem's only randomness source. [Stdlib.Random] would leak global
+    state across runs; this generator is a value, reproducible from a
+    single [int] seed, and [split] derives statistically independent
+    streams — one per generated routine — so inserting a statement in one
+    routine cannot reshuffle every later draw of the campaign. *)
+
+type t
+
+val create : int -> t
+
+(** An independent generator derived from (and advancing) [t]. *)
+val split : t -> t
+
+(** Uniform in [\[0, bound)]; [bound <= 0] yields 0. *)
+val int : t -> int -> int
+
+(** Uniform in [\[lo, hi]] (inclusive). *)
+val range : t -> int -> int -> int
+
+val bool : t -> bool
+
+(** Uniform element of a non-empty list. *)
+val pick : t -> 'a list -> 'a
+
+(** Weighted choice: [(3, x); (1, y)] yields [x] three times in four. *)
+val weighted : t -> (int * 'a) list -> 'a

@@ -35,6 +35,7 @@ type record = {
   routine : string;
   outcome : outcome;
   duration_ms : float;
+  meta : (string * Epre_telemetry.Tjson.t) list;
 }
 
 type config = { validation : validation; fuel : int; keep_going : bool }
@@ -131,7 +132,8 @@ let supervise ?(dump = fun _ _ -> ()) config ~passes (p : Program.t) =
           let finish outcome =
             let duration_ms = Epre_telemetry.Telemetry.Clock.elapsed_ms ~since:t0 in
             let record =
-              { pass = np.pass_name; routine = r.Routine.name; outcome; duration_ms }
+              { pass = np.pass_name; routine = r.Routine.name; outcome;
+                duration_ms; meta = [] }
             in
             records := record :: !records;
             dump np.pass_name r;

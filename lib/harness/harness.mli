@@ -43,6 +43,12 @@ type record = {
   duration_ms : float;
       (** wall clock on the telemetry monotonic clock (pass run plus
           validation and any rollback), not process CPU time *)
+  meta : (string * Epre_telemetry.Tjson.t) list;
+      (** extra provenance rendered verbatim into the JSON report —
+          [supervise] leaves it empty; the fuzzer's differential oracle
+          attaches the generator seed, optimization level and reproducer
+          path so fuzz verdicts and supervised-run reports share one
+          schema *)
 }
 
 type config = {
@@ -79,6 +85,10 @@ val observe_counted : fuel:int -> Program.t -> obs * int option
 (** Equality up to floating-point reassociation noise (relative 1e-9), the
     same tolerance the differential test suite uses. *)
 val obs_equal : obs -> obs -> bool
+
+(** One-line rendering ("return 42, 13 emits" / the error text) for
+    diagnostics and mismatch reasons. *)
+val describe_obs : obs -> string
 
 (** Run every pass over every routine of the program, pass-major,
     checkpointing each (pass, routine) application and rolling back on

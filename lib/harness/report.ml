@@ -16,8 +16,11 @@ let record_fields (r : Harness.record) =
     ("outcome", Tjson.Str outcome) ]
   @ (match reason with None -> [] | Some m -> [ ("reason", Tjson.Str m) ])
   @ [ ("duration_ms", Tjson.Float r.Harness.duration_ms) ]
+  @ r.Harness.meta
 
-let record_to_json r = Tjson.to_string (Tjson.Obj (record_fields r))
+let record_to_tjson r = Tjson.Obj (record_fields r)
+
+let record_to_json r = Tjson.to_string (record_to_tjson r)
 
 let to_json records =
   match records with

@@ -4,8 +4,14 @@
     traces, the bench baseline). *)
 
 (** One record: [{"pass": ..., "routine": ..., "outcome": "ok" |
-    "rolled-back", "reason": ... (absent when ok), "duration_ms": ...}]. *)
+    "rolled-back", "reason": ... (absent when ok), "duration_ms": ...}],
+    followed by the record's [meta] pairs verbatim (the fuzzer attaches
+    seed / level / repro provenance there). *)
 val record_to_json : Harness.record -> string
+
+(** The same record as a [Tjson] value, for embedding in larger documents
+    (the fuzz corpus metadata files). *)
+val record_to_tjson : Harness.record -> Epre_telemetry.Tjson.t
 
 (** The full report: a JSON array of records, one per line, in execution
     order. *)

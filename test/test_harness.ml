@@ -239,6 +239,41 @@ let test_report_json_shape () =
       | Harness.Rolled_back _ -> ())
     records
 
+let test_report_meta_fields () =
+  (* [record.meta] renders verbatim after the fixed fields — the shared
+     schema the fuzzer's verdicts rely on. Supervised runs leave it
+     empty. *)
+  let base =
+    { Harness.pass = "pre"; routine = "main"; outcome = Harness.Passed;
+      duration_ms = 1.5; meta = [] }
+  in
+  Alcotest.(check bool) "empty meta adds nothing" false
+    (Helpers.contains_substring ~needle:"fuzz_"
+       (Report.record_to_json base));
+  let tagged =
+    { base with
+      Harness.meta =
+        [ ("fuzz_seed", Epre_telemetry.Tjson.Int 42);
+          ("fuzz_class", Epre_telemetry.Tjson.Str "behaviour-mismatch") ] }
+  in
+  let json = Report.record_to_json tagged in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) (needle ^ " rendered") true
+        (Helpers.contains_substring ~needle json))
+    [ "\"fuzz_seed\":42"; "\"fuzz_class\":\"behaviour-mismatch\"";
+      "\"duration_ms\":" ];
+  (* and the Tjson embedding parses back with the meta intact *)
+  match
+    Epre_telemetry.Tjson.parse
+      (Epre_telemetry.Tjson.to_string (Report.record_to_tjson tagged))
+  with
+  | Error m -> Alcotest.failf "record JSON does not parse: %s" m
+  | Ok doc ->
+    Alcotest.(check bool) "meta member survives" true
+      (Epre_telemetry.Tjson.member "fuzz_seed" doc
+      = Some (Epre_telemetry.Tjson.Int 42))
+
 let test_report_lists_exactly_the_failures () =
   let w = Option.get (Epre_workloads.Workloads.find "dot") in
   let prog = Epre_workloads.Workloads.compile w in
@@ -375,6 +410,8 @@ let suite =
       test_rollback_restores_ir_exactly;
     Alcotest.test_case "keep_going=false fails fast" `Quick test_fail_fast_without_safe;
     Alcotest.test_case "report JSON shape" `Quick test_report_json_shape;
+    Alcotest.test_case "report meta fields (fuzz provenance)" `Quick
+      test_report_meta_fields;
     Alcotest.test_case "report lists exactly the failures" `Quick
       test_report_lists_exactly_the_failures;
     Alcotest.test_case "chaos is seed-deterministic" `Quick

@@ -89,9 +89,26 @@ let test_parse_errors () =
   check_error "routine f() entry B0 regs 0 {\nB0:\n  return\nB0:\n  return\n}" "duplicate block";
   check_error "routine f() entry B0 regs 0 {\nB0:\n  jump Bx\n}" "bad label"
 
+let test_roundtrip_all_workloads () =
+  (* Every workload routine, unoptimized and at every level: print, parse,
+     and the reparse must print identically (structural equality via the
+     canonical printer). *)
+  List.iter
+    (fun w ->
+      let prog = Epre_workloads.Workloads.compile w in
+      text_roundtrip_program prog;
+      List.iter
+        (fun level ->
+          let p, _ = Epre.Pipeline.optimized_copy ~level prog in
+          text_roundtrip_program p)
+        Epre.Pipeline.all_levels)
+    Epre_workloads.Workloads.all
+
 let suite =
   [
     Alcotest.test_case "round trip: simple program" `Quick test_roundtrip_simple;
+    Alcotest.test_case "round trip: every workload, every level" `Quick
+      test_roundtrip_all_workloads;
     Alcotest.test_case "round trip: semantics" `Quick test_roundtrip_preserves_semantics;
     Alcotest.test_case "round trip: optimized CFG with holes" `Quick
       test_roundtrip_after_optimization;
@@ -101,14 +118,13 @@ let suite =
     Alcotest.test_case "parse: errors" `Quick test_parse_errors;
   ]
 
-(* Property: the text format round-trips randomly generated programs
-   exactly (printing is injective on behaviour and stable). *)
+(* Property: the text format round-trips fuzz-generated programs lowered
+   to ILOC exactly (printing is injective on behaviour and stable). *)
 let roundtrip_random_programs =
   Helpers.qcheck_case ~count:150 "Ir_text" "random programs round trip"
-    Test_random_programs.gen_program
-    (fun ast ->
-      let env = Epre_frontend.Sema.check_program ast in
-      let prog = Epre_frontend.Lower.lower_program env ast in
+    Test_random_programs.gen_seed
+    (fun seed ->
+      let prog = Test_random_programs.compile seed in
       let text = Ir_text.print_program prog in
       let prog' = Ir_text.parse_program text in
       Ir_text.print_program prog' = text)

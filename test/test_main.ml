@@ -24,6 +24,7 @@ let () =
       ("passes", Test_passes_registry.suite);
       ("adce", Test_adce.suite);
       ("fuzz", Test_fuzz_parsers.suite);
+      ("fuzzer", Test_fuzz.suite);
       ("dataflow-props", Test_dataflow_props.suite);
       ("experiments", Test_experiments.suite);
       ("checksums", Test_workload_checksums.suite);

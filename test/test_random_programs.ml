@@ -1,150 +1,47 @@
 (** Differential testing on randomly generated programs.
 
-    A QCheck generator produces well-typed ASTs in the mini language —
-    scalars, an int array, nested ifs and bounded loops, arithmetic with
-    guarded division — and every optimization level must preserve the
-    program's return value and [emit] trace. This is the heavy artillery
-    that guards the whole pipeline (SSA round trips, PRE insertions, GVN
-    renaming, reassociation, coalescing) against miscompilation. *)
+    The programs come from the fuzz subsystem's seeded generator
+    ([Epre_fuzz.Gen] — float scalars and arrays, a 2-D array, helper
+    routine calls, [while] and [downto]/[step] loops, guarded division
+    and subscripts); QCheck supplies the seeds, so a failure prints the
+    one integer that reproduces it (`eprec fuzz` replays it). Every
+    optimization level and every individual pass must preserve the
+    program's return value and [emit] trace — up to the harness's
+    float-reassociation tolerance, since the generated programs exercise
+    floating point. This is the heavy artillery that guards the whole
+    pipeline (SSA round trips, PRE insertions, GVN renaming,
+    reassociation, coalescing) against miscompilation. *)
 
-open Epre_frontend.Ast
 open QCheck2
 
-(* ------------------------------------------------------------------ *)
-(* Generator: programs over int scalars v0..v4, one array a[8], loop
-   counters k0/k1. Division and mod are generated with a guard idiom
-   (x / (1 + abs e)) so runtime errors cannot occur. *)
+let gen_seed = Gen.int_range 0 1_000_000_000
 
-let var_names = [ "v0"; "v1"; "v2"; "v3"; "v4" ]
+let compile seed =
+  Epre_frontend.Frontend.compile_string (Epre_fuzz.Gen.source seed)
 
-let gen_var = Gen.oneofl var_names
+let fuel = 4_000_000
 
-let rec gen_expr depth =
-  let open Gen in
-  if depth <= 0 then
-    oneof
-      [ map (fun i -> Int_lit i) (int_range (-20) 20);
-        map (fun v -> Var v) gen_var ]
-  else
-    let sub = gen_expr (depth - 1) in
-    oneof
-      [ map (fun i -> Int_lit i) (int_range (-20) 20);
-        map (fun v -> Var v) gen_var;
-        map2 (fun a b -> Binary (BAdd, a, b)) sub sub;
-        map2 (fun a b -> Binary (BSub, a, b)) sub sub;
-        map2 (fun a b -> Binary (BMul, a, b)) sub sub;
-        (* guarded division: e1 / (1 + abs e2) *)
-        map2
-          (fun a b -> Binary (BDiv, a, Binary (BAdd, Int_lit 1, Call ("abs", [ b ]))))
-          sub sub;
-        map2 (fun a b -> Call ("min", [ a; b ])) sub sub;
-        map2 (fun a b -> Call ("max", [ a; b ])) sub sub;
-        (* array read with a safe subscript: 1 + mod(abs e, 8) *)
-        map
-          (fun e ->
-            Index ("arr", [ Binary (BAdd, Int_lit 1, Call ("mod", [ Call ("abs", [ e ]); Int_lit 8 ])) ]))
-          sub ]
-
-let gen_cond depth =
-  let open Gen in
-  let* op = oneofl [ BEq; BNe; BLt; BLe; BGt; BGe ] in
-  let* a = gen_expr depth in
-  let* b = gen_expr depth in
-  return (Binary (op, a, b))
-
-let mk desc = { desc; line = 1 }
-
-(* [free_counters] prevents nesting two loops over the same counter, which
-   would reset the outer induction variable and never terminate. *)
-let rec gen_stmt depth free_counters =
-  let open Gen in
-  let leaf =
-    [ (3, map2 (fun v e -> mk (Assign (v, e))) gen_var (gen_expr 2));
-      (1, map (fun e -> mk (Expr_stmt (Call ("emit", [ e ])))) (gen_expr 2));
-      ( 2,
-        map2
-          (fun e v ->
-            mk
-              (Assign_index
-                 ( "arr",
-                   [ Binary (BAdd, Int_lit 1, Call ("mod", [ Call ("abs", [ Var v ]); Int_lit 8 ])) ],
-                   e )))
-          (gen_expr 2) gen_var ) ]
-  in
-  if depth <= 0 then frequency leaf
-  else
-    frequency
-      (leaf
-      @ [ ( 2,
-            let* c = gen_cond 1 in
-            let* then_ = gen_stmts (depth - 1) free_counters in
-            let* else_ = gen_stmts (depth - 1) free_counters in
-            return (mk (If (c, then_, else_))) ) ]
-      @
-      match free_counters with
-      | [] -> []
-      | counter :: rest ->
-        [ ( 2,
-            let* hi = int_range 1 6 in
-            let* body = gen_stmts (depth - 1) rest in
-            return
-              (mk (For { var = counter; start = Int_lit 1; stop = Int_lit hi;
-                         step = None; down = false; body })) ) ])
-
-and gen_stmts depth free_counters =
-  Gen.(list_size (int_range 1 4) (gen_stmt depth free_counters))
-
-let gen_program =
-  let open Gen in
-  let* body = gen_stmts 3 [ "k0"; "k1" ] in
-  let decls =
-    List.map (fun v -> mk (Decl (v, Scalar TInt, Some (Int_lit 1)))) var_names
-    @ [ mk (Decl ("k0", Scalar TInt, None));
-        mk (Decl ("k1", Scalar TInt, None));
-        mk (Decl ("arr", Array { elt = TInt; dims = [ 8 ] }, None)) ]
-  in
-  let result =
-    mk
-      (Return
-         (Some
-            (List.fold_left
-               (fun acc v -> Binary (BAdd, acc, Var v))
-               (Index ("arr", [ Int_lit 3 ]))
-               var_names)))
-  in
-  return
-    [ { name = "main"; params = []; ret = Some TInt; body = decls @ body @ [ result ];
-        line = 1 } ]
-
-(* ------------------------------------------------------------------ *)
-
-let compile_ast ast =
-  let env = Epre_frontend.Sema.check_program ast in
-  Epre_frontend.Lower.lower_program env ast
-
-let behaviour prog =
-  let result = Epre_interp.Interp.run ~fuel:4_000_000 prog ~entry:"main" ~args:[] in
-  (result.Epre_interp.Interp.return_value, result.Epre_interp.Interp.trace)
+let observe prog = Epre_harness.Harness.observe ~fuel prog
 
 let level_preserves level =
-  Helpers.qcheck_case ~count:150 "random programs"
+  Helpers.qcheck_case ~count:100 "random programs"
     (Epre.Pipeline.level_to_string level ^ " preserves behaviour")
-    gen_program
-    (fun ast ->
-      let prog = compile_ast ast in
-      let reference = behaviour prog in
+    gen_seed
+    (fun seed ->
+      let prog = compile seed in
+      let reference = observe prog in
       let optimized, _ = Epre.Pipeline.optimized_copy ~level prog in
-      behaviour optimized = reference)
+      Epre_harness.Harness.obs_equal reference (observe optimized))
 
 let pass_preserves name pass =
-  Helpers.qcheck_case ~count:150 "random programs" (name ^ " preserves behaviour")
-    gen_program
-    (fun ast ->
-      let prog = compile_ast ast in
-      let reference = behaviour prog in
+  Helpers.qcheck_case ~count:100 "random programs" (name ^ " preserves behaviour")
+    gen_seed
+    (fun seed ->
+      let prog = compile seed in
+      let reference = observe prog in
       let p = Epre_ir.Program.copy prog in
       List.iter (fun r -> pass r) (Epre_ir.Program.routines p);
-      behaviour p = reference)
+      Epre_harness.Harness.obs_equal reference (observe p))
 
 let suite =
   [
