@@ -8,6 +8,9 @@
      table1    regenerate the paper's Table 1
      table2    regenerate the paper's Table 2 (forward-propagation expansion)
      hierarchy regenerate the Section 5.3 CSE-hierarchy comparison
+     verify    run the static verifier (structural + type rules) over a
+               program, a workload or the whole suite, at any level
+     lint      verify plus the L0xx lint rules
      passes    list the pass registry (including the chaos:* fault injectors)
      workloads list or differentially check the built-in workload suite
 
@@ -664,10 +667,194 @@ let passes_cmd =
   let run () =
     List.iter
       (fun p ->
-        Printf.printf "%-20s %s\n" p.Epre.Passes.name p.Epre.Passes.description)
+        let post =
+          match Epre_verify.Verify.postconditions p.Epre.Passes.name with
+          | [] -> ""
+          | ids -> Printf.sprintf "  [post: %s]" (String.concat "," ids)
+        in
+        Printf.printf "%-20s %s%s\n" p.Epre.Passes.name
+          p.Epre.Passes.description post)
       Epre.Passes.all
   in
   Cmd.v (Cmd.info "passes" ~doc) Term.(const run $ const ())
+
+(* --- verify / lint ----------------------------------------------------- *)
+
+let rules_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "rules" ] ~docv:"ID1,ID2,..."
+        ~doc:
+          "Restrict the report to these rule ids (comma-separated; see the \
+           DESIGN.md rule catalog). Unknown ids are rejected.")
+
+let json_arg =
+  Arg.(
+    value & flag
+    & info [ "json" ]
+        ~doc:
+          "Machine-readable report on stdout: one object per (input, \
+           level) with the diagnostics and their counts.")
+
+let all_levels_arg =
+  Arg.(
+    value & flag
+    & info [ "all-levels" ]
+        ~doc:
+          "Check the unoptimized program and then every optimization \
+           level; overrides $(b,-O).")
+
+let verify_workload_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "workload" ] ~docv:"NAME"
+        ~doc:"Check a built-in workload instead of a source FILE.")
+
+let verify_workloads_arg =
+  Arg.(
+    value & flag
+    & info [ "workloads" ] ~doc:"Check every built-in workload.")
+
+let verify_file_arg =
+  Arg.(value & pos 0 (some file) None & info [] ~docv:"FILE")
+
+(* Named program sources (compile thunks: each (input, level) pair gets a
+   fresh program). *)
+let verify_inputs file workload workloads =
+  match (file, workload, workloads) with
+  | Some f, None, false ->
+    [ (Filename.basename f, fun () -> compile_source f) ]
+  | None, Some name, false -> begin
+    match Epre_workloads.Workloads.find name with
+    | Some w -> [ (name, fun () -> Epre_workloads.Workloads.compile w) ]
+    | None ->
+      Fmt.epr "unknown workload %S (see `eprec workloads`)@." name;
+      exit 1
+  end
+  | None, None, true ->
+    List.map
+      (fun w ->
+        ( w.Epre_workloads.Workloads.name,
+          fun () -> Epre_workloads.Workloads.compile w ))
+      Epre_workloads.Workloads.all
+  | None, None, false ->
+    Fmt.epr "verify needs an input: FILE, --workload NAME or --workloads@.";
+    exit 1
+  | _ ->
+    Fmt.epr "verify takes exactly one input: FILE, --workload or --workloads@.";
+    exit 1
+
+let level_label = function
+  | None -> "unoptimized"
+  | Some l -> Epre.Pipeline.level_to_string l
+
+let run_verify ~lints file workload workloads level all_levels rules json tel =
+  let config =
+    let ids =
+      match rules with
+      | None -> None
+      | Some spec -> begin
+        match Epre_verify.Rules.parse_spec spec with
+        | Ok ids -> Some ids
+        | Error id ->
+          Fmt.epr "unknown rule id %S (see DESIGN.md)@." id;
+          exit 1
+      end
+    in
+    { Epre_verify.Verify.rules = ids; include_lints = lints }
+  in
+  let inputs = verify_inputs file workload workloads in
+  let levels =
+    if all_levels then None :: List.map Option.some Epre.Pipeline.all_levels
+    else [ level ]
+  in
+  let total_errors = ref 0 in
+  let total_warnings = ref 0 in
+  let reports = ref [] in
+  with_telemetry tel (fun () ->
+      List.iter
+        (fun (name, compile) ->
+          List.iter
+            (fun lvl ->
+              let prog = compile () in
+              (match lvl with
+              | None -> ()
+              | Some level -> ignore (Epre.Pipeline.optimize ~level prog));
+              let diags = Epre_verify.Verify.check_program ~config prog in
+              Epre_verify.Verify.record_metrics diags;
+              let errs = List.length (Epre_verify.Verify.errors diags) in
+              let warns = List.length (Epre_verify.Verify.warnings diags) in
+              total_errors := !total_errors + errs;
+              total_warnings := !total_warnings + warns;
+              if json then
+                reports :=
+                  Epre_telemetry.Tjson.Obj
+                    [ ("input", Epre_telemetry.Tjson.Str name);
+                      ("level", Epre_telemetry.Tjson.Str (level_label lvl));
+                      ("report", Epre_verify.Verify.to_tjson diags) ]
+                  :: !reports
+              else if diags <> [] then begin
+                Fmt.pr "== %s (%s)@." name (level_label lvl);
+                Fmt.pr "%s@." (Epre_verify.Verify.render diags)
+              end)
+            levels)
+        inputs);
+  if json then
+    print_endline
+      (Epre_telemetry.Tjson.to_string
+         (Epre_telemetry.Tjson.Arr (List.rev !reports)))
+  else
+    Fmt.pr "%s: %d error(s), %d warning(s) over %d check(s)@."
+      (if lints then "lint" else "verify")
+      !total_errors !total_warnings
+      (List.length inputs * List.length levels);
+  emit_metrics tel [];
+  if !total_errors > 0 then exit 1
+
+let verify_cmd =
+  let doc =
+    "statically verify a program: structural (V0xx) and type (T0xx) rules"
+  in
+  let man =
+    [ `S Manpage.s_description;
+      `P
+        "Compiles the input (a source FILE, $(b,--workload) NAME or every \
+         built-in workload with $(b,--workloads)), optionally optimizes it \
+         at $(b,-O) or at every level with $(b,--all-levels), and runs the \
+         $(b,epre_verify) rule set over the result: CFG/structural \
+         well-formedness, SSA checks, definite assignment and the \
+         register-type rules. The rule catalog lives in DESIGN.md.";
+      `P "Exit status: 1 when any error-severity diagnostic is reported." ]
+  in
+  let run file workload workloads level all_levels rules json tel =
+    run_verify ~lints:false file workload workloads level all_levels rules
+      json tel
+  in
+  Cmd.v (Cmd.info "verify" ~doc ~man)
+    Term.(
+      const run $ verify_file_arg $ verify_workload_arg $ verify_workloads_arg
+      $ level_arg $ all_levels_arg $ rules_arg $ json_arg $ telemetry_term)
+
+let lint_cmd =
+  let doc = "verify plus the L0xx lint rules (style-of-IR warnings)" in
+  let man =
+    [ `S Manpage.s_description;
+      `P
+        "Everything $(b,eprec verify) checks, plus the lint rules: unsplit \
+         critical edges, dead pure code, redundant or dead phis, empty \
+         forwarding blocks and rank-order violations. Lints are warnings; \
+         the exit status still only reflects error-severity diagnostics." ]
+  in
+  let run file workload workloads level all_levels rules json tel =
+    run_verify ~lints:true file workload workloads level all_levels rules
+      json tel
+  in
+  Cmd.v (Cmd.info "lint" ~doc ~man)
+    Term.(
+      const run $ verify_file_arg $ verify_workload_arg $ verify_workloads_arg
+      $ level_arg $ all_levels_arg $ rules_arg $ json_arg $ telemetry_term)
 
 let workloads_cmd =
   let doc = "list the built-in workload suite, or differentially check it" in
@@ -681,7 +868,15 @@ let workloads_cmd =
              against the unoptimized program. Honours the supervision \
              flags; exits non-zero on any mismatch.")
   in
-  let run check level sup tel =
+  let strict_arg =
+    Arg.(
+      value & flag
+      & info [ "strict" ]
+          ~doc:
+            "With $(b,--check): treat verifier warnings on the optimized \
+             program as failures, not just diagnostics.")
+  in
+  let run check strict level sup tel =
     if not check then
       List.iter
         (fun w ->
@@ -723,6 +918,27 @@ let workloads_cmd =
               | e ->
                 incr failures;
                 Fmt.epr "FAIL %-12s pass raised: %s@." name (Printexc.to_string e));
+              (* Static verification of the optimized program (V/T rules;
+                 run `eprec lint` for the L rules): errors always fail the
+                 workload, warnings are surfaced (and fail under
+                 --strict). *)
+              let diags = Epre_verify.Verify.check_program prog in
+              Epre_verify.Verify.record_metrics diags;
+              let verrs = Epre_verify.Verify.errors diags in
+              let vwarns = Epre_verify.Verify.warnings diags in
+              List.iter
+                (fun d -> Fmt.epr "     %s@." (Epre_verify.Diag.to_string d))
+                diags;
+              if verrs <> [] then begin
+                incr failures;
+                Fmt.epr "FAIL %-12s verifier: %d error(s)@." name
+                  (List.length verrs)
+              end
+              else if strict && vwarns <> [] then begin
+                incr failures;
+                Fmt.epr "FAIL %-12s verifier: %d warning(s) (--strict)@." name
+                  (List.length vwarns)
+              end;
               let fuel = Epre_interp.Interp.default_fuel in
               let before = Epre_harness.Harness.observe ~fuel reference in
               let after = Epre_harness.Harness.observe ~fuel prog in
@@ -742,12 +958,14 @@ let workloads_cmd =
     end
   in
   Cmd.v (Cmd.info "workloads" ~doc)
-    Term.(const run $ check_arg $ level_arg $ supervision_term $ telemetry_term)
+    Term.(
+      const run $ check_arg $ strict_arg $ level_arg $ supervision_term
+      $ telemetry_term)
 
 let main =
   let doc = "effective partial redundancy elimination (Briggs & Cooper, PLDI 1994)" in
   Cmd.group (Cmd.info "eprec" ~doc)
     [ compile_cmd; run_cmd; bisect_cmd; fuzz_cmd; table1_cmd; table2_cmd; hierarchy_cmd;
-      passes_cmd; workloads_cmd ]
+      verify_cmd; lint_cmd; passes_cmd; workloads_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -31,6 +31,7 @@ type failure = {
   pass : string;
   routine : string;
   detail : string;
+  rule : string option;
   culprit : Bisect.failure option;
 }
 
@@ -72,9 +73,14 @@ let check_level config ~reference ~budget prog level =
         (Behaviour_mismatch, m)
       | Harness.Passed -> assert false
     in
+    let rule =
+      match List.assoc_opt "verify_rule" r.Harness.meta with
+      | Some (Tjson.Str id) -> Some id
+      | _ -> None
+    in
     Some
       { level; cls; pass = r.Harness.pass; routine = r.Harness.routine; detail;
-        culprit = None }
+        rule; culprit = None }
   | _records -> (
     let obs = Harness.observe ~fuel:budget copy in
     if Harness.obs_equal reference obs then None
@@ -91,7 +97,7 @@ let check_level config ~reference ~budget prog level =
             Printf.sprintf "optimized: %s; reference: %s"
               (Harness.describe_obs obs)
               (Harness.describe_obs reference);
-          culprit = None })
+          rule = None; culprit = None })
 
 let pinpoint config prog level f =
   match Bisect.run ~fuel:config.fuel ~passes:(passes_for config level) prog with
@@ -127,6 +133,9 @@ let failure_record ~seed ?chaos ?repro f =
     [ ("fuzz_seed", Tjson.Int seed);
       ("fuzz_level", Tjson.Str (Pipeline.level_to_string f.level));
       ("fuzz_class", Tjson.Str (class_to_string f.cls)) ]
+    @ (match f.rule with
+      | None -> []
+      | Some id -> [ ("fuzz_rule", Tjson.Str id) ])
     @ (match chaos with None -> [] | Some c -> [ ("fuzz_chaos", Tjson.Str c) ])
     @ match repro with None -> [] | Some p -> [ ("fuzz_repro", Tjson.Str p) ]
   in

@@ -9,8 +9,8 @@
     fall into four classes:
 
     - {!Pass_exception}: a pass raised;
-    - {!Ir_violation}: a pass produced ill-formed IR
-      ([Routine.validate] / [Epre_ssa.Ssa_check]);
+    - {!Ir_violation}: a pass produced IR the [Epre_verify] verifier
+      rejects (the violated rule id is carried in [failure.rule]);
     - {!Behaviour_mismatch}: the optimized program terminates but
       disagrees with the reference (beyond the harness's float
       tolerance);
@@ -38,6 +38,8 @@ type failure = {
   pass : string;  (** offending pass when known, otherwise the level name *)
   routine : string;  (** routine it was detected in, or ["<program>"] *)
   detail : string;
+  rule : string option;
+      (** the verifier rule id behind an {!Ir_violation}, when known *)
   culprit : Epre_harness.Bisect.failure option;  (** pinpoint tier *)
 }
 
@@ -61,8 +63,10 @@ val default_config : config
 val check : config -> Epre_ir.Program.t -> failure list
 
 (** The failure as a harness record: [outcome = Rolled_back], with the
-    oracle's provenance ([fuzz_seed], [fuzz_level], [fuzz_class], chaos
-    spelling and reproducer path when given) in [record.meta] — one Tjson
-    schema for supervised-run reports and fuzz verdicts. *)
+    oracle's provenance ([fuzz_seed], [fuzz_level], [fuzz_class], the
+    verifier rule id as [fuzz_rule] for IR violations, chaos spelling and
+    reproducer path when given) in [record.meta] — one Tjson schema for
+    supervised-run reports and fuzz verdicts. The meta keys round-trip
+    through the corpus's [meta.json]. *)
 val failure_record :
   seed:int -> ?chaos:string -> ?repro:string -> failure -> Epre_harness.Harness.record

@@ -89,16 +89,17 @@ let describe_obs = function
       (match ret with Some v -> Value.to_string v | None -> "-")
       (List.length trace)
 
-(* Structural validation; the dominance-aware SSA check applies only while
-   the routine is actually in SSA form. *)
-let check_ir (r : Routine.t) =
-  match
-    Routine.validate r;
-    if r.Routine.in_ssa then Epre_ssa.Ssa_check.check r
-  with
-  | () -> Ok ()
-  | exception Routine.Ill_formed m -> Error m
-  | exception Epre_ssa.Ssa_check.Not_ssa m -> Error m
+(* IR validation through the verifier: every structural and type rule
+   plus the pass's registered postcondition lints. The first
+   error-severity diagnostic rolls the pass back (its rule id lands in
+   the record's meta); warnings are only counted. Per-rule telemetry
+   counters are bumped either way. *)
+let check_ir ~pass ~program (r : Routine.t) =
+  let diags = Epre_verify.Verify.check_post_pass ~pass ~program r in
+  Epre_verify.Verify.record_metrics diags;
+  match Epre_verify.Verify.errors diags with
+  | d :: _ -> Error (Epre_verify.Diag.to_string d, d.Epre_verify.Diag.rule)
+  | [] -> Ok (List.length (Epre_verify.Verify.warnings diags))
 
 let rolled_back records =
   List.filter (fun r -> match r.outcome with Rolled_back _ -> true | Passed -> false) records
@@ -129,11 +130,11 @@ let supervise ?(dump = fun _ _ -> ()) config ~passes (p : Program.t) =
             ~name:np.pass_name
           @@ fun () ->
           let t0 = Epre_telemetry.Telemetry.Clock.now_ns () in
-          let finish outcome =
+          let finish ?(meta = []) outcome =
             let duration_ms = Epre_telemetry.Telemetry.Clock.elapsed_ms ~since:t0 in
             let record =
               { pass = np.pass_name; routine = r.Routine.name; outcome;
-                duration_ms; meta = [] }
+                duration_ms; meta }
             in
             records := record :: !records;
             dump np.pass_name r;
@@ -142,23 +143,34 @@ let supervise ?(dump = fun _ _ -> ()) config ~passes (p : Program.t) =
               raise (Supervision_failed record)
             | _ -> ()
           in
-          let roll_back reason =
+          let roll_back ?meta reason =
             Routine.restore r ~from:snapshot;
-            finish (Rolled_back reason)
+            finish ?meta (Rolled_back reason)
           in
           match np.run r with
           | exception e -> roll_back (Pass_exception (Printexc.to_string e))
           | () -> begin
-            match if config.validation = Off then Ok () else check_ir r with
-            | Error m -> roll_back (Ir_violation m)
-            | Ok () -> begin
+            match
+              if config.validation = Off then Ok 0
+              else check_ir ~pass:np.pass_name ~program:p r
+            with
+            | Error (m, rule) ->
+              roll_back
+                ~meta:[ ("verify_rule", Epre_telemetry.Tjson.Str rule) ]
+                (Ir_violation m)
+            | Ok warns -> begin
+              let meta =
+                if warns > 0 then
+                  [ ("verify_warnings", Epre_telemetry.Tjson.Int warns) ]
+                else []
+              in
               match !current_obs with
-              | None -> finish Passed
+              | None -> finish ~meta Passed
               | Some before -> begin
                 match observe ~fuel:!check_fuel p with
                 | after when obs_equal before after ->
                   current_obs := Some after;
-                  finish Passed
+                  finish ~meta Passed
                 | after ->
                   roll_back
                     (Behaviour_mismatch

@@ -10,8 +10,11 @@
 
     Validation tiers, each containing the previous:
     - [Off]: trust the pass; only exceptions roll back;
-    - [Ir]: structural well-formedness ([Routine.validate]) plus the
-      dominance-aware [Epre_ssa.Ssa_check] when the routine is in SSA;
+    - [Ir]: the full [Epre_verify] verifier — structural and type rules
+      (including [Ssa_check] as rule V007 when the routine is in SSA)
+      plus the pass's registered postcondition lints; the first
+      error-severity diagnostic rolls back, warnings are counted into the
+      record's [meta];
     - [Exec]: translation validation — interpret the program's observable
       behaviour (return value and [emit] trace from [main], under bounded
       fuel) before and after the pass and require them to agree up to
@@ -28,7 +31,7 @@ val validation_to_string : validation -> string
 (** Why a pass application was rolled back. *)
 type reason =
   | Pass_exception of string  (** the pass raised *)
-  | Ir_violation of string  (** [Routine.validate] or [Ssa_check] failed *)
+  | Ir_violation of string  (** the [Epre_verify] verifier reported an error *)
   | Behaviour_mismatch of string  (** translation validation failed *)
 
 val reason_to_string : reason -> string
@@ -45,10 +48,11 @@ type record = {
           validation and any rollback), not process CPU time *)
   meta : (string * Epre_telemetry.Tjson.t) list;
       (** extra provenance rendered verbatim into the JSON report —
-          [supervise] leaves it empty; the fuzzer's differential oracle
-          attaches the generator seed, optimization level and reproducer
-          path so fuzz verdicts and supervised-run reports share one
-          schema *)
+          [supervise] records the verifier rule id behind an IR rollback
+          ([verify_rule]) and the verifier warning count on success
+          ([verify_warnings]); the fuzzer's differential oracle attaches
+          the generator seed, optimization level and reproducer path so
+          fuzz verdicts and supervised-run reports share one schema *)
 }
 
 type config = {

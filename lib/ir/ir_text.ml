@@ -235,7 +235,7 @@ let is_terminator = function
   | ("jump" | "cbr" | "return") :: _ -> true
   | _ -> false
 
-let parse_routine st header =
+let parse_routine ~validate st header =
   (* routine NAME ( params ) entry Bn regs N { *)
   let name, rest =
     match header with
@@ -303,17 +303,17 @@ let parse_routine st header =
     if (not listed.(id)) && id <> entry then Cfg.remove_block cfg id
   done;
   let r = Routine.create ~name ~params ~cfg ~next_reg in
-  Routine.validate r;
+  if validate then Routine.validate r;
   r
 
-let parse_program text =
+let parse_program ?(validate = true) text =
   let st = { lines = Array.of_list (String.split_on_char '\n' text); lno = 0 } in
   let routines = ref [] in
   let rec go () =
     match next_nonempty st with
     | None -> ()
     | Some header ->
-      routines := parse_routine st header :: !routines;
+      routines := parse_routine ~validate st header :: !routines;
       go ()
   in
   go ();

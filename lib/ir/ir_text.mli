@@ -10,6 +10,8 @@ val print_program : Program.t -> string
 
 val routine_to_string : Routine.t -> string
 
-(** Parses and validates.
+(** Parses and (by default) validates. [~validate:false] skips
+    [Routine.validate], letting tests state deliberately ill-formed
+    routines for the verifier's negative corpus.
     @raise Parse_error on malformed input (1-based line). *)
-val parse_program : string -> Program.t
+val parse_program : ?validate:bool -> string -> Program.t

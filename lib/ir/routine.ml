@@ -58,23 +58,26 @@ let validate r =
           if not (Cfg.mem cfg s) then fail "block %d jumps to missing block %d" id s)
         (Block.succs b);
       let seen_non_phi = ref false in
-      List.iter
-        (fun i ->
+      List.iteri
+        (fun idx i ->
           (match i with
           | Instr.Phi { args; _ } ->
-            if !seen_non_phi then fail "block %d: phi after non-phi" id;
+            if !seen_non_phi then fail "block %d, instr %d: phi after non-phi" id idx;
             let expect = List.sort compare preds.(id) in
             let got = List.sort compare (List.map fst args) in
             if expect <> got then
-              fail "block %d: phi preds %s do not match CFG preds %s" id
+              fail "block %d, instr %d: phi preds %s do not match CFG preds %s" id idx
                 (String.concat "," (List.map string_of_int got))
                 (String.concat "," (List.map string_of_int expect))
           | _ -> seen_non_phi := true);
           List.iter
-            (fun u -> if u < 0 || u >= r.next_reg then fail "block %d: use of r%d out of range" id u)
+            (fun u ->
+              if u < 0 || u >= r.next_reg then
+                fail "block %d, instr %d: use of r%d out of range" id idx u)
             (Instr.uses i);
           match Instr.def i with
-          | Some d when d < 0 || d >= r.next_reg -> fail "block %d: def of r%d out of range" id d
+          | Some d when d < 0 || d >= r.next_reg ->
+            fail "block %d, instr %d: def of r%d out of range" id idx d
           | _ -> ())
         b.Block.instrs;
       List.iter

@@ -1,0 +1,46 @@
+(** Diagnostic values and renderers. See the interface. *)
+
+module Tjson = Epre_telemetry.Tjson
+
+type severity = Error | Warn
+
+let severity_to_string = function Error -> "error" | Warn -> "warn"
+
+type loc = { routine : string; block : int option; instr : int option }
+
+type t = { rule : string; severity : severity; loc : loc; message : string }
+
+let make ~rule ~severity ~routine ?block ?instr message =
+  { rule; severity; loc = { routine; block; instr }; message }
+
+let to_string d =
+  let where =
+    d.loc.routine
+    ^ (match d.loc.block with Some b -> Printf.sprintf ":B%d" b | None -> "")
+    ^ (match d.loc.instr with Some i -> Printf.sprintf ":%d" i | None -> "")
+  in
+  Printf.sprintf "%s: %s[%s]: %s" where (severity_to_string d.severity) d.rule
+    d.message
+
+let to_tjson d =
+  Tjson.Obj
+    ([ ("rule", Tjson.Str d.rule);
+       ("severity", Tjson.Str (severity_to_string d.severity));
+       ("routine", Tjson.Str d.loc.routine) ]
+    @ (match d.loc.block with Some b -> [ ("block", Tjson.Int b) ] | None -> [])
+    @ (match d.loc.instr with Some i -> [ ("instr", Tjson.Int i) ] | None -> [])
+    @ [ ("message", Tjson.Str d.message) ])
+
+let compare a b =
+  let opt = Option.value ~default:(-1) in
+  match String.compare a.loc.routine b.loc.routine with
+  | 0 -> begin
+    match Int.compare (opt a.loc.block) (opt b.loc.block) with
+    | 0 -> begin
+      match Int.compare (opt a.loc.instr) (opt b.loc.instr) with
+      | 0 -> String.compare a.rule b.rule
+      | c -> c
+    end
+    | c -> c
+  end
+  | c -> c

@@ -1,0 +1,40 @@
+(** Verifier diagnostics: one finding of one rule at one location.
+
+    Every diagnostic carries a stable rule id (see [Rules] for the
+    catalog), a severity, and the most precise location the rule could
+    establish — routine always, block and instruction index when the
+    finding is anchored to one. The text rendering is the CLI's
+    human-readable form; [to_tjson] is the machine form the [--json]
+    flag, the CI verify-gate and the fuzz corpus consume. *)
+
+type severity = Error | Warn
+
+val severity_to_string : severity -> string
+
+type loc = {
+  routine : string;
+  block : int option;  (** block id, i.e. the [B<id>] label *)
+  instr : int option;  (** 0-based index into the block's instruction list *)
+}
+
+type t = { rule : string; severity : severity; loc : loc; message : string }
+
+val make :
+  rule:string ->
+  severity:severity ->
+  routine:string ->
+  ?block:int ->
+  ?instr:int ->
+  string ->
+  t
+
+(** ["main:B2:3: error[T001]: ..."] — routine, block label and instruction
+    index joined with colons, omitting the parts the rule could not
+    anchor. *)
+val to_string : t -> string
+
+val to_tjson : t -> Epre_telemetry.Tjson.t
+
+(** Stable ordering for reports: by routine, block, instruction index,
+    then rule id. *)
+val compare : t -> t -> int

@@ -1,0 +1,29 @@
+(** The rule catalog: every diagnostic the verifier can emit, under a
+    stable id.
+
+    Id families: [V0xx] structural/CFG rules, [T0xx] type rules, [L0xx]
+    lints. Severities are fixed per rule — V/T rules are errors (the
+    harness rolls a pass back on them), L rules are warnings (surfaced,
+    never fatal unless the caller promotes them with [--strict]). The
+    catalog is the source of truth for [--rules] validation, the DESIGN.md
+    rule table, and the per-rule telemetry counters. *)
+
+type t = {
+  id : string;
+  severity : Diag.severity;
+  title : string;  (** one line, for listings and the rule table *)
+}
+
+val all : t list
+
+val find : string -> t option
+
+(** [mem id] = the id names a registered rule. *)
+val mem : string -> bool
+
+(** Ids of every lint ([L0xx]) rule. *)
+val lint_ids : string list
+
+(** Validate a comma-separated [--rules] spec; [Error id] on the first
+    unknown id. *)
+val parse_spec : string -> (string list, string) result

@@ -1,0 +1,59 @@
+(** The verifier driver: structural ([V0xx]), type ([T0xx]) and lint
+    ([L0xx]) rules over a routine or program, plus the per-pass
+    postcondition registry the harness's IR validation tier runs.
+
+    Rule ordering inside one routine: the structural scan runs first, and
+    its fatal subset (missing entry, dangling terminator target, register
+    out of range) short-circuits everything else — the later rules index
+    arrays by block id and register and would only crash or cascade.
+    SSA routines then go through [Ssa_check] (rule V007); non-SSA
+    routines through the definite-assignment analysis (rule V008). Type
+    rules run on every structurally sound routine; lints only when the
+    configuration asks for them. *)
+
+open Epre_ir
+
+type config = {
+  rules : string list option;
+      (** restrict output to these rule ids; [None] = all *)
+  include_lints : bool;  (** run [L0xx] rules too *)
+}
+
+(** V and T rules only, all of them. *)
+val default : config
+
+(** Everything, lints included. *)
+val lint_config : config
+
+(** Diagnostics for one routine. [program] supplies call-graph context
+    for the type rules (signatures of callees). *)
+val check_routine : ?config:config -> program:Program.t -> Routine.t -> Diag.t list
+
+(** Diagnostics for every routine, in [Diag.compare] order per routine,
+    with one shared type-inference fixpoint. *)
+val check_program : ?config:config -> Program.t -> Diag.t list
+
+(** What the harness's IR tier runs after [pass]: all V/T rules plus the
+    pass's registered postcondition lints. *)
+val check_post_pass : pass:string -> program:Program.t -> Routine.t -> Diag.t list
+
+(** Lint rule ids registered as postconditions of [pass] ([] for passes
+    with none). *)
+val postconditions : string -> string list
+
+(** Passes with registered postconditions, with their lint ids. *)
+val postcondition_table : (string * string list) list
+
+val errors : Diag.t list -> Diag.t list
+
+val warnings : Diag.t list -> Diag.t list
+
+(** One [Diag.to_string] line per diagnostic. *)
+val render : Diag.t list -> string
+
+(** [{"diagnostics":[...],"errors":N,"warnings":N}] *)
+val to_tjson : Diag.t list -> Epre_telemetry.Tjson.t
+
+(** Bump the [verify.<rule>] telemetry counter (keyed by the diagnostic's
+    routine) for each diagnostic. *)
+val record_metrics : Diag.t list -> unit

@@ -190,7 +190,7 @@ let test_validate_catches_out_of_range_reg () =
   Builder.emit b (Instr.Copy { dst = 0; src = 99 });
   Builder.ret b None;
   Alcotest.check_raises "unknown register"
-    (Routine.Ill_formed "bad: block 0: use of r99 out of range") (fun () ->
+    (Routine.Ill_formed "bad: block 0, instr 0: use of r99 out of range") (fun () ->
       ignore (Builder.finish b))
 
 let test_validate_phi_pred_mismatch () =
@@ -199,7 +199,8 @@ let test_validate_phi_pred_mismatch () =
   Builder.emit b (Instr.Phi { dst = r; args = [ (7, r) ] });
   Builder.ret b None;
   Alcotest.check_raises "phi preds"
-    (Routine.Ill_formed "bad: block 0: phi preds 7 do not match CFG preds ") (fun () ->
+    (Routine.Ill_formed "bad: block 0, instr 0: phi preds 7 do not match CFG preds ")
+    (fun () ->
       ignore (Builder.finish b))
 
 let test_routine_copy_independent () =

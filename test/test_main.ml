@@ -30,6 +30,7 @@ let () =
       ("checksums", Test_workload_checksums.suite);
       ("cfg-dot", Test_cfg_dot.suite);
       ("validate", Test_validate.suite);
+      ("verify", Test_verify.suite);
       ("harness", Test_harness.suite);
       ("telemetry", Test_telemetry.suite);
     ]
