@@ -14,6 +14,13 @@
                   (monotonic clock, best of several suite sweeps) plus the
                   Table 1 dynamic-count table — the perf trajectory seed
                   that CI uploads and future PRs regress against
+     regress    - perf regression gate: re-time every pass and fail if any
+                  regressed >25% vs a committed BENCH_pipeline.json,
+                  after normalizing out the machine-speed difference
+     traffic    - write BENCH_traffic.json: Zipf-distributed compile jobs
+                  through the service pool + content-hash cache (throughput,
+                  p50/p99 latency, hit rate, per-domain utilization);
+                  `traffic small` is the CI smoke variant (2 workers)
 
    With no argument, everything except the (slow) bechamel timings runs;
    `bench/main.exe all` includes them. *)
@@ -337,6 +344,267 @@ let run_baseline () =
   close_out oc;
   Printf.printf "wrote BENCH_pipeline.json (%d bytes)\n" (String.length json + 1)
 
+(* Perf regression gate: re-time every pass and compare against a
+   committed BENCH_pipeline.json. The committed numbers come from a
+   different machine, so raw ns are incomparable; instead the fresh/
+   baseline ratios are normalized by their geometric mean (the machine
+   speed factor) and any pass more than 25% above its normalized
+   expectation fails the gate. A uniform slowdown (slower CI runner)
+   passes; one pass regressing relative to its peers does not. *)
+let regress_threshold = 1.25
+
+let run_regress path =
+  section (Printf.sprintf "Perf regression gate: fresh timings vs %s" path);
+  let module J = Epre_telemetry.Tjson in
+  let text =
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  let doc =
+    match J.parse text with
+    | Ok j -> j
+    | Error m ->
+      Printf.printf "FAIL: %s does not parse: %s\n" path m;
+      exit 1
+  in
+  let baseline =
+    match J.member "passes" doc with
+    | Some (J.Arr passes) ->
+      List.filter_map
+        (fun p ->
+          match (J.member "name" p, J.member "ns_per_run" p) with
+          | Some (J.Str n), Some (J.Int ns) when ns > 0 -> Some (n, ns)
+          | _ -> None)
+        passes
+    | _ ->
+      Printf.printf "FAIL: %s has no passes array\n" path;
+      exit 1
+  in
+  let fresh =
+    List.map (fun (name, pass) -> (name, time_pass pass)) pass_specs
+  in
+  let ratios =
+    List.filter_map
+      (fun (name, ns) ->
+        Option.map
+          (fun base -> (name, float_of_int ns /. float_of_int base))
+          (List.assoc_opt name baseline))
+      fresh
+  in
+  if ratios = [] then begin
+    Printf.printf "FAIL: no pass of the baseline matches the current registry\n";
+    exit 1
+  end;
+  let machine_factor =
+    exp
+      (List.fold_left (fun acc (_, r) -> acc +. log r) 0.0 ratios
+      /. float_of_int (List.length ratios))
+  in
+  Printf.printf "machine speed factor: %.2fx the baseline host\n" machine_factor;
+  Printf.printf "%-16s %12s %12s %10s\n" "pass" "baseline ns" "fresh ns" "relative";
+  let failures = ref 0 in
+  List.iter
+    (fun (name, ratio) ->
+      let relative = ratio /. machine_factor in
+      let base = List.assoc name baseline in
+      let ns = List.assoc name fresh in
+      let verdict = if relative > regress_threshold then " REGRESSED" else "" in
+      if relative > regress_threshold then incr failures;
+      Printf.printf "%-16s %12d %12d %9.2fx%s\n" name base ns relative verdict)
+    ratios;
+  List.iter
+    (fun (name, _) ->
+      if not (List.mem_assoc name baseline) then
+        Printf.printf "%-16s (new pass, no baseline - skipped)\n" name)
+    fresh;
+  if !failures > 0 then begin
+    Printf.printf "FAIL: %d pass(es) regressed more than %.0f%%\n" !failures
+      ((regress_threshold -. 1.0) *. 100.0);
+    exit 1
+  end;
+  Printf.printf "gate passed: no pass regressed more than %.0f%%\n"
+    ((regress_threshold -. 1.0) *. 100.0)
+
+(* ------------------------------------------------------------------ *)
+(* Compile-service traffic benchmark                                   *)
+
+(* Synthetic compile traffic for the service: a corpus of distinct
+   generated programs, sampled with Zipf-distributed repeats (rank r drawn
+   with probability proportional to 1/r — a few hot programs recompiled
+   constantly, a long tail seen once or twice, the shape of a build
+   farm's traffic). The driver measures the three claims the service
+   makes: parallel speedup over the serial reference path, cache-hit rate
+   under repetition, and byte-identical results however the work is
+   scheduled. *)
+
+module Service = Epre_service.Service
+module Pool = Epre_service.Pool
+
+(* Deterministic LCG (Numerical Recipes constants): same traffic every
+   run, so BENCH_traffic.json diffs reflect the code, not the dice. *)
+let lcg_next st = st := (!st * 1664525) + 1013904223 land 0x3FFFFFFF; !st land 0x3FFFFFFF
+
+let zipf_ranks ~st ~n ~total =
+  let weights = Array.init n (fun i -> 1.0 /. float_of_int (i + 1)) in
+  let cumulative = Array.make n 0.0 in
+  let sum = ref 0.0 in
+  Array.iteri (fun i w -> sum := !sum +. w; cumulative.(i) <- !sum) weights;
+  List.init total (fun _ ->
+      let u = float_of_int (lcg_next st) /. 1073741824.0 *. !sum in
+      let rec find i = if i >= n - 1 || cumulative.(i) >= u then i else find (i + 1) in
+      find 0)
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then 0.0
+  else sorted.(min (n - 1) (int_of_float (ceil (p *. float_of_int n)) - 1 |> max 0))
+
+let run_traffic ~small () =
+  section
+    (if small then "Service traffic (small): smoke-scale batch over the pool"
+     else "Service traffic: Zipf-distributed compile jobs, parallel + cached");
+  let distinct = if small then 24 else 150 in
+  let total = if small then 120 else 2000 in
+  let workers = if small then 2 else Pool.default_jobs () in
+  let cores = Domain.recommended_domain_count () in
+  (* Distinct programs from the fuzz generator (small, loop-heavy, varied);
+     jobs carry their ILOC inline so the traffic run spends its time in the
+     optimizer, not the frontend. *)
+  let corpus =
+    Array.init distinct (fun i ->
+        let source = Epre_fuzz.Gen.source (i + 1) in
+        let prog = Epre_frontend.Frontend.compile_string source in
+        Epre_ir.Ir_text.print_program prog)
+  in
+  let st = ref 12345 in
+  let ranks = zipf_ranks ~st ~n:distinct ~total in
+  let jobs =
+    List.mapi
+      (fun i rank ->
+        { Service.id = Printf.sprintf "job-%d" (i + 1);
+          level = Epre.Pipeline.Partial;
+          input = Service.Iloc corpus.(rank);
+          emit = true })
+      ranks
+  in
+  let run ~jobs:n ?cache () =
+    Pool.with_pool ~jobs:n (fun pool ->
+        Pool.reset_stats pool;
+        let t0 = Epre_telemetry.Telemetry.Clock.now_ns () in
+        let results = Pool.map_list pool (Service.run_job ?cache) jobs in
+        let wall_ms = Epre_telemetry.Telemetry.Clock.elapsed_ms ~since:t0 in
+        (results, wall_ms, Pool.stats pool))
+  in
+  (* Serial cold run, no cache: the reference both for results and wall
+     clock. *)
+  let serial_results, serial_ms, _ = run ~jobs:1 () in
+  (* Parallel run against a fresh cache: Zipf repeats hit once their rank's
+     first compile has been stored. *)
+  let cache_dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "eprec-traffic-%d" (Unix.getpid ()))
+  in
+  let cache = Epre_service.Cache.create ~dir:cache_dir () in
+  let parallel_results, parallel_ms, pstats = run ~jobs:workers ~cache () in
+  (* Warm rerun: everything already stored, so it must be all hits. *)
+  let warm_results, warm_ms, _ = run ~jobs:workers ~cache () in
+  let () =
+    let rec rm p =
+      if Sys.is_directory p then begin
+        Array.iter (fun f -> rm (Filename.concat p f)) (Sys.readdir p);
+        Sys.rmdir p
+      end
+      else Sys.remove p
+    in
+    try rm cache_dir with Sys_error _ -> ()
+  in
+  let iloc_of (r : Service.result_line) = (r.Service.job_id, r.Service.ok, r.Service.iloc) in
+  let identical = List.map iloc_of serial_results = List.map iloc_of parallel_results in
+  let warm_identical = List.map iloc_of serial_results = List.map iloc_of warm_results in
+  let totals rs =
+    List.fold_left
+      (fun (h, m) (r : Service.result_line) ->
+        (h + r.Service.job_counts.Service.hits, m + r.Service.job_counts.Service.misses))
+      (0, 0) rs
+  in
+  let hits, misses = totals parallel_results in
+  let warm_hits, warm_misses = totals warm_results in
+  let hit_rate = float_of_int hits /. float_of_int (max 1 (hits + misses)) in
+  let latencies =
+    Array.of_list
+      (List.map (fun (r : Service.result_line) -> r.Service.latency_ms) parallel_results)
+  in
+  Array.sort compare latencies;
+  let p50 = percentile latencies 0.50 and p99 = percentile latencies 0.99 in
+  let throughput = float_of_int total /. (parallel_ms /. 1000.0) in
+  let speedup = serial_ms /. parallel_ms in
+  let utilization =
+    Array.to_list
+      (Array.map
+         (fun busy -> Int64.to_float busy /. 1e6 /. parallel_ms)
+         pstats.Pool.busy_ns)
+  in
+  let helper_util = Int64.to_float pstats.Pool.helper_busy_ns /. 1e6 /. parallel_ms in
+  Printf.printf "jobs: %d over %d distinct programs, %d worker(s), %d core(s)\n"
+    total distinct workers cores;
+  Printf.printf "serial (cold, no cache): %8.1f ms\n" serial_ms;
+  Printf.printf "parallel (cold cache):   %8.1f ms   speedup %.2fx, %.0f jobs/s\n"
+    parallel_ms speedup throughput;
+  Printf.printf "parallel (warm cache):   %8.1f ms   %d hit(s), %d miss(es)\n"
+    warm_ms warm_hits warm_misses;
+  Printf.printf "latency: p50 %.3f ms, p99 %.3f ms\n" p50 p99;
+  Printf.printf "cache: %d hit(s), %d miss(es) (%.1f%% hit rate)\n" hits misses
+    (100.0 *. hit_rate);
+  Printf.printf "results identical to serial: cold %b, warm %b\n" identical
+    warm_identical;
+  (* Hard claims. Speedup is only claimed where there are cores to earn
+     it; a 1-core CI box still checks equality and cache behaviour. *)
+  assert identical;
+  assert warm_identical;
+  assert (warm_misses = 0 && warm_hits = hits + misses);
+  if small then assert (hits > 0) else assert (hit_rate >= 0.80);
+  if cores >= 4 && workers >= 4 && not small then
+    if speedup < 3.0 then begin
+      Printf.printf "FAIL: expected >= 3x speedup on %d cores, got %.2fx\n"
+        cores speedup;
+      exit 1
+    end;
+  let module J = Epre_telemetry.Tjson in
+  let json =
+    J.Obj
+      [ ("schema", J.Str "epre/bench-traffic/v1");
+        ("note", J.Str "Zipf-distributed compile jobs through the service \
+                        pool and content-hash cache; serial reference vs \
+                        parallel cold vs warm rerun");
+        ("small", J.Bool small);
+        ("cores", J.Int cores);
+        ("workers", J.Int workers);
+        ("distinct_programs", J.Int distinct);
+        ("total_jobs", J.Int total);
+        ("serial_ms", J.Float serial_ms);
+        ("parallel_ms", J.Float parallel_ms);
+        ("warm_ms", J.Float warm_ms);
+        ("speedup", J.Float speedup);
+        ("throughput_jobs_per_s", J.Float throughput);
+        ("latency_p50_ms", J.Float p50);
+        ("latency_p99_ms", J.Float p99);
+        ("cache_hits", J.Int hits);
+        ("cache_misses", J.Int misses);
+        ("cache_hit_rate", J.Float hit_rate);
+        ("warm_hits", J.Int warm_hits);
+        ("warm_misses", J.Int warm_misses);
+        ("identical_to_serial", J.Bool (identical && warm_identical));
+        ("per_domain_utilization", J.Arr (List.map (fun u -> J.Float u) utilization));
+        ("helper_utilization", J.Float helper_util) ]
+  in
+  let oc = open_out_bin "BENCH_traffic.json" in
+  output_string oc (J.to_string json);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "wrote BENCH_traffic.json\n"
+
 (* ------------------------------------------------------------------ *)
 
 let () =
@@ -351,6 +619,11 @@ let () =
   | "adce" -> run_adce ()
   | "bechamel" -> run_bechamel ()
   | "baseline" -> run_baseline ()
+  | "traffic" ->
+    run_traffic ~small:(Array.length Sys.argv > 2 && Sys.argv.(2) = "small") ()
+  | "regress" ->
+    run_regress
+      (if Array.length Sys.argv > 2 then Sys.argv.(2) else "BENCH_pipeline.json")
   | "all" ->
     run_table1 ();
     run_table2 ();

@@ -13,6 +13,11 @@
      lint      verify plus the L0xx lint rules
      passes    list the pass registry (including the chaos:* fault injectors)
      workloads list or differentially check the built-in workload suite
+     serve     batch compile server: JSON jobs on stdin, parallel + cached,
+               JSON results on stdout
+
+   Parallelism (serve, workloads --check, fuzz):
+     --jobs N          worker domains (default: recommended domain count)
 
    Supervision flags (compile, run, workloads --check):
      --safe            roll a failing pass back and keep optimizing
@@ -139,6 +144,22 @@ let stats_arg =
           "Print per-routine pass statistics (renamed expression sites, \
            constants folded, rewrites, ...) to stderr; with \
            $(b,--metrics=json) they come as JSON records instead.")
+
+(* --- parallelism ------------------------------------------------------- *)
+
+let jobs_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Worker domains for parallel compilation (default: the \
+           machine's recommended domain count; $(b,1) forces the serial \
+           reference path).")
+
+let effective_jobs = function
+  | Some n -> max 1 n
+  | None -> Epre_service.Pool.default_jobs ()
 
 (* --- telemetry flags --------------------------------------------------- *)
 
@@ -579,7 +600,7 @@ let fuzz_cmd =
       Epre_fuzz.Corpus.list ~dir |> List.map (Filename.concat dir)
   in
   let run runs seed max_size reduce corpus replay level chaos chaos_seed
-      pinpoint tel =
+      pinpoint jobs tel =
     (match chaos_seed with
     | Some s -> Epre_harness.Chaos.default_seed := s
     | None -> ());
@@ -625,7 +646,8 @@ let fuzz_cmd =
             | Some l -> [ l ]
             | None -> Epre.Pipeline.all_levels);
           corpus_dir = Some corpus;
-          pinpoint }
+          pinpoint;
+          jobs = effective_jobs jobs }
       in
       let summary =
         with_telemetry tel (fun () ->
@@ -643,7 +665,7 @@ let fuzz_cmd =
     Term.(
       const run $ runs_arg $ seed_arg $ max_size_arg $ reduce_arg $ corpus_arg
       $ replay_arg $ level_arg $ chaos_arg $ chaos_seed_arg $ pinpoint_arg
-      $ telemetry_term)
+      $ jobs_arg $ telemetry_term)
 
 let table1_cmd =
   let doc = "regenerate Table 1 (dynamic counts at all optimization levels)" in
@@ -856,6 +878,97 @@ let lint_cmd =
       const run $ verify_file_arg $ verify_workload_arg $ verify_workloads_arg
       $ level_arg $ all_levels_arg $ rules_arg $ json_arg $ telemetry_term)
 
+let serve_cmd =
+  let doc = "batch compile server: JSON jobs in, JSON results out" in
+  let man =
+    [ `S Manpage.s_description;
+      `P
+        "Reads newline-delimited JSON compile jobs from stdin (or \
+         $(b,--input) FILE), optimizes each program on a pool of worker \
+         domains through a persistent content-hash result cache, and \
+         streams one JSON result line per job to stdout, in input order.";
+      `P
+        "A job names its program with exactly one of $(b,file) (source \
+         path), $(b,workload) (built-in name), $(b,source) (inline source \
+         text) or $(b,iloc) (inline ILOC), plus optional $(b,id), \
+         $(b,level) (default $(b,partial)) and $(b,emit) (include the \
+         optimized ILOC in the result; default true):";
+      `Pre
+        "  {\"id\":\"j1\",\"level\":\"partial\",\"workload\":\"saxpy\"}\n\
+        \  {\"id\":\"j2\",\"file\":\"kernel.src\",\"emit\":false}";
+      `P
+        "Results carry per-job cache traffic and wall latency \
+         ($(b,latency_ms)); a malformed job line yields an in-order \
+         $(b,ok:false) result instead of killing the server. The cache \
+         lives in $(b,--cache-dir) (default $(b,\\$EPREC_CACHE_DIR), else \
+         $(b,\\$XDG_CACHE_HOME/eprec), else $(b,~/.cache/eprec)) and \
+         survives restarts: a routine whose (ILOC, pipeline fingerprint) \
+         digest was optimized before — by any prior job or process — is \
+         replayed byte-identically without recompiling.";
+      `P "Exit status: 1 when any job failed." ]
+  in
+  let input_arg =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "input" ] ~docv:"FILE"
+          ~doc:"Read job lines from FILE instead of stdin.")
+  in
+  let cache_dir_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "cache-dir" ] ~docv:"DIR" ~doc:"Result cache directory.")
+  in
+  let no_cache_arg =
+    Arg.(
+      value & flag
+      & info [ "no-cache" ] ~doc:"Recompile every job; touch no cache.")
+  in
+  let batch_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "batch" ] ~docv:"N"
+          ~doc:
+            "Jobs dispatched to the pool per round (default \
+             $(b,max 32 (4*jobs))). Results still stream in input order.")
+  in
+  let run input jobs cache_dir no_cache batch tel =
+    let cache =
+      if no_cache then None
+      else
+        Some
+          (Epre_service.Cache.create
+             ~dir:
+               (Option.value cache_dir
+                  ~default:(Epre_service.Cache.default_dir ()))
+             ())
+    in
+    let ic = match input with None -> stdin | Some f -> open_in f in
+    let close () = if input <> None then close_in_noerr ic in
+    let summary =
+      Fun.protect ~finally:close (fun () ->
+          with_telemetry tel (fun () ->
+              Epre_service.Pool.with_pool ~jobs:(effective_jobs jobs)
+                (fun pool ->
+                  Epre_service.Service.serve ?cache ?batch ~pool ~input:ic
+                    ~output:stdout ())))
+    in
+    emit_metrics tel [];
+    Fmt.epr "serve: %d job(s), %d ok, %d failed, %d hit(s), %d miss(es), %.1f ms@."
+      summary.Epre_service.Service.jobs summary.Epre_service.Service.succeeded
+      summary.Epre_service.Service.failed
+      summary.Epre_service.Service.total.Epre_service.Service.hits
+      summary.Epre_service.Service.total.Epre_service.Service.misses
+      summary.Epre_service.Service.wall_ms;
+    if summary.Epre_service.Service.failed > 0 then exit 1
+  in
+  Cmd.v (Cmd.info "serve" ~doc ~man)
+    Term.(
+      const run $ input_arg $ jobs_arg $ cache_dir_arg $ no_cache_arg
+      $ batch_arg $ telemetry_term)
+
 let workloads_cmd =
   let doc = "list the built-in workload suite, or differentially check it" in
   let check_arg =
@@ -876,7 +989,7 @@ let workloads_cmd =
             "With $(b,--check): treat verifier warnings on the optimized \
              program as failures, not just diagnostics.")
   in
-  let run check strict level sup tel =
+  let run check strict level jobs sup tel =
     if not check then
       List.iter
         (fun w ->
@@ -885,70 +998,89 @@ let workloads_cmd =
         Epre_workloads.Workloads.all
     else begin
       let level = Option.value level ~default:Epre.Pipeline.Partial in
+      (* Parse --chaos once, eagerly: a typo must error before any worker
+         runs, and workers must not call exit. *)
+      let inject =
+        match sup.chaos with None -> [] | Some spec -> [ parse_chaos spec ]
+      in
+      (* Each workload is an independent program, so the whole check —
+         optimize (even Exec-validated), verify, interpret — fans across
+         the pool. Diagnostics are collected per workload and printed in
+         suite order afterwards, byte-identical to a serial run. *)
+      let check_workload w =
+        let logs = Buffer.create 256 in
+        let failed = ref 0 in
+        let name = w.Epre_workloads.Workloads.name in
+        let reference = Epre_workloads.Workloads.compile w in
+        let prog = Epre_workloads.Workloads.compile w in
+        let stats = ref [] and records = ref [] in
+        (try
+           if supervised sup then begin
+             let s, r =
+               Epre.Pipeline.optimize_supervised ~inject
+                 ~config:(harness_config sup) ~level prog
+             in
+             stats := s;
+             records := r
+           end
+           else stats := Epre.Pipeline.optimize ~level prog
+         with
+        | Epre_harness.Harness.Supervision_failed record ->
+          records := [ record ];
+          incr failed;
+          Printf.bprintf logs "FAIL %-12s %s\n" name
+            (Epre_harness.Report.record_to_line record)
+        | e ->
+          incr failed;
+          Printf.bprintf logs "FAIL %-12s pass raised: %s\n" name
+            (Printexc.to_string e));
+        (* Static verification of the optimized program (V/T rules; run
+           `eprec lint` for the L rules): errors always fail the workload,
+           warnings are surfaced (and fail under --strict). *)
+        let diags = Epre_verify.Verify.check_program prog in
+        Epre_verify.Verify.record_metrics diags;
+        let verrs = Epre_verify.Verify.errors diags in
+        let vwarns = Epre_verify.Verify.warnings diags in
+        List.iter
+          (fun d ->
+            Printf.bprintf logs "     %s\n" (Epre_verify.Diag.to_string d))
+          diags;
+        if verrs <> [] then begin
+          incr failed;
+          Printf.bprintf logs "FAIL %-12s verifier: %d error(s)\n" name
+            (List.length verrs)
+        end
+        else if strict && vwarns <> [] then begin
+          incr failed;
+          Printf.bprintf logs "FAIL %-12s verifier: %d warning(s) (--strict)\n"
+            name (List.length vwarns)
+        end;
+        let fuel = Epre_interp.Interp.default_fuel in
+        let before = Epre_harness.Harness.observe ~fuel reference in
+        let after = Epre_harness.Harness.observe ~fuel prog in
+        if Epre_harness.Harness.obs_equal before after then
+          Printf.bprintf logs "ok   %-12s\n" name
+        else begin
+          incr failed;
+          Printf.bprintf logs "FAIL %-12s behaviour diverged\n" name
+        end;
+        (Buffer.contents logs, !failed, !stats, !records)
+      in
+      let results =
+        with_telemetry tel (fun () ->
+            Epre_service.Pool.with_pool ~jobs:(effective_jobs jobs) (fun pool ->
+                Epre_service.Pool.map_list pool check_workload
+                  Epre_workloads.Workloads.all))
+      in
       let failures = ref 0 in
-      let all_records = ref [] in
-      let all_stats = ref [] in
-      with_telemetry tel (fun () ->
-          List.iter
-            (fun w ->
-              let name = w.Epre_workloads.Workloads.name in
-              let reference = Epre_workloads.Workloads.compile w in
-              let prog = Epre_workloads.Workloads.compile w in
-              (try
-                 if supervised sup then begin
-                   let inject =
-                     match sup.chaos with
-                     | None -> []
-                     | Some spec -> [ parse_chaos spec ]
-                   in
-                   let stats, records =
-                     Epre.Pipeline.optimize_supervised ~inject
-                       ~config:(harness_config sup) ~level prog
-                   in
-                   all_stats := !all_stats @ stats;
-                   all_records := !all_records @ records
-                 end
-                 else all_stats := !all_stats @ Epre.Pipeline.optimize ~level prog
-               with
-              | Epre_harness.Harness.Supervision_failed record ->
-                all_records := !all_records @ [ record ];
-                incr failures;
-                Fmt.epr "FAIL %-12s %s@." name
-                  (Epre_harness.Report.record_to_line record)
-              | e ->
-                incr failures;
-                Fmt.epr "FAIL %-12s pass raised: %s@." name (Printexc.to_string e));
-              (* Static verification of the optimized program (V/T rules;
-                 run `eprec lint` for the L rules): errors always fail the
-                 workload, warnings are surfaced (and fail under
-                 --strict). *)
-              let diags = Epre_verify.Verify.check_program prog in
-              Epre_verify.Verify.record_metrics diags;
-              let verrs = Epre_verify.Verify.errors diags in
-              let vwarns = Epre_verify.Verify.warnings diags in
-              List.iter
-                (fun d -> Fmt.epr "     %s@." (Epre_verify.Diag.to_string d))
-                diags;
-              if verrs <> [] then begin
-                incr failures;
-                Fmt.epr "FAIL %-12s verifier: %d error(s)@." name
-                  (List.length verrs)
-              end
-              else if strict && vwarns <> [] then begin
-                incr failures;
-                Fmt.epr "FAIL %-12s verifier: %d warning(s) (--strict)@." name
-                  (List.length vwarns)
-              end;
-              let fuel = Epre_interp.Interp.default_fuel in
-              let before = Epre_harness.Harness.observe ~fuel reference in
-              let after = Epre_harness.Harness.observe ~fuel prog in
-              if Epre_harness.Harness.obs_equal before after then
-                Fmt.epr "ok   %-12s@." name
-              else begin
-                incr failures;
-                Fmt.epr "FAIL %-12s behaviour diverged@." name
-              end)
-            Epre_workloads.Workloads.all);
+      let all_stats = ref [] and all_records = ref [] in
+      List.iter
+        (fun (logs, failed, stats, records) ->
+          Fmt.epr "%s@?" logs;
+          failures := !failures + failed;
+          all_stats := !all_stats @ stats;
+          all_records := !all_records @ records)
+        results;
       print_report sup Fmt.stdout !all_records;
       emit_metrics tel !all_stats;
       if !failures > 0 then begin
@@ -959,13 +1091,13 @@ let workloads_cmd =
   in
   Cmd.v (Cmd.info "workloads" ~doc)
     Term.(
-      const run $ check_arg $ strict_arg $ level_arg $ supervision_term
-      $ telemetry_term)
+      const run $ check_arg $ strict_arg $ level_arg $ jobs_arg
+      $ supervision_term $ telemetry_term)
 
 let main =
   let doc = "effective partial redundancy elimination (Briggs & Cooper, PLDI 1994)" in
   Cmd.group (Cmd.info "eprec" ~doc)
     [ compile_cmd; run_cmd; bisect_cmd; fuzz_cmd; table1_cmd; table2_cmd; hierarchy_cmd;
-      verify_cmd; lint_cmd; passes_cmd; workloads_cmd ]
+      verify_cmd; lint_cmd; passes_cmd; workloads_cmd; serve_cmd ]
 
 let () = exit (Cmd.eval main)

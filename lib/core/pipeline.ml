@@ -193,6 +193,73 @@ let stats_jsonl stats =
   String.concat "\n"
     (List.map (fun s -> Epre_telemetry.Tjson.to_string (stats_to_json s)) stats)
 
+(* Inverse of [stats_to_json], for the compile-service result cache: a
+   cached routine replays its recorded statistics instead of re-running
+   the pipeline. Strict on shape — any missing or mistyped field is
+   [None], and the cache treats the entry as poisoned. *)
+let stats_of_json (j : Epre_telemetry.Tjson.t) =
+  let module J = Epre_telemetry.Tjson in
+  let int k o = match J.member k o with Some (J.Int n) -> Some n | _ -> None in
+  let str k o = match J.member k o with Some (J.Str s) -> Some s | _ -> None in
+  (* A sub-record that is JSON [null] decodes to [Some None]; a present
+     object decodes through [f]; anything else poisons the entry. *)
+  let opt_sub k f o =
+    match J.member k o with
+    | Some J.Null -> Some None
+    | Some (J.Obj _ as sub) -> Option.map Option.some (f sub)
+    | _ -> None
+  in
+  let ( let* ) = Option.bind in
+  match j with
+  | J.Obj _ when str "type" j = Some "routine_stats" ->
+    let* routine = str "routine" j in
+    let* exprs_renamed = int "exprs_renamed" j in
+    let* constants_folded = int "constants_folded" j in
+    let* peephole_rewrites = int "peephole_rewrites" j in
+    let* dce_removed = int "dce_removed" j in
+    let* copies_coalesced = int "copies_coalesced" j in
+    let* pre =
+      opt_sub "pre"
+        (fun o ->
+          let* inserted = int "inserted" o in
+          let* deleted = int "deleted" o in
+          let* cse_deleted = int "cse_deleted" o in
+          let* rounds = int "rounds" o in
+          Some { Epre_pre.Pre.inserted; deleted; cse_deleted; rounds })
+        j
+    in
+    let* gvn =
+      opt_sub "gvn"
+        (fun o ->
+          let* classes_merged = int "classes_merged" o in
+          let* renamed = int "renamed" o in
+          Some { Epre_gvn.Gvn.classes_merged; renamed })
+        j
+    in
+    let* reassoc =
+      opt_sub "reassoc"
+        (fun o ->
+          let* before_ops = int "before_ops" o in
+          let* after_ops = int "after_ops" o in
+          Some { Epre_reassoc.Reassociate.before_ops; after_ops })
+        j
+    in
+    Some
+      { routine; reassoc; gvn; pre; exprs_renamed; constants_folded;
+        peephole_rewrites; dce_removed; copies_coalesced }
+  | _ -> None
+
+(* The cache-key half that names the transformation: the level and its
+   exact stage sequence. A PR that adds, removes or reorders a stage
+   changes the fingerprint, so stale cached results can never be replayed
+   against a different pipeline. *)
+let fingerprint ~level =
+  let stages =
+    List.map (fun p -> p.Epre_harness.Harness.pass_name) (level_passes ~level)
+  in
+  Printf.sprintf "epre-pipeline-v1|%s|%s" (level_to_string level)
+    (String.concat "," stages)
+
 let optimize_routine ?(hooks = no_hooks) ~level (r : Routine.t) =
   let acc = fresh_acc () in
   let passes = level_passes_into ~level ~acc_for:(fun _ -> acc) in
@@ -232,6 +299,22 @@ let splice passes ~at np =
     | x :: rest -> x :: go (i + 1) rest
   in
   go 0 passes
+
+(* Supervise one routine's full pass sequence against [context] — a
+   program that contains [r] (live) alongside a consistent view of the
+   other routines. The compile-service pool runs one of these per worker:
+   [context] supplies the call-graph signatures the Ir tier's typechecker
+   wants, while only [r] is transformed. *)
+let optimize_supervised_routine ~config ~level ~context (r : Routine.t) =
+  let acc = fresh_acc () in
+  let passes = level_passes_into ~level ~acc_for:(fun _ -> acc) in
+  let records =
+    Epre_harness.Harness.supervise ~only:[ r.Routine.name ] config ~passes
+      context
+  in
+  let stats = stats_of_acc ~routine:r.Routine.name acc in
+  record_metrics stats;
+  (stats, records)
 
 (** Optimize under harness supervision: each (pass, routine) application
     checkpoints, validates at the configured tier, and rolls back on

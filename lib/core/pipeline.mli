@@ -55,6 +55,24 @@ val stats_to_json : routine_stats -> Epre_telemetry.Tjson.t
 
 val stats_jsonl : routine_stats list -> string
 
+(** Strict inverse of [stats_to_json]; [None] on any missing or mistyped
+    field. The compile-service cache ([Epre_service.Cache]) replays
+    recorded statistics through this instead of re-running the pipeline. *)
+val stats_of_json : Epre_telemetry.Tjson.t -> routine_stats option
+
+(** Mirror a routine's statistics into the [Epre_telemetry.Metrics]
+    counters registry — what [optimize] does after each routine. Exposed
+    so a cache hit replays the same counter increments a recompile would
+    have produced. *)
+val record_metrics : routine_stats -> unit
+
+(** Names the transformation a level performs: the level and its exact
+    stage sequence, versioned. One half of the compile-service cache key
+    (the other is the routine's canonical ILOC text) — any change to a
+    level's pipeline changes its fingerprint and invalidates cached
+    results. *)
+val fingerprint : level:level -> string
+
 (** [dump] observes the routine after each named stage (IR tracing; the
     Figures 2-10 walkthrough uses it). Stage names: ["naming"],
     ["reassociation"], ["gvn"], ["pre"], ["constprop"], ["peephole"],
@@ -103,3 +121,18 @@ val optimize_supervised :
   level:level ->
   Program.t ->
   routine_stats list * Epre_harness.Harness.record list
+
+(** Supervise one routine's full pass sequence. [context] must contain
+    [r] itself plus a consistent (read-only) view of the other routines —
+    the Ir validation tier typechecks call-graph signatures against it.
+    Returns the routine's stats and its per-pass records in pass order.
+    This is the per-worker unit of [Epre_service]'s parallel supervised
+    optimization; use [optimize_supervised] for the whole-program serial
+    path (required for the [Exec] tier, whose translation validation
+    interprets the entire program). *)
+val optimize_supervised_routine :
+  config:Epre_harness.Harness.config ->
+  level:level ->
+  context:Program.t ->
+  Routine.t ->
+  routine_stats * Epre_harness.Harness.record list

@@ -19,12 +19,13 @@ type config = {
   corpus_dir : string option;
   fuel : int;
   pinpoint : bool;
+  jobs : int;
 }
 
 let default_config =
   { runs = 200; seed = 0; max_size = 30; levels = Pipeline.all_levels;
     chaos = None; reduce = true; corpus_dir = None; fuel = 1_000_000;
-    pinpoint = false }
+    pinpoint = false; jobs = 1 }
 
 let parse_chaos spec =
   let name, pos =
@@ -130,30 +131,53 @@ let run ?(log = ignore) (config : config) =
   let failures = ref [] in
   let reduced = ref 0 in
   let saved = ref [] in
-  for _ = 1 to config.runs do
-    let case_seed = Rng.int master 1_000_000_000 in
+  (* Case seeds are derived from the master RNG up front, so the set of
+     cases is identical however the checking is scheduled. *)
+  let seeds = List.init config.runs (fun _ -> Rng.int master 1_000_000_000) in
+  (* Generate + compile + oracle-check one case. Oracle checking is the
+     campaign's hot path and touches no shared mutable state (the chaos
+     RNG is derived per (seed, routine)), so it can run on a pool. *)
+  let eval_case case_seed =
     Span.with_ ~kind:"fuzz-case" ~name:(Printf.sprintf "seed%d" case_seed)
     @@ fun () ->
     let ast = Gen.program ~config:gen_config case_seed in
     let source = Ast_ops.print_program ast in
     match Frontend.compile_string source with
     | exception Frontend.Error { line; message } ->
-      (* The generator promises well-typed programs; a compile failure is
-         itself a finding (frontend or generator bug). *)
-      incr cases_failed;
-      let detail = Printf.sprintf "line %d: %s" line message in
-      log (Printf.sprintf "case seed %d: does not compile (%s)" case_seed detail);
-      let record =
-        { Harness.pass = "<frontend>"; routine = "<program>";
-          outcome = Harness.Rolled_back (Harness.Pass_exception detail);
-          duration_ms = 0.;
-          meta = [ ("fuzz_seed", Tjson.Int case_seed) ] }
-      in
-      failures := record :: !failures
+      `No_compile (Printf.sprintf "line %d: %s" line message)
     | prog -> (
       match Oracle.check ocfg prog with
-      | [] -> ()
-      | fs ->
+      | [] -> `Clean
+      | fs -> `Failing (fs, ast, source))
+  in
+  let results =
+    if config.jobs >= 2 then
+      Epre_service.Pool.with_pool ~jobs:config.jobs (fun pool ->
+          Epre_service.Pool.map_list pool (fun s -> (s, eval_case s)) seeds)
+    else List.map (fun s -> (s, eval_case s)) seeds
+  in
+  (* Failure handling (logging, reduction, corpus writes) stays serial and
+     in case order, so log lines, entry directories and the summary are
+     byte-identical at any job count. *)
+  List.iter
+    (fun (case_seed, result) ->
+      match result with
+      | `Clean -> ()
+      | `No_compile detail ->
+        (* The generator promises well-typed programs; a compile failure
+           is itself a finding (frontend or generator bug). *)
+        incr cases_failed;
+        log
+          (Printf.sprintf "case seed %d: does not compile (%s)" case_seed
+             detail);
+        let record =
+          { Harness.pass = "<frontend>"; routine = "<program>";
+            outcome = Harness.Rolled_back (Harness.Pass_exception detail);
+            duration_ms = 0.;
+            meta = [ ("fuzz_seed", Tjson.Int case_seed) ] }
+        in
+        failures := record :: !failures
+      | `Failing (fs, ast, source) ->
         incr cases_failed;
         List.iter
           (fun (f : Oracle.failure) ->
@@ -171,7 +195,7 @@ let run ?(log = ignore) (config : config) =
             | Some d -> saved := d :: !saved
             | None -> ())
           fs)
-  done;
+    results;
   { runs = config.runs; seed = config.seed; chaos = config.chaos;
     cases_failed = !cases_failed; failures = List.rev !failures;
     reduced = !reduced; saved = List.rev !saved }

@@ -29,10 +29,16 @@ type config = {
       (** reference-run budget; small (default 1e6) so a reduction
           candidate that loops forever is rejected quickly *)
   pinpoint : bool;  (** bisect each failure to its culprit pass *)
+  jobs : int;
+      (** worker domains for oracle checking ([--jobs]); case seeds are
+          derived up front and failure handling (logging, reduction,
+          corpus writes) stays serial in case order, so every output —
+          log lines, summary, corpus — is byte-identical at any job
+          count *)
 }
 
 (** 200 runs, seed 0, size 30, every level, no chaos, reduction on,
-    no corpus dir, fuel 1e6, no pinpointing. *)
+    no corpus dir, fuel 1e6, no pinpointing, 1 job. *)
 val default_config : config
 
 (** Same spelling as [eprec --chaos]: ["chaos:drop-instr@2"], position

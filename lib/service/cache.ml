@@ -1,0 +1,189 @@
+(** Persistent content-addressed compilation cache. See the interface for
+    the on-disk layout and failure semantics. *)
+
+module J = Epre_telemetry.Tjson
+
+let schema = "epre/cache-entry/v1"
+
+let metrics_routine = "<service>"
+
+let count name = Epre_telemetry.Metrics.incr ~routine:metrics_routine ~name
+
+type t = {
+  dir : string;
+  max_entries : int;
+  lock : Mutex.t;
+  mutable entries : int;  (** in-process estimate; refreshed by eviction *)
+  mutable scanned : bool;  (** [entries] initialized from disk *)
+}
+
+let default_dir () =
+  match Sys.getenv_opt "EPREC_CACHE_DIR" with
+  | Some d when d <> "" -> d
+  | _ -> (
+    match Sys.getenv_opt "XDG_CACHE_HOME" with
+    | Some d when d <> "" -> Filename.concat d "eprec"
+    | _ -> (
+      match Sys.getenv_opt "HOME" with
+      | Some d when d <> "" -> Filename.concat (Filename.concat d ".cache") "eprec"
+      | _ -> ".eprec-cache"))
+
+let create ?(max_entries = 65536) ~dir () =
+  { dir; max_entries = max max_entries 1; lock = Mutex.create (); entries = 0;
+    scanned = false }
+
+let dir t = t.dir
+
+let key ~iloc ~fingerprint =
+  Digest.to_hex (Digest.string (fingerprint ^ "\x00" ^ iloc))
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let entry_path t k = Filename.concat (Filename.concat t.dir (String.sub k 0 2)) (k ^ ".json")
+
+let mkdir_p path =
+  let rec go p =
+    if p <> "" && p <> "." && p <> "/" && not (Sys.file_exists p) then begin
+      go (Filename.dirname p);
+      try Sys.mkdir p 0o755 with Sys_error _ -> ()
+    end
+  in
+  go path
+
+(* Every entry file under [dir], as (path, mtime). *)
+let scan_entries t =
+  if Sys.file_exists t.dir && Sys.is_directory t.dir then
+    Array.to_list (Sys.readdir t.dir)
+    |> List.concat_map (fun sub ->
+           let subdir = Filename.concat t.dir sub in
+           if String.length sub = 2 && Sys.is_directory subdir then
+             Array.to_list (Sys.readdir subdir)
+             |> List.filter_map (fun f ->
+                    if Filename.check_suffix f ".json" then
+                      let p = Filename.concat subdir f in
+                      match Unix.stat p with
+                      | st -> Some (p, st.Unix.st_mtime)
+                      | exception Unix.Unix_error _ -> None
+                    else None)
+           else [])
+  else []
+
+let entry_count t = List.length (scan_entries t)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let remove_quietly path = try Sys.remove path with Sys_error _ -> ()
+
+(* Decode and fully validate one entry file. Any failure means the entry
+   is poisoned. *)
+let decode ~key:k text =
+  match J.parse text with
+  | Error _ -> None
+  | Ok j ->
+    let str f = match J.member f j with Some (J.Str s) -> Some s | _ -> None in
+    let ( let* ) = Option.bind in
+    let* () = if str "schema" = Some schema then Some () else None in
+    let* () = if str "key" = Some k then Some () else None in
+    let* iloc = str "iloc" in
+    let* stats =
+      match J.member "stats" j with
+      | Some s -> Epre.Pipeline.stats_of_json s
+      | None -> None
+    in
+    let* routine =
+      match Epre_ir.Ir_text.parse_program iloc with
+      | prog -> (
+        match Epre_ir.Program.routines prog with [ r ] -> Some r | _ -> None)
+      | exception _ -> None
+    in
+    let* () =
+      if routine.Epre_ir.Routine.name = stats.Epre.Pipeline.routine then Some ()
+      else None
+    in
+    Some (routine, iloc, stats)
+
+let find t ~key:k =
+  let path = entry_path t k in
+  match read_file path with
+  | exception Sys_error _ ->
+    count "cache.misses";
+    None
+  | text -> (
+    match decode ~key:k text with
+    | Some hit ->
+      count "cache.hits";
+      Some hit
+    | None ->
+      (* Poisoned: discard and recompile rather than crash or replay
+         garbage. *)
+      remove_quietly path;
+      count "cache.poisoned";
+      count "cache.misses";
+      None)
+
+let encode ~key:k ~fingerprint ~iloc ~stats =
+  J.to_string
+    (J.Obj
+       [ ("schema", J.Str schema);
+         ("key", J.Str k);
+         ("fingerprint", J.Str fingerprint);
+         ("iloc", J.Str iloc);
+         ("stats", Epre.Pipeline.stats_to_json stats) ])
+
+(* Drop the oldest entries (by mtime) until 90% of the bound. Called with
+   [t.lock] held. *)
+let evict t =
+  let entries =
+    List.sort (fun (_, a) (_, b) -> compare a b) (scan_entries t)
+  in
+  let total = List.length entries in
+  t.entries <- total;
+  let target = max 1 (t.max_entries * 9 / 10) in
+  if total > t.max_entries then begin
+    let doomed = total - target in
+    List.iteri
+      (fun i (p, _) ->
+        if i < doomed then begin
+          remove_quietly p;
+          count "cache.evictions";
+          t.entries <- t.entries - 1
+        end)
+      entries
+  end
+
+let store t ~key:k ~fingerprint ~iloc ~stats =
+  let path = entry_path t k in
+  let text = encode ~key:k ~fingerprint ~iloc ~stats in
+  locked t (fun () ->
+      if not t.scanned then begin
+        t.entries <- List.length (scan_entries t);
+        t.scanned <- true
+      end;
+      mkdir_p (Filename.dirname path);
+      let fresh = not (Sys.file_exists path) in
+      (* Temp-write + rename: readers (other domains or processes) see
+         either the old entry or the whole new one, never a torn file. *)
+      let tmp, oc =
+        Filename.open_temp_file ~temp_dir:(Filename.dirname path) ~mode:[ Open_binary ]
+          "entry" ".tmp"
+      in
+      (try
+         output_string oc text;
+         output_char oc '\n';
+         close_out oc;
+         Sys.rename tmp path
+       with e ->
+         close_out_noerr oc;
+         remove_quietly tmp;
+         raise e);
+      count "cache.stores";
+      if fresh then begin
+        t.entries <- t.entries + 1;
+        if t.entries > t.max_entries then evict t
+      end)

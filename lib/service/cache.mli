@@ -1,0 +1,74 @@
+(** Persistent content-addressed compilation cache.
+
+    A cache entry maps the digest of (canonical ILOC text of the input
+    routine, pipeline fingerprint) to the optimized ILOC text plus the
+    recorded [routine_stats]. Because the textual ILOC format round-trips
+    exactly and routines are optimized independently, replaying a hit is
+    byte-identical to recompiling: restore the routine from the stored
+    text, replay the stored statistics into the metrics registry, done.
+
+    On-disk layout (survives restarts, shared between processes):
+
+    {v
+    <dir>/<first two hex chars of key>/<key>.json
+    v}
+
+    one JSON object per entry ([{"schema":"epre/cache-entry/v1",
+    "key":..., "fingerprint":..., "iloc":..., "stats":{...}}]). Writes go
+    through a temp file and [Sys.rename], so concurrent writers (pool
+    workers, or two eprec processes sharing a cache dir) can never expose
+    a torn entry.
+
+    Failure semantics: a poisoned entry — unreadable file, malformed
+    JSON, wrong schema, key mismatch (hash collision or tampering), ILOC
+    that no longer parses or names a different routine — is deleted and
+    reported as a miss, so the service falls back to recompiling instead
+    of crashing or replaying garbage.
+
+    Counters (in [Epre_telemetry.Metrics], routine key ["<service>"]):
+    [cache.hits], [cache.misses], [cache.stores], [cache.evictions],
+    [cache.poisoned].
+
+    All operations are domain-safe. *)
+
+type t
+
+(** [$EPREC_CACHE_DIR], else [$XDG_CACHE_HOME/eprec], else
+    [$HOME/.cache/eprec], else ["./.eprec-cache"] — never created until
+    the first [store]. *)
+val default_dir : unit -> string
+
+(** [create ~dir ()] opens (and lazily creates) a cache rooted at [dir].
+    [max_entries] bounds the entry count: exceeding it evicts the oldest
+    entries (by file modification time) down to 90% of the bound.
+    Default 65536. *)
+val create : ?max_entries:int -> dir:string -> unit -> t
+
+val dir : t -> string
+
+(** Digest (as lowercase hex) of fingerprint and canonical input text —
+    the entry's identity and file name. *)
+val key : iloc:string -> fingerprint:string -> string
+
+(** Look up an entry. A hit returns the optimized routine (freshly parsed
+    from the stored text — the caller owns it and may mutate it or
+    [Routine.restore] from it), the stored text itself, and the recorded
+    stats. Bumps [cache.hits] / [cache.misses] (and [cache.poisoned] when
+    a corrupt entry had to be discarded — a poisoned lookup is a miss). *)
+val find :
+  t ->
+  key:string ->
+  (Epre_ir.Routine.t * string * Epre.Pipeline.routine_stats) option
+
+(** Persist an entry (last write wins). Bumps [cache.stores], and
+    [cache.evictions] per entry removed by the size bound. *)
+val store :
+  t ->
+  key:string ->
+  fingerprint:string ->
+  iloc:string ->
+  stats:Epre.Pipeline.routine_stats ->
+  unit
+
+(** Entries currently on disk. *)
+val entry_count : t -> int

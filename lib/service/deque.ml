@@ -1,0 +1,61 @@
+(** Work-stealing deque: mutex-guarded growable ring buffer. See the
+    interface for why this is locked rather than lock-free. *)
+
+type 'a t = {
+  lock : Mutex.t;
+  mutable buf : 'a option array;  (** capacity is always a power of two *)
+  mutable top : int;  (** steal end; index of the oldest element *)
+  mutable bottom : int;  (** owner end; one past the newest element *)
+}
+
+(* [top] and [bottom] increase monotonically; the live elements are the
+   [top..bottom-1] slice, each at [i land (capacity - 1)]. *)
+
+let create () = { lock = Mutex.create (); buf = Array.make 16 None; top = 0; bottom = 0 }
+
+let locked d f =
+  Mutex.lock d.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock d.lock) f
+
+let size d = d.bottom - d.top
+
+let grow d =
+  let cap = Array.length d.buf in
+  let buf' = Array.make (2 * cap) None in
+  for i = d.top to d.bottom - 1 do
+    buf'.(i land ((2 * cap) - 1)) <- d.buf.(i land (cap - 1))
+  done;
+  d.buf <- buf'
+
+let push d x =
+  locked d (fun () ->
+      if size d = Array.length d.buf then grow d;
+      d.buf.(d.bottom land (Array.length d.buf - 1)) <- Some x;
+      d.bottom <- d.bottom + 1)
+
+let take d i =
+  let slot = i land (Array.length d.buf - 1) in
+  let x = d.buf.(slot) in
+  d.buf.(slot) <- None;
+  x
+
+let pop d =
+  locked d (fun () ->
+      if size d = 0 then None
+      else begin
+        d.bottom <- d.bottom - 1;
+        take d d.bottom
+      end)
+
+let steal d =
+  locked d (fun () ->
+      if size d = 0 then None
+      else begin
+        let x = take d d.top in
+        d.top <- d.top + 1;
+        x
+      end)
+
+let is_empty d = locked d (fun () -> size d = 0)
+
+let length d = locked d (fun () -> size d)

@@ -1,0 +1,30 @@
+(** A work-stealing double-ended queue — one per pool worker.
+
+    The owner pushes and pops at the bottom (LIFO, so a worker drains its
+    freshest work first and keeps its caches warm); thieves steal from the
+    top (FIFO, so a steal takes the oldest — typically largest-remaining —
+    task and minimizes owner/thief contention at the bottom end).
+
+    The implementation is a mutex-guarded growable ring buffer rather than
+    a lock-free Chase–Lev deque: the pool's tasks are whole-routine (or
+    whole-job) optimizations, milliseconds each, so a sub-microsecond
+    critical section per operation is far below measurement noise — and
+    the mutex keeps every interleaving trivially correct. All operations
+    are safe from any domain. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+(** Owner end: push at the bottom. *)
+val push : 'a t -> 'a -> unit
+
+(** Owner end: pop the most recently pushed element. *)
+val pop : 'a t -> 'a option
+
+(** Thief end: steal the oldest element. *)
+val steal : 'a t -> 'a option
+
+val is_empty : 'a t -> bool
+
+val length : 'a t -> int

@@ -1,0 +1,67 @@
+(** A fixed-size pool of OCaml 5 domains with a work-stealing scheduler —
+    the compile service's parallelism substrate.
+
+    Each worker domain owns a {!Deque}; a batch submitted with [map] is
+    dealt round-robin across the deques, workers drain their own deque
+    LIFO and steal FIFO from the others when empty, and the submitter
+    helps execute pending tasks while it waits (so nested [map] calls
+    from inside a task cannot deadlock the pool).
+
+    Ordering: [map] returns results indexed exactly like its input —
+    execution order is nondeterministic, result order is not. Combined
+    with per-routine independence (the call-graph signature pass made
+    routine optimization order-free), this keeps parallel pipeline output
+    byte-identical to the serial path.
+
+    A pool of [jobs <= 1] spawns no domains: [map] runs inline on the
+    caller, which is the reference serial path that `--jobs 1` and the
+    benchmark baselines compare against.
+
+    Safety contract for tasks: they may mutate only state reachable from
+    their own input element (distinct routines, distinct jobs) plus the
+    domain-safe [Epre_telemetry] registries. Tasks must not submit to a
+    *different* pool that is itself waiting on this one. *)
+
+type t
+
+(** [create ~jobs ()]: [jobs >= 2] spawns [jobs] worker domains;
+    [jobs <= 1] creates an inline pool with no domains. *)
+val create : jobs:int -> unit -> t
+
+(** [Domain.recommended_domain_count ()] — the default for every [--jobs]
+    flag. *)
+val default_jobs : unit -> int
+
+(** Number of worker domains (0 for an inline pool). *)
+val size : t -> int
+
+(** [map pool f arr] applies [f] to every element on the pool and returns
+    the results in input order. If one or more applications raise, the
+    lowest-indexed exception is re-raised after the whole batch has
+    drained (no task of the batch is left running). *)
+val map : t -> ('a -> 'b) -> 'a array -> 'b array
+
+(** [map] over a list. *)
+val map_list : t -> ('a -> 'b) -> 'a list -> 'b list
+
+(** [map_routines pool f prog] fans [f] over the program's routines —
+    the per-routine [optimize] fan-out — returning results in routine
+    order. *)
+val map_routines : t -> (Epre_ir.Routine.t -> 'a) -> Epre_ir.Program.t -> 'a list
+
+(** Cumulative wall-clock busy time. [busy_ns.(i)] is worker [i]'s time
+    spent executing tasks since creation (or [reset_stats]);
+    [helper_busy_ns] is task time executed by submitters while waiting.
+    For an inline pool all time lands in [helper_busy_ns]. *)
+type stats = { busy_ns : int64 array; helper_busy_ns : int64 }
+
+val stats : t -> stats
+
+val reset_stats : t -> unit
+
+(** Stop and join every worker domain. Must not be called while a batch
+    is outstanding. Idempotent. *)
+val shutdown : t -> unit
+
+(** [create], run, [shutdown] (exception-safe). *)
+val with_pool : jobs:int -> (t -> 'a) -> 'a

@@ -1,0 +1,291 @@
+(** The compile service. See the interface for the protocol; the
+    correctness argument for each parallel/cached path is inline. *)
+
+open Epre_ir
+module J = Epre_telemetry.Tjson
+module Harness = Epre_harness.Harness
+module Pipeline = Epre.Pipeline
+
+type counts = { hits : int; misses : int }
+
+let no_traffic = { hits = 0; misses = 0 }
+
+let add_counts a b = { hits = a.hits + b.hits; misses = a.misses + b.misses }
+
+(* Optimize one routine through the cache. The cache key is the digest of
+   the routine's canonical pre-optimization text plus the level
+   fingerprint; because [Ir_text] round-trips exactly, restoring a hit's
+   stored text is byte-identical to recompiling. *)
+let optimize_routine_cached ?cache ~level ~fingerprint (r : Routine.t) =
+  match cache with
+  | None -> (Pipeline.optimize_routine ~level r, { hits = 0; misses = 1 })
+  | Some c -> (
+    let before = Ir_text.routine_to_string r in
+    let k = Cache.key ~iloc:before ~fingerprint in
+    match Cache.find c ~key:k with
+    | Some (cached, _iloc, stats) when cached.Routine.name = r.Routine.name ->
+      Routine.restore r ~from:cached;
+      (* A recompile would have bumped the metrics registry; replay the
+         stored statistics so cached and cold runs report identically. *)
+      Pipeline.record_metrics stats;
+      (stats, { hits = 1; misses = 0 })
+    | Some _ | None ->
+      let stats = Pipeline.optimize_routine ~level r in
+      let after = Ir_text.routine_to_string r in
+      Cache.store c ~key:k ~fingerprint ~iloc:after ~stats;
+      (stats, { hits = 0; misses = 1 }))
+
+let optimize_program ?cache ?pool ~level (p : Program.t) =
+  let fingerprint = Pipeline.fingerprint ~level in
+  let one r = optimize_routine_cached ?cache ~level ~fingerprint r in
+  let results =
+    match pool with
+    | Some pool -> Pool.map_routines pool one p
+    | None -> List.map one (Program.routines p)
+  in
+  ( List.map fst results,
+    List.fold_left (fun acc (_, c) -> add_counts acc c) no_traffic results )
+
+(* Parallel supervised optimization: one worker per routine, each
+   supervising its own full pass sequence. Safe only when
+
+   - validation is [Off] or [Ir]: the verifier reads the context program
+     for call-graph signatures, which no pass changes, so a frozen
+     snapshot is equivalent to the live serial program. [Exec] validation
+     interprets the whole program between passes and must stay serial;
+   - [keep_going] is true: with fail-fast semantics the serial path
+     defines *which* application raises first, so it must stay serial.
+
+   Each worker gets its own context program — the frozen snapshot with
+   only its own live routine swapped in — because [Typecheck.infer]
+   mutates scratch state on the routines it reads. *)
+let supervise_parallel pool ~config ~level (p : Program.t) =
+  let snapshot = List.map Routine.copy (Program.routines p) in
+  let one (r : Routine.t) =
+    let context =
+      Program.create
+        (List.map
+           (fun (s : Routine.t) ->
+             if s.Routine.name = r.Routine.name then r else Routine.copy s)
+           snapshot)
+    in
+    Pipeline.optimize_supervised_routine ~config ~level ~context r
+  in
+  let results = Pool.map_routines pool one p in
+  let stats = List.map fst results in
+  (* Reassemble the per-routine record lists (each in pass order; exactly
+     one record per (pass, routine) under keep_going) into the serial
+     pass-major execution order. *)
+  let per_routine = List.map (fun (_, rs) -> Array.of_list rs) results in
+  let uniform =
+    match per_routine with
+    | [] -> true
+    | a :: rest -> List.for_all (fun b -> Array.length b = Array.length a) rest
+  in
+  let records =
+    if uniform && per_routine <> [] then
+      let n_passes = Array.length (List.hd per_routine) in
+      List.concat
+        (List.init n_passes (fun j ->
+             List.map (fun a -> a.(j)) per_routine))
+    else List.concat_map Array.to_list per_routine
+  in
+  (stats, records)
+
+let optimize_supervised_program ?pool ~config ~level (p : Program.t) =
+  match pool with
+  | Some pool
+    when Pool.size pool > 0
+         && config.Harness.validation <> Harness.Exec
+         && config.Harness.keep_going ->
+    supervise_parallel pool ~config ~level p
+  | _ -> Pipeline.optimize_supervised ~config ~level p
+
+(* ------------------------------------------------------------------ *)
+(* Serve protocol *)
+
+type job_input =
+  | File of string
+  | Workload of string
+  | Source of string
+  | Iloc of string
+
+type job = {
+  id : string;
+  level : Pipeline.level;
+  input : job_input;
+  emit : bool;
+}
+
+let job_of_line ~default_id line =
+  match J.parse line with
+  | Error m -> Error ("malformed job line: " ^ m)
+  | Ok j -> (
+    let str f = match J.member f j with Some (J.Str s) -> Some s | _ -> None in
+    let id = Option.value (str "id") ~default:default_id in
+    let level =
+      match J.member "level" j with
+      | None -> Ok Pipeline.Partial
+      | Some (J.Str s) -> (
+        match Pipeline.level_of_string s with
+        | Some l -> Ok l
+        | None -> Error (Printf.sprintf "unknown level %S" s))
+      | Some _ -> Error "field \"level\" must be a string"
+    in
+    match level with
+    | Error m -> Error m
+    | Ok level -> (
+      let inputs =
+        List.filter_map
+          (fun (f, mk) -> Option.map mk (str f))
+          [ ("file", fun s -> File s);
+            ("workload", fun s -> Workload s);
+            ("source", fun s -> Source s);
+            ("iloc", fun s -> Iloc s) ]
+      in
+      match inputs with
+      | [ input ] ->
+        let emit =
+          match J.member "emit" j with Some (J.Bool b) -> b | _ -> true
+        in
+        Ok { id; level; input; emit }
+      | [] -> Error "job needs one of \"file\", \"workload\", \"source\", \"iloc\""
+      | _ :: _ :: _ -> Error "job has more than one program input"))
+
+type result_line = {
+  job_id : string;
+  ok : bool;
+  job_level : Pipeline.level;
+  routines : int;
+  job_counts : counts;
+  latency_ms : float;
+  iloc : string option;
+  error : string option;
+}
+
+let result_to_json r =
+  J.Obj
+    ([ ("type", J.Str "result");
+       ("id", J.Str r.job_id);
+       ("ok", J.Bool r.ok);
+       ("level", J.Str (Pipeline.level_to_string r.job_level));
+       ("routines", J.Int r.routines);
+       ("hits", J.Int r.job_counts.hits);
+       ("misses", J.Int r.job_counts.misses);
+       ("latency_ms", J.Float r.latency_ms) ]
+    @ (match r.iloc with Some s -> [ ("iloc", J.Str s) ] | None -> [])
+    @ match r.error with Some m -> [ ("error", J.Str m) ] | None -> [])
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let load_program = function
+  | File path -> (
+    match read_file path with
+    | text -> (
+      try Ok (Epre_frontend.Frontend.compile_string text) with
+      | Epre_frontend.Frontend.Error { line; message } ->
+        Error (Printf.sprintf "%s:%d: %s" path line message))
+    | exception Sys_error m -> Error m)
+  | Workload name -> (
+    match Epre_workloads.Workloads.find name with
+    | Some w -> Ok (Epre_workloads.Workloads.compile w)
+    | None -> Error (Printf.sprintf "unknown workload %S" name))
+  | Source text -> (
+    try Ok (Epre_frontend.Frontend.compile_string text) with
+    | Epre_frontend.Frontend.Error { line; message } ->
+      Error (Printf.sprintf "line %d: %s" line message))
+  | Iloc text -> (
+    try Ok (Ir_text.parse_program text) with
+    | e -> Error ("ILOC parse failed: " ^ Printexc.to_string e))
+
+let error_result ~id ~level msg =
+  { job_id = id; ok = false; job_level = level; routines = 0;
+    job_counts = no_traffic; latency_ms = 0.0; iloc = None; error = Some msg }
+
+(* One job, serially: parallelism in the server is across jobs, not
+   within one. Never raises — a worker exception would poison the whole
+   batch. *)
+let run_job ?cache (job : job) =
+  let t0 = Epre_telemetry.Telemetry.Clock.now_ns () in
+  let finish r =
+    { r with latency_ms = Epre_telemetry.Telemetry.Clock.elapsed_ms ~since:t0 }
+  in
+  match load_program job.input with
+  | Error m -> finish (error_result ~id:job.id ~level:job.level m)
+  | exception e ->
+    finish
+      (error_result ~id:job.id ~level:job.level (Printexc.to_string e))
+  | Ok prog -> (
+    match optimize_program ?cache ~level:job.level prog with
+    | stats, job_counts ->
+      finish
+        { job_id = job.id; ok = true; job_level = job.level;
+          routines = List.length stats; job_counts; latency_ms = 0.0;
+          iloc = (if job.emit then Some (Ir_text.print_program prog) else None);
+          error = None }
+    | exception e ->
+      finish
+        (error_result ~id:job.id ~level:job.level
+           ("optimization failed: " ^ Printexc.to_string e)))
+
+type summary = {
+  jobs : int;
+  succeeded : int;
+  failed : int;
+  total : counts;
+  wall_ms : float;
+}
+
+let serve ?cache ?batch ~pool ~input ~output () =
+  let batch_size =
+    match batch with
+    | Some b -> max b 1
+    | None -> max 32 (4 * Pool.size pool)
+  in
+  let t0 = Epre_telemetry.Telemetry.Clock.now_ns () in
+  let seq = ref 0 in
+  let jobs = ref 0 and succeeded = ref 0 and failed = ref 0 in
+  let total = ref no_traffic in
+  (* Next batch of non-blank lines, pre-parsed in input order. *)
+  let read_batch () =
+    let acc = ref [] and n = ref 0 in
+    (try
+       while !n < batch_size do
+         let line = input_line input in
+         if String.trim line <> "" then begin
+           incr seq;
+           acc := (Printf.sprintf "job-%d" !seq, line) :: !acc;
+           incr n
+         end
+       done
+     with End_of_file -> ());
+    List.rev !acc
+  in
+  let run_one (default_id, line) =
+    match job_of_line ~default_id line with
+    | Error m -> error_result ~id:default_id ~level:Pipeline.Partial m
+    | Ok job -> run_job ?cache job
+  in
+  let rec loop () =
+    match read_batch () with
+    | [] -> ()
+    | lines ->
+      let results = Pool.map_list pool run_one lines in
+      List.iter
+        (fun r ->
+          jobs := !jobs + 1;
+          if r.ok then incr succeeded else incr failed;
+          total := add_counts !total r.job_counts;
+          output_string output (J.to_string (result_to_json r));
+          output_char output '\n')
+        results;
+      flush output;
+      loop ()
+  in
+  loop ();
+  { jobs = !jobs; succeeded = !succeeded; failed = !failed; total = !total;
+    wall_ms = Epre_telemetry.Telemetry.Clock.elapsed_ms ~since:t0 }

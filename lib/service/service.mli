@@ -1,0 +1,121 @@
+(** The compile service: cached, parallel program optimization, and the
+    batch protocol behind `eprec serve`.
+
+    Composition of the two substrates:
+    - {!Pool} fans per-routine (or per-job) work across domains while
+      preserving input order, so parallel output is byte-identical to the
+      serial path;
+    - {!Cache} short-circuits routines whose (canonical ILOC, pipeline
+      fingerprint) digest was optimized before, replaying the stored text
+      and statistics.
+
+    Serve protocol (newline-delimited JSON on stdin/stdout):
+
+    {v
+    job:    {"id":"j1","level":"partial","workload":"saxpy"}
+            {"id":"j2","file":"kernels/spline.src","emit":false}
+            {"id":"j3","source":"fn main() { ... }"}
+            {"id":"j4","iloc":"routine main ..."}
+    result: {"type":"result","id":"j1","ok":true,"level":"partial",
+             "routines":1,"hits":0,"misses":1,"latency_ms":1.93,
+             "iloc":"..."}
+            {"type":"result","id":"j2","ok":false,"error":"..."}
+    v}
+
+    [level] defaults to ["partial"], [emit] (include optimized ILOC in
+    the result) to [true]. Exactly one of [file] / [workload] / [source]
+    / [iloc] names the program. A malformed job line yields an in-order
+    [ok:false] result rather than killing the server. *)
+
+open Epre_ir
+
+(** Cache traffic of one [optimize_program] / [run_job] call: routines
+    served from the cache vs. recompiled (and stored). Without a cache
+    every routine is a miss. *)
+type counts = { hits : int; misses : int }
+
+(** Optimize every routine of the program in place at [level].
+    [pool] fans the routines across domains ({!Pool.map_routines});
+    [cache] consults and fills the persistent cache per routine. Stats
+    come back in routine order, byte-identical to the serial uncached
+    path. *)
+val optimize_program :
+  ?cache:Cache.t ->
+  ?pool:Pool.t ->
+  level:Epre.Pipeline.level ->
+  Program.t ->
+  Epre.Pipeline.routine_stats list * counts
+
+(** Supervised variant. The parallel path (pool of size >= 1) supervises
+    each routine on its own worker against a frozen snapshot of the
+    program — validation sees consistent call-graph signatures — and
+    reassembles the per-pass records into the serial pass-major order.
+    Falls back to the serial [Epre.Pipeline.optimize_supervised] whenever
+    parallelism cannot preserve its semantics: no pool, [Exec]-tier
+    validation (which interprets the whole program between passes), or
+    [keep_going = false] (first-failure abort order is serial). *)
+val optimize_supervised_program :
+  ?pool:Pool.t ->
+  config:Epre_harness.Harness.config ->
+  level:Epre.Pipeline.level ->
+  Program.t ->
+  Epre.Pipeline.routine_stats list * Epre_harness.Harness.record list
+
+type job_input =
+  | File of string  (** mini-language source file path *)
+  | Workload of string  (** built-in workload name *)
+  | Source of string  (** inline mini-language source text *)
+  | Iloc of string  (** inline ILOC text *)
+
+type job = {
+  id : string;
+  level : Epre.Pipeline.level;
+  input : job_input;
+  emit : bool;  (** include the optimized ILOC in the result *)
+}
+
+(** Decode one job line. [default_id] is used when the object carries no
+    ["id"] field; [Error] is the protocol-level complaint that becomes an
+    [ok:false] result. *)
+val job_of_line : default_id:string -> string -> (job, string) result
+
+type result_line = {
+  job_id : string;
+  ok : bool;
+  job_level : Epre.Pipeline.level;
+  routines : int;
+  job_counts : counts;
+  latency_ms : float;
+  iloc : string option;  (** optimized program text, when [emit] *)
+  error : string option;
+}
+
+val result_to_json : result_line -> Epre_telemetry.Tjson.t
+
+(** Execute one job serially: load the program, optimize it at the job's
+    level through [cache], measure wall latency. Never raises — failures
+    come back as [ok = false]. *)
+val run_job : ?cache:Cache.t -> job -> result_line
+
+(** Whole-batch totals, for the closing stderr line and the smoke test. *)
+type summary = {
+  jobs : int;
+  succeeded : int;
+  failed : int;
+  total : counts;
+  wall_ms : float;
+}
+
+(** Read job lines from [input] until EOF, batching up to [batch] jobs
+    (default [max 32 (4 * pool size)]) per {!Pool.map} round, and stream
+    one JSON result line per job to [output] in input order (flushed
+    after every batch). Blank lines are skipped; malformed lines produce
+    error results. *)
+val serve :
+  ?cache:Cache.t ->
+  ?batch:int ->
+  pool:Pool.t ->
+  input:in_channel ->
+  output:out_channel ->
+  unit ->
+  summary

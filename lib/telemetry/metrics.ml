@@ -1,27 +1,43 @@
-(** Counters registry. See the interface. *)
+(** Counters registry. See the interface.
+
+    The registry is one process-global table shared by every domain: the
+    compile-service pool ([Epre_service.Pool]) funnels per-routine pipeline
+    counters, verifier rule counters and cache hit/miss counters through
+    here from worker domains, so every operation takes [lock]. The
+    critical sections are a few words long; contention is negligible next
+    to the per-routine optimization work between increments. *)
+
+let lock = Mutex.create ()
+
+let locked f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
 
 let table : (string * string, int ref) Hashtbl.t = Hashtbl.create 64
 
 let add ~routine ~name n =
-  match Hashtbl.find_opt table (routine, name) with
-  | Some cell -> cell := !cell + n
-  | None -> Hashtbl.add table (routine, name) (ref n)
+  locked (fun () ->
+      match Hashtbl.find_opt table (routine, name) with
+      | Some cell -> cell := !cell + n
+      | None -> Hashtbl.add table (routine, name) (ref n))
 
 let incr ~routine ~name = add ~routine ~name 1
 
 let get ~routine ~name =
-  match Hashtbl.find_opt table (routine, name) with
-  | Some cell -> !cell
-  | None -> 0
+  locked (fun () ->
+      match Hashtbl.find_opt table (routine, name) with
+      | Some cell -> !cell
+      | None -> 0)
 
-let reset () = Hashtbl.reset table
+let reset () = locked (fun () -> Hashtbl.reset table)
 
 type entry = { routine : string; name : string; value : int }
 
 let snapshot () =
-  Hashtbl.fold
-    (fun (routine, name) cell acc -> { routine; name; value = !cell } :: acc)
-    table []
+  locked (fun () ->
+      Hashtbl.fold
+        (fun (routine, name) cell acc -> { routine; name; value = !cell } :: acc)
+        table [])
   |> List.sort (fun a b ->
          match compare a.routine b.routine with 0 -> compare a.name b.name | c -> c)
 

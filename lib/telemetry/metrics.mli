@@ -4,7 +4,11 @@
     any pass can bump a named counter ([add] / [incr]) without a new field
     threaded through [Pipeline], and every consumer (the CLI's
     [--metrics=json], CI, the bench baseline) reads one snapshot format.
-    Counters accumulate across routines and runs until [reset]. *)
+    Counters accumulate across routines and runs until [reset].
+
+    Domain-safe: every operation is mutex-guarded, so compile-pool worker
+    domains ([Epre_service.Pool]) bump counters concurrently without
+    racing or losing increments; [snapshot] is an atomic cut. *)
 
 val add : routine:string -> name:string -> int -> unit
 

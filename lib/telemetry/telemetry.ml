@@ -31,6 +31,9 @@ type span = {
 
 type recorder = {
   epoch : int64;
+  lock : Mutex.t;
+      (** guards [depth] and [finished]: spans complete from compile-pool
+          worker domains as well as the installing domain *)
   mutable depth : int;
   mutable finished : span list;  (** completion order, newest first *)
 }
@@ -38,7 +41,9 @@ type recorder = {
 let current : recorder option ref = ref None
 
 let install () =
-  let r = { epoch = Clock.now_ns (); depth = 0; finished = [] } in
+  let r =
+    { epoch = Clock.now_ns (); lock = Mutex.create (); depth = 0; finished = [] }
+  in
   current := Some r;
   r
 
@@ -59,18 +64,19 @@ module Span = struct
     | Some rec_ ->
       let routine_name = Option.map (fun r -> r.Epre_ir.Routine.name) routine in
       let ir_before = Option.map measure_routine routine in
-      let depth = rec_.depth in
-      rec_.depth <- depth + 1;
+      let depth =
+        Mutex.lock rec_.lock;
+        let d = rec_.depth in
+        rec_.depth <- d + 1;
+        Mutex.unlock rec_.lock;
+        d
+      in
       let alloc0 = Gc.minor_words () in
       let t0 = Clock.now_ns () in
       let finish raised =
         let dur_ns = Int64.sub (Clock.now_ns ()) t0 in
         let alloc_minor_words = Gc.minor_words () -. alloc0 in
-        (* Restore the open-time depth rather than decrementing: an
-           exception that escaped several nested spans still leaves the
-           recorder balanced once the outermost one closes. *)
-        rec_.depth <- depth;
-        rec_.finished <-
+        let finished_span =
           {
             name;
             kind;
@@ -83,7 +89,14 @@ module Span = struct
             ir_after = Option.map measure_routine routine;
             raised;
           }
-          :: rec_.finished
+        in
+        Mutex.lock rec_.lock;
+        (* Restore the open-time depth rather than decrementing: an
+           exception that escaped several nested spans still leaves the
+           recorder balanced once the outermost one closes. *)
+        rec_.depth <- depth;
+        rec_.finished <- finished_span :: rec_.finished;
+        Mutex.unlock rec_.lock
       in
       (match f () with
       | v ->

@@ -18,7 +18,15 @@
 
     Exporters consume the finished span list: [Chrome_trace] (Perfetto /
     chrome://tracing), [Profile] (per-pass text summary), and the
-    [Metrics] JSONL stream. *)
+    [Metrics] JSONL stream.
+
+    Domain safety: a recorder accepts spans from any domain — the
+    compile-service pool's workers ([Epre_service.Pool]) trace through the
+    same recorder as the submitting domain. The recorder's state is
+    mutex-guarded; the nesting [depth] remains a single process-wide
+    counter, so spans completed concurrently by different workers
+    interleave at whatever depth was current when each opened (wall-clock
+    start/duration, allocation and IR deltas are unaffected). *)
 
 (** Monotonic wall clock (nanoseconds since an arbitrary epoch). *)
 module Clock : sig

@@ -33,4 +33,5 @@ let () =
       ("verify", Test_verify.suite);
       ("harness", Test_harness.suite);
       ("telemetry", Test_telemetry.suite);
+      ("service", Test_service.suite);
     ]

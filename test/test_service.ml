@@ -1,0 +1,398 @@
+(** The compile service: work-stealing deque invariants, pool ordering /
+    exception / nesting semantics, parallel-equals-serial for the whole
+    workload suite at every level (bare and supervised), cache hit
+    replay, fingerprint invalidation, poisoned-entry fallback, and the
+    serve job protocol. *)
+
+open Epre_ir
+module Deque = Epre_service.Deque
+module Pool = Epre_service.Pool
+module Cache = Epre_service.Cache
+module Service = Epre_service.Service
+module Pipeline = Epre.Pipeline
+
+let fresh_dir =
+  let n = ref 0 in
+  fun () ->
+    incr n;
+    let dir =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "eprec-test-cache-%d-%d" (Unix.getpid ()) !n)
+    in
+    (* Never reuse state from an earlier (crashed) run. *)
+    let rec rm p =
+      if Sys.file_exists p then
+        if Sys.is_directory p then begin
+          Array.iter (fun f -> rm (Filename.concat p f)) (Sys.readdir p);
+          Sys.rmdir p
+        end
+        else Sys.remove p
+    in
+    rm dir;
+    dir
+
+let program_text p = Ir_text.print_program p
+
+(* ------------------------------------------------------------------ *)
+(* Deque *)
+
+let test_deque_lifo_fifo () =
+  let d = Deque.create () in
+  List.iter (Deque.push d) [ 1; 2; 3; 4 ];
+  Alcotest.(check int) "length" 4 (Deque.length d);
+  (* Owner pops newest first... *)
+  Alcotest.(check (option int)) "pop" (Some 4) (Deque.pop d);
+  (* ...thieves steal oldest first. *)
+  Alcotest.(check (option int)) "steal" (Some 1) (Deque.steal d);
+  Alcotest.(check (option int)) "pop2" (Some 3) (Deque.pop d);
+  Alcotest.(check (option int)) "steal2" (Some 2) (Deque.steal d);
+  Alcotest.(check (option int)) "empty pop" None (Deque.pop d);
+  Alcotest.(check (option int)) "empty steal" None (Deque.steal d)
+
+let test_deque_grows () =
+  let d = Deque.create () in
+  for i = 1 to 1000 do Deque.push d i done;
+  let seen = ref 0 in
+  let rec drain () =
+    match Deque.steal d with
+    | Some v ->
+      incr seen;
+      Alcotest.(check int) "fifo order" !seen v;
+      drain ()
+    | None -> ()
+  in
+  drain ();
+  Alcotest.(check int) "all drained" 1000 !seen
+
+(* ------------------------------------------------------------------ *)
+(* Pool *)
+
+let test_pool_map_order () =
+  List.iter
+    (fun jobs ->
+      Pool.with_pool ~jobs (fun pool ->
+          let input = Array.init 100 (fun i -> i) in
+          let out = Pool.map pool (fun i -> i * i) input in
+          Array.iteri
+            (fun i v ->
+              Alcotest.(check int) (Printf.sprintf "jobs=%d idx=%d" jobs i)
+                (i * i) v)
+            out))
+    [ 1; 2; 4 ]
+
+exception Boom of int
+
+let test_pool_exception () =
+  Pool.with_pool ~jobs:2 (fun pool ->
+      match
+        Pool.map pool
+          (fun i -> if i mod 3 = 2 then raise (Boom i) else i)
+          (Array.init 20 (fun i -> i))
+      with
+      | _ -> Alcotest.fail "expected the batch to raise"
+      | exception Boom i ->
+        (* The lowest-indexed failure wins, whatever the schedule. *)
+        Alcotest.(check int) "first failure" 2 i)
+
+let test_pool_nested_map () =
+  (* A task that submits its own batch must not deadlock: the submitter
+     helps drain the pool while it waits. *)
+  Pool.with_pool ~jobs:2 (fun pool ->
+      let out =
+        Pool.map_list pool
+          (fun i ->
+            Array.fold_left ( + ) 0
+              (Pool.map pool (fun j -> (10 * i) + j) (Array.init 4 (fun j -> j))))
+          [ 1; 2; 3 ]
+      in
+      Alcotest.(check (list int)) "nested sums" [ 46; 86; 126 ] out)
+
+(* ------------------------------------------------------------------ *)
+(* Parallel optimize == serial optimize *)
+
+let test_parallel_identical_to_serial () =
+  List.iter
+    (fun level ->
+      List.iter
+        (fun w ->
+          let serial = Epre_workloads.Workloads.compile w in
+          let parallel = Epre_workloads.Workloads.compile w in
+          let serial_stats, _ = Service.optimize_program ~level serial in
+          let parallel_stats, _ =
+            Pool.with_pool ~jobs:3 (fun pool ->
+                Service.optimize_program ~pool ~level parallel)
+          in
+          Alcotest.(check string)
+            (Printf.sprintf "%s at %s" w.Epre_workloads.Workloads.name
+               (Pipeline.level_to_string level))
+            (program_text serial) (program_text parallel);
+          Alcotest.(check bool) "stats equal" true (serial_stats = parallel_stats))
+        Epre_workloads.Workloads.all)
+    Pipeline.all_levels
+
+let test_parallel_supervised_identical () =
+  let config = Epre_harness.Harness.default_config in
+  List.iter
+    (fun w ->
+      let serial = Epre_workloads.Workloads.compile w in
+      let parallel = Epre_workloads.Workloads.compile w in
+      let s_stats, s_records =
+        Pipeline.optimize_supervised ~config ~level:Pipeline.Distribution serial
+      in
+      let p_stats, p_records =
+        Pool.with_pool ~jobs:3 (fun pool ->
+            Service.optimize_supervised_program ~pool ~config
+              ~level:Pipeline.Distribution parallel)
+      in
+      Alcotest.(check string) w.Epre_workloads.Workloads.name
+        (program_text serial) (program_text parallel);
+      Alcotest.(check bool) "stats equal" true (s_stats = p_stats);
+      (* Records match the serial pass-major order exactly, up to wall
+         clock. *)
+      let shape (r : Epre_harness.Harness.record) =
+        (r.pass, r.routine, r.outcome = Epre_harness.Harness.Passed)
+      in
+      Alcotest.(check bool) "record order" true
+        (List.map shape s_records = List.map shape p_records))
+    Epre_workloads.Workloads.all
+
+let test_exec_validation_falls_back_serial () =
+  (* Exec-tier supervision must produce its usual result through the
+     service entry point even with a pool attached (it runs serially). *)
+  let w = Option.get (Epre_workloads.Workloads.find "saxpy") in
+  let reference = Epre_workloads.Workloads.compile w in
+  let prog = Epre_workloads.Workloads.compile w in
+  let config =
+    { Epre_harness.Harness.default_config with validation = Epre_harness.Harness.Exec }
+  in
+  let _, _ =
+    Pipeline.optimize_supervised ~config ~level:Pipeline.Partial reference
+  in
+  let _, _ =
+    Pool.with_pool ~jobs:2 (fun pool ->
+        Service.optimize_supervised_program ~pool ~config
+          ~level:Pipeline.Partial prog)
+  in
+  Alcotest.(check string) "exec-tier result" (program_text reference)
+    (program_text prog)
+
+(* ------------------------------------------------------------------ *)
+(* Cache *)
+
+let test_cache_second_run_all_hits () =
+  let dir = fresh_dir () in
+  let cache = Cache.create ~dir () in
+  let cold = Epre_workloads.Workloads.compile (Option.get (Epre_workloads.Workloads.find "crout")) in
+  let cold_stats, cold_counts =
+    Service.optimize_program ~cache ~level:Pipeline.Partial cold
+  in
+  Alcotest.(check int) "cold run misses everything"
+    (List.length cold_stats) cold_counts.Service.misses;
+  Alcotest.(check int) "cold run hits nothing" 0 cold_counts.Service.hits;
+  let warm = Epre_workloads.Workloads.compile (Option.get (Epre_workloads.Workloads.find "crout")) in
+  let warm_stats, warm_counts =
+    Service.optimize_program ~cache ~level:Pipeline.Partial warm
+  in
+  Alcotest.(check int) "warm run hits everything"
+    (List.length warm_stats) warm_counts.Service.hits;
+  Alcotest.(check int) "warm run misses nothing" 0 warm_counts.Service.misses;
+  Alcotest.(check string) "identical optimized text" (program_text cold)
+    (program_text warm);
+  Alcotest.(check bool) "identical stats" true (cold_stats = warm_stats)
+
+let test_cache_survives_reopen () =
+  (* A second Cache.t over the same directory (a new process, in effect)
+     sees the first one's entries. *)
+  let dir = fresh_dir () in
+  let w = Option.get (Epre_workloads.Workloads.find "dot") in
+  let first = Epre_workloads.Workloads.compile w in
+  let _ =
+    Service.optimize_program ~cache:(Cache.create ~dir ())
+      ~level:Pipeline.Partial first
+  in
+  let second = Epre_workloads.Workloads.compile w in
+  let stats, counts =
+    Service.optimize_program ~cache:(Cache.create ~dir ())
+      ~level:Pipeline.Partial second
+  in
+  Alcotest.(check int) "all hits after reopen" (List.length stats)
+    counts.Service.hits;
+  Alcotest.(check string) "same text" (program_text first) (program_text second)
+
+let test_cache_fingerprint_invalidation () =
+  (* Same input at a different level must miss: the fingerprint is part
+     of the key. *)
+  let dir = fresh_dir () in
+  let cache = Cache.create ~dir () in
+  let w = Option.get (Epre_workloads.Workloads.find "saxpy") in
+  let _ =
+    Service.optimize_program ~cache ~level:Pipeline.Partial
+      (Epre_workloads.Workloads.compile w)
+  in
+  let stats, counts =
+    Service.optimize_program ~cache ~level:Pipeline.Reassociation
+      (Epre_workloads.Workloads.compile w)
+  in
+  Alcotest.(check int) "other level misses" (List.length stats)
+    counts.Service.misses;
+  Alcotest.(check bool) "fingerprints differ" true
+    (Pipeline.fingerprint ~level:Pipeline.Partial
+    <> Pipeline.fingerprint ~level:Pipeline.Reassociation)
+
+let corrupt_entries dir f =
+  let count = ref 0 in
+  Array.iter
+    (fun sub ->
+      let subdir = Filename.concat dir sub in
+      if Sys.is_directory subdir then
+        Array.iter
+          (fun file ->
+            if Filename.check_suffix file ".json" then begin
+              incr count;
+              f (Filename.concat subdir file)
+            end)
+          (Sys.readdir subdir))
+    (Sys.readdir dir);
+  !count
+
+let test_cache_poisoned_entry_recompiles () =
+  let dir = fresh_dir () in
+  let cache = Cache.create ~dir () in
+  let w = Option.get (Epre_workloads.Workloads.find "euclid") in
+  let reference = Epre_workloads.Workloads.compile w in
+  let _ = Service.optimize_program ~cache ~level:Pipeline.Partial reference in
+  (* Corrupt every stored entry in a different way each time. *)
+  List.iter
+    (fun corruption ->
+      let n =
+        corrupt_entries dir (fun path ->
+            let oc = open_out_bin path in
+            output_string oc corruption;
+            close_out oc)
+      in
+      Alcotest.(check bool) "entries exist to corrupt" true (n > 0);
+      let prog = Epre_workloads.Workloads.compile w in
+      let stats, counts =
+        Service.optimize_program ~cache ~level:Pipeline.Partial prog
+      in
+      (* Every poisoned entry is a miss (plus a deletion), and the result
+         is the honest recompile. *)
+      Alcotest.(check int) "poisoned -> recompile" (List.length stats)
+        counts.Service.misses;
+      Alcotest.(check string) "recompiled text equals reference"
+        (program_text reference) (program_text prog))
+    [ "not json at all";
+      "{\"schema\":\"epre/cache-entry/v1\",\"key\":\"wrong\"}";
+      "{\"schema\":\"something/else\",\"iloc\":\"x\"}" ]
+
+let test_cache_eviction () =
+  let dir = fresh_dir () in
+  let cache = Cache.create ~dir ~max_entries:4 () in
+  List.iteri
+    (fun i w ->
+      if i < 6 then
+        ignore
+          (Service.optimize_program ~cache ~level:Pipeline.Baseline
+             (Epre_workloads.Workloads.compile w)))
+    Epre_workloads.Workloads.all;
+  let entries = corrupt_entries dir (fun _ -> ()) in
+  Alcotest.(check bool)
+    (Printf.sprintf "bounded (%d entries)" entries)
+    true (entries <= 4)
+
+(* ------------------------------------------------------------------ *)
+(* Serve protocol *)
+
+let test_job_parsing () =
+  (match Service.job_of_line ~default_id:"d" {|{"workload":"saxpy"}|} with
+  | Ok j ->
+    Alcotest.(check string) "default id" "d" j.Service.id;
+    Alcotest.(check bool) "default level" true (j.Service.level = Pipeline.Partial);
+    Alcotest.(check bool) "default emit" true j.Service.emit
+  | Error m -> Alcotest.failf "parse failed: %s" m);
+  List.iter
+    (fun line ->
+      match Service.job_of_line ~default_id:"d" line with
+      | Ok _ -> Alcotest.failf "expected %s to be rejected" line
+      | Error _ -> ())
+    [ "not json"; "{}"; {|{"workload":"a","iloc":"b"}|};
+      {|{"workload":"a","level":"warp"}|} ]
+
+let test_serve_stream () =
+  let dir = fresh_dir () in
+  let cache = Cache.create ~dir () in
+  let input =
+    String.concat "\n"
+      [ {|{"id":"a","workload":"saxpy","emit":false}|};
+        "";
+        "garbage line";
+        {|{"id":"b","workload":"saxpy","emit":false}|};
+        {|{"id":"c","workload":"nope"}|} ]
+    ^ "\n"
+  in
+  let in_path = Filename.temp_file "eprec-serve" ".jobs" in
+  let out_path = Filename.temp_file "eprec-serve" ".out" in
+  let oc = open_out_bin in_path in
+  output_string oc input;
+  close_out oc;
+  let ic = open_in_bin in_path and out = open_out_bin out_path in
+  let summary =
+    Pool.with_pool ~jobs:2 (fun pool ->
+        Service.serve ~cache ~batch:2 ~pool ~input:ic ~output:out ())
+  in
+  close_in_noerr ic;
+  close_out_noerr out;
+  Alcotest.(check int) "jobs" 4 summary.Service.jobs;
+  Alcotest.(check int) "ok" 2 summary.Service.succeeded;
+  Alcotest.(check int) "failed" 2 summary.Service.failed;
+  Alcotest.(check bool) "repeat hit" true (summary.Service.total.Service.hits > 0);
+  (* One result line per job, in input order, all valid JSON. *)
+  let lines = ref [] in
+  let ic = open_in out_path in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> close_in_noerr ic);
+  let lines = List.rev !lines in
+  Alcotest.(check int) "result lines" 4 (List.length lines);
+  let ids =
+    List.map
+      (fun l ->
+        match Epre_telemetry.Tjson.parse l with
+        | Ok j -> (
+          match Epre_telemetry.Tjson.member "id" j with
+          | Some (Epre_telemetry.Tjson.Str s) -> s
+          | _ -> Alcotest.fail "result without id")
+        | Error m -> Alcotest.failf "bad result line: %s" m)
+      lines
+  in
+  Alcotest.(check (list string)) "input order" [ "a"; "job-2"; "b"; "c" ] ids;
+  Sys.remove in_path;
+  Sys.remove out_path
+
+let suite =
+  [
+    Alcotest.test_case "deque lifo/fifo" `Quick test_deque_lifo_fifo;
+    Alcotest.test_case "deque grows" `Quick test_deque_grows;
+    Alcotest.test_case "pool preserves order" `Quick test_pool_map_order;
+    Alcotest.test_case "pool re-raises first failure" `Quick test_pool_exception;
+    Alcotest.test_case "pool nested map" `Quick test_pool_nested_map;
+    Alcotest.test_case "parallel == serial (all workloads x levels)" `Slow
+      test_parallel_identical_to_serial;
+    Alcotest.test_case "parallel supervised == serial" `Slow
+      test_parallel_supervised_identical;
+    Alcotest.test_case "exec tier falls back serial" `Quick
+      test_exec_validation_falls_back_serial;
+    Alcotest.test_case "second run all cache hits" `Quick
+      test_cache_second_run_all_hits;
+    Alcotest.test_case "cache survives reopen" `Quick test_cache_survives_reopen;
+    Alcotest.test_case "fingerprint invalidation" `Quick
+      test_cache_fingerprint_invalidation;
+    Alcotest.test_case "poisoned entry recompiles" `Quick
+      test_cache_poisoned_entry_recompiles;
+    Alcotest.test_case "eviction bounds entries" `Quick test_cache_eviction;
+    Alcotest.test_case "job parsing" `Quick test_job_parsing;
+    Alcotest.test_case "serve streams in order" `Quick test_serve_stream;
+  ]
