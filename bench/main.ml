@@ -606,6 +606,214 @@ let run_traffic ~small () =
   Printf.printf "wrote BENCH_traffic.json\n"
 
 (* ------------------------------------------------------------------ *)
+(* Service soak benchmark                                              *)
+
+(* The Zipf traffic of [run_traffic], replayed through the full serve
+   loop under every service fault class, serial and parallel. The soak
+   asserts the fault-tolerance contract end to end: zero lost jobs,
+   results in input order, serial and parallel runs reporting identical
+   per-job (id, ok, outcome, iloc), and every successful output
+   byte-identical to an undisturbed serial reference. Chaos firing is a
+   pure function of (seed, fault, job id), so the serial and parallel
+   runs face exactly the same faults. *)
+
+module Chaos = Epre_harness.Chaos
+
+type soak_row = {
+  sk_id : string;
+  sk_ok : bool;
+  sk_outcome : string;
+  sk_iloc : string option;
+}
+
+let run_soak ~small () =
+  section
+    (if small then "Service soak (small): serve under fault injection"
+     else "Service soak: serve under fault injection, per fault class");
+  let module J = Epre_telemetry.Tjson in
+  let distinct = if small then 12 else 60 in
+  let total = if small then 48 else 400 in
+  let workers = if small then 2 else Pool.default_jobs () in
+  let corpus =
+    Array.init distinct (fun i ->
+        let source = Epre_fuzz.Gen.source (i + 1) in
+        let prog = Epre_frontend.Frontend.compile_string source in
+        Epre_ir.Ir_text.print_program prog)
+  in
+  let st = ref 54321 in
+  let ranks = zipf_ranks ~st ~n:distinct ~total in
+  let job_lines =
+    List.mapi
+      (fun i rank ->
+        J.to_string
+          (J.Obj
+             [ ("id", J.Str (Printf.sprintf "job-%d" (i + 1)));
+               ("level", J.Str "partial");
+               ("iloc", J.Str corpus.(rank)) ]))
+      ranks
+  in
+  let jobs_path = Filename.temp_file "eprec-soak" ".jobs" in
+  let oc = open_out_bin jobs_path in
+  List.iter (fun l -> output_string oc l; output_char oc '\n') job_lines;
+  close_out oc;
+  let fresh_dir tag =
+    let d =
+      Filename.concat (Filename.get_temp_dir_name ())
+        (Printf.sprintf "eprec-soak-%d-%s" (Unix.getpid ()) tag)
+    in
+    let rec rm p =
+      if Sys.file_exists p then
+        if Sys.is_directory p then begin
+          Array.iter (fun f -> rm (Filename.concat p f)) (Sys.readdir p);
+          Sys.rmdir p
+        end
+        else Sys.remove p
+    in
+    rm d;
+    d
+  in
+  let parse_results path =
+    let ic = open_in_bin path in
+    let rows = ref [] in
+    (try
+       while true do
+         let line = input_line ic in
+         match J.parse line with
+         | Error m -> failwith ("bad result line: " ^ m)
+         | Ok j ->
+           let str f =
+             match J.member f j with Some (J.Str s) -> Some s | _ -> None
+           in
+           let ok =
+             match J.member "ok" j with Some (J.Bool b) -> b | _ -> false
+           in
+           rows :=
+             { sk_id = Option.value (str "id") ~default:"?"; sk_ok = ok;
+               sk_outcome = Option.value (str "outcome") ~default:"?";
+               sk_iloc = str "iloc" }
+             :: !rows
+       done
+     with End_of_file -> close_in_noerr ic);
+    List.rev !rows
+  in
+  let run_serve ~tag ~jobs ~chaos ~policy () =
+    let dir = fresh_dir tag in
+    let cache = Epre_service.Cache.create ~dir () in
+    let out_path = Filename.temp_file "eprec-soak" ".out" in
+    let ic = open_in_bin jobs_path and out = open_out_bin out_path in
+    let summary, wall_ms =
+      Pool.with_pool ~jobs (fun pool ->
+          let t0 = Epre_telemetry.Telemetry.Clock.now_ns () in
+          let s =
+            Service.serve ~cache ~policy ~chaos ~pool ~input:ic ~output:out ()
+          in
+          (s, Epre_telemetry.Telemetry.Clock.elapsed_ms ~since:t0))
+    in
+    close_in_noerr ic;
+    close_out_noerr out;
+    let rows = parse_results out_path in
+    Sys.remove out_path;
+    (summary, wall_ms, rows)
+  in
+  let policy =
+    { Service.Policy.timeout_ms = Some 300.0; retries = 2; backoff_ms = 1.0 }
+  in
+  (* Undisturbed serial reference: the byte-identity baseline. *)
+  let _, ref_ms, reference =
+    run_serve ~tag:"ref" ~jobs:1 ~chaos:[] ~policy:Service.Policy.default ()
+  in
+  assert (List.length reference = total);
+  assert (List.for_all (fun r -> r.sk_ok) reference);
+  let ref_iloc = List.map (fun r -> (r.sk_id, r.sk_iloc)) reference in
+  let class_rows =
+    List.map
+      (fun fault ->
+        let name = Chaos.service_name fault in
+        let _, serial_ms, serial =
+          run_serve ~tag:(name ^ "-s") ~jobs:1 ~chaos:[ fault ] ~policy ()
+        in
+        let summary, parallel_ms, parallel =
+          run_serve ~tag:(name ^ "-p") ~jobs:workers ~chaos:[ fault ] ~policy ()
+        in
+        let lost = total - List.length parallel in
+        let in_order =
+          List.mapi (fun i r -> (i, r.sk_id)) parallel
+          |> List.for_all (fun (i, id) -> id = Printf.sprintf "job-%d" (i + 1))
+        in
+        let view r = (r.sk_id, r.sk_ok, r.sk_outcome, r.sk_iloc) in
+        let identical = List.map view serial = List.map view parallel in
+        let ok_matches_reference =
+          List.for_all
+            (fun r ->
+              (not r.sk_ok) || List.assoc r.sk_id ref_iloc = r.sk_iloc)
+            parallel
+        in
+        let tally o =
+          List.length (List.filter (fun r -> r.sk_outcome = o) parallel)
+        in
+        let ok = tally "ok" and error = tally "error" in
+        let timeout = tally "timeout" and retried = tally "retried_ok" in
+        Printf.printf
+          "%-22s lost %d, ok %d, retried_ok %d, timeout %d, error %d | \
+           in-order %b, serial==parallel %b, ok==reference %b (serial %.0f \
+           ms, parallel %.0f ms)\n"
+          name lost ok retried timeout error in_order identical
+          ok_matches_reference serial_ms parallel_ms;
+        (* The hard contract, per fault class. *)
+        assert (lost = 0);
+        assert in_order;
+        assert identical;
+        assert ok_matches_reference;
+        (match fault with
+        | Chaos.Worker_raise ->
+          (* Fired jobs retry once and succeed; nothing may fail. *)
+          assert (error = 0 && timeout = 0 && retried > 0)
+        | Chaos.Slow_job ->
+          (* Fired jobs blow their deadline, deterministically. *)
+          assert (timeout > 0 && error = 0 && ok + timeout = total)
+        | Chaos.Cache_corrupt | Chaos.Cache_lock_hold ->
+          (* Absorbed invisibly: poison recovery / lock waiting. *)
+          assert (error = 0 && timeout = 0 && ok = total));
+        ignore summary;
+        J.Obj
+          [ ("fault", J.Str name);
+            ("lost", J.Int lost);
+            ("ok", J.Int ok);
+            ("retried_ok", J.Int retried);
+            ("timeout", J.Int timeout);
+            ("error", J.Int error);
+            ("in_order", J.Bool in_order);
+            ("serial_parallel_identical", J.Bool identical);
+            ("ok_matches_reference", J.Bool ok_matches_reference);
+            ("serial_ms", J.Float serial_ms);
+            ("parallel_ms", J.Float parallel_ms) ])
+      Chaos.all_service_faults
+  in
+  Sys.remove jobs_path;
+  let json =
+    J.Obj
+      [ ("schema", J.Str "epre/bench-soak/v1");
+        ("note", J.Str "Zipf serve traffic replayed under each service \
+                        fault class, serial and parallel; asserts zero \
+                        lost jobs, input order, serial/parallel report \
+                        identity and reference byte-identity of \
+                        successful outputs");
+        ("small", J.Bool small);
+        ("workers", J.Int workers);
+        ("distinct_programs", J.Int distinct);
+        ("total_jobs", J.Int total);
+        ("timeout_ms", J.Float 300.0);
+        ("retries", J.Int 2);
+        ("reference_ms", J.Float ref_ms);
+        ("classes", J.Arr class_rows) ]
+  in
+  let oc = open_out_bin "BENCH_soak.json" in
+  output_string oc (J.to_string json);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "wrote BENCH_soak.json\n"
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let what = if Array.length Sys.argv > 1 then Sys.argv.(1) else "tables" in
@@ -621,6 +829,8 @@ let () =
   | "baseline" -> run_baseline ()
   | "traffic" ->
     run_traffic ~small:(Array.length Sys.argv > 2 && Sys.argv.(2) = "small") ()
+  | "soak" ->
+    run_soak ~small:(Array.length Sys.argv > 2 && Sys.argv.(2) = "small") ()
   | "regress" ->
     run_regress
       (if Array.length Sys.argv > 2 then Sys.argv.(2) else "BENCH_pipeline.json")

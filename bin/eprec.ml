@@ -696,7 +696,16 @@ let passes_cmd =
         in
         Printf.printf "%-20s %s%s\n" p.Epre.Passes.name
           p.Epre.Passes.description post)
-      Epre.Passes.all
+      Epre.Passes.all;
+    (* Service faults are not pipeline passes (they attack the serve
+       layer, via `serve --chaos`), but they live in the same chaos
+       namespace, so list them here too. *)
+    List.iter
+      (fun f ->
+        Printf.printf "%-20s %s\n"
+          (Epre_harness.Chaos.service_name f)
+          (Epre_harness.Chaos.service_description f))
+      Epre_harness.Chaos.all_service_faults
   in
   Cmd.v (Cmd.info "passes" ~doc) Term.(const run $ const ())
 
@@ -897,14 +906,27 @@ let serve_cmd =
         "  {\"id\":\"j1\",\"level\":\"partial\",\"workload\":\"saxpy\"}\n\
         \  {\"id\":\"j2\",\"file\":\"kernel.src\",\"emit\":false}";
       `P
-        "Results carry per-job cache traffic and wall latency \
-         ($(b,latency_ms)); a malformed job line yields an in-order \
-         $(b,ok:false) result instead of killing the server. The cache \
+        "Results carry per-job cache traffic, wall latency \
+         ($(b,latency_ms)), the attempt count and an $(b,outcome) of \
+         $(b,ok), $(b,error), $(b,timeout) or $(b,retried_ok); a \
+         malformed job line yields an in-order $(b,ok:false) result with \
+         its input line number instead of killing the server. The cache \
          lives in $(b,--cache-dir) (default $(b,\\$EPREC_CACHE_DIR), else \
          $(b,\\$XDG_CACHE_HOME/eprec), else $(b,~/.cache/eprec)) and \
          survives restarts: a routine whose (ILOC, pipeline fingerprint) \
          digest was optimized before — by any prior job or process — is \
-         replayed byte-identically without recompiling.";
+         replayed byte-identically without recompiling. Writes take an \
+         advisory file lock, so concurrent serve processes can share one \
+         cache directory.";
+      `P
+        "Fault tolerance: $(b,--timeout-ms) cancels a job attempt at its \
+         next pass boundary, $(b,--retries) grants extra attempts to \
+         transient failures (with jittered exponential backoff from \
+         $(b,--backoff-ms)); deterministic failures are never retried. \
+         $(b,--chaos) injects service faults (repeatable; \
+         $(b,chaos:worker-raise), $(b,chaos:slow-job), \
+         $(b,chaos:cache-corrupt), $(b,chaos:cache-lock-hold)) keyed \
+         deterministically on job ids, for drills and soak tests.";
       `P "Exit status: 1 when any job failed." ]
   in
   let input_arg =
@@ -934,12 +956,73 @@ let serve_cmd =
             "Jobs dispatched to the pool per round (default \
              $(b,max 32 (4*jobs))). Results still stream in input order.")
   in
-  let run input jobs cache_dir no_cache batch tel =
+  let cache_max_bytes_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "cache-max-bytes" ] ~docv:"N"
+          ~doc:
+            "Byte budget for the cache directory; exceeding it evicts the \
+             oldest entries (default unbounded).")
+  in
+  let timeout_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "timeout-ms" ] ~docv:"MS"
+          ~doc:
+            "Per-job attempt deadline; an overrunning job is cancelled at \
+             its next pass boundary and reported as $(b,outcome:timeout).")
+  in
+  let retries_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "retries" ] ~docv:"N"
+          ~doc:
+            "Extra attempts granted to transient failures (deterministic \
+             failures and timeouts are never retried).")
+  in
+  let backoff_arg =
+    Arg.(
+      value & opt float 50.0
+      & info [ "backoff-ms" ] ~docv:"MS"
+          ~doc:
+            "Base retry backoff; doubles per attempt with deterministic \
+             per-job jitter.")
+  in
+  let serve_chaos_arg =
+    Arg.(
+      value & opt_all string []
+      & info [ "chaos" ] ~docv:"NAME"
+          ~doc:
+            "Inject a service fault class (repeatable): \
+             $(b,chaos:worker-raise), $(b,chaos:slow-job), \
+             $(b,chaos:cache-corrupt), $(b,chaos:cache-lock-hold).")
+  in
+  let run input jobs cache_dir no_cache batch cache_max_bytes timeout_ms
+      retries backoff_ms chaos_names chaos_seed tel =
+    (match chaos_seed with
+    | Some s -> Epre_harness.Chaos.default_seed := s
+    | None -> ());
+    let chaos =
+      List.map
+        (fun n ->
+          match Epre_harness.Chaos.service_fault_of_name n with
+          | Some f -> f
+          | None ->
+            Fmt.epr "unknown service fault %S (see `eprec passes`)@." n;
+            exit 2)
+        chaos_names
+    in
+    let policy =
+      { Epre_service.Service.Policy.timeout_ms; retries = max 0 retries;
+        backoff_ms = Float.max 0.0 backoff_ms }
+    in
     let cache =
       if no_cache then None
       else
         Some
-          (Epre_service.Cache.create
+          (Epre_service.Cache.create ?max_bytes:cache_max_bytes
              ~dir:
                (Option.value cache_dir
                   ~default:(Epre_service.Cache.default_dir ()))
@@ -952,13 +1035,16 @@ let serve_cmd =
           with_telemetry tel (fun () ->
               Epre_service.Pool.with_pool ~jobs:(effective_jobs jobs)
                 (fun pool ->
-                  Epre_service.Service.serve ?cache ?batch ~pool ~input:ic
-                    ~output:stdout ())))
+                  Epre_service.Service.serve ?cache ?batch ~policy ~chaos
+                    ~pool ~input:ic ~output:stdout ())))
     in
     emit_metrics tel [];
-    Fmt.epr "serve: %d job(s), %d ok, %d failed, %d hit(s), %d miss(es), %.1f ms@."
+    Fmt.epr
+      "serve: %d job(s), %d ok (%d retried), %d failed (%d timeout), %d \
+       hit(s), %d miss(es), %.1f ms@."
       summary.Epre_service.Service.jobs summary.Epre_service.Service.succeeded
-      summary.Epre_service.Service.failed
+      summary.Epre_service.Service.retried summary.Epre_service.Service.failed
+      summary.Epre_service.Service.timeouts
       summary.Epre_service.Service.total.Epre_service.Service.hits
       summary.Epre_service.Service.total.Epre_service.Service.misses
       summary.Epre_service.Service.wall_ms;
@@ -967,7 +1053,8 @@ let serve_cmd =
   Cmd.v (Cmd.info "serve" ~doc ~man)
     Term.(
       const run $ input_arg $ jobs_arg $ cache_dir_arg $ no_cache_arg
-      $ batch_arg $ telemetry_term)
+      $ batch_arg $ cache_max_bytes_arg $ timeout_arg $ retries_arg
+      $ backoff_arg $ serve_chaos_arg $ chaos_seed_arg $ telemetry_term)
 
 let workloads_cmd =
   let doc = "list the built-in workload suite, or differentially check it" in

@@ -260,13 +260,18 @@ let fingerprint ~level =
   Printf.sprintf "epre-pipeline-v1|%s|%s" (level_to_string level)
     (String.concat "," stages)
 
-let optimize_routine ?(hooks = no_hooks) ~level (r : Routine.t) =
+let optimize_routine ?(hooks = no_hooks) ?(poll = fun () -> ()) ~level
+    (r : Routine.t) =
   let acc = fresh_acc () in
   let passes = level_passes_into ~level ~acc_for:(fun _ -> acc) in
   Epre_telemetry.Telemetry.Span.with_ ~kind:"routine" ~routine:r
     ~name:r.Routine.name (fun () ->
       List.iter
         (fun np ->
+          (* Cancellation point: [poll] may raise (deadline enforcement in
+             the compile service) — only between passes, never mid-pass,
+             so the routine is always left in a pass boundary state. *)
+          poll ();
           Epre_telemetry.Telemetry.Span.with_ ~kind:"pass" ~routine:r
             ~name:np.Epre_harness.Harness.pass_name (fun () ->
               np.Epre_harness.Harness.run r);
@@ -305,15 +310,21 @@ let splice passes ~at np =
    other routines. The compile-service pool runs one of these per worker:
    [context] supplies the call-graph signatures the Ir tier's typechecker
    wants, while only [r] is transformed. *)
-let optimize_supervised_routine ~config ~level ~context (r : Routine.t) =
+let optimize_supervised_routine ?dump ?(inject = []) ?(record = true) ~config
+    ~level ~context (r : Routine.t) =
   let acc = fresh_acc () in
-  let passes = level_passes_into ~level ~acc_for:(fun _ -> acc) in
+  let passes =
+    List.fold_left
+      (fun ps (at, np) -> splice ps ~at np)
+      (level_passes_into ~level ~acc_for:(fun _ -> acc))
+      inject
+  in
   let records =
-    Epre_harness.Harness.supervise ~only:[ r.Routine.name ] config ~passes
-      context
+    Epre_harness.Harness.supervise ?dump ~only:[ r.Routine.name ] config
+      ~passes context
   in
   let stats = stats_of_acc ~routine:r.Routine.name acc in
-  record_metrics stats;
+  if record then record_metrics stats;
   (stats, records)
 
 (** Optimize under harness supervision: each (pass, routine) application

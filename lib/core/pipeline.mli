@@ -95,8 +95,12 @@ val splice :
   Epre_harness.Harness.named_pass ->
   Epre_harness.Harness.named_pass list
 
-(** Optimize one routine in place. *)
-val optimize_routine : ?hooks:hooks -> level:level -> Routine.t -> routine_stats
+(** Optimize one routine in place. [poll] is called before every pass and
+    may raise to abandon the remaining passes (the compile service's
+    deadline enforcement): the routine is then left at a pass boundary,
+    never mid-transformation. *)
+val optimize_routine :
+  ?hooks:hooks -> ?poll:(unit -> unit) -> level:level -> Routine.t -> routine_stats
 
 (** Optimize a whole program in place; per-routine statistics. *)
 val optimize : ?hooks:hooks -> level:level -> Program.t -> routine_stats list
@@ -124,13 +128,21 @@ val optimize_supervised :
 
 (** Supervise one routine's full pass sequence. [context] must contain
     [r] itself plus a consistent (read-only) view of the other routines —
-    the Ir validation tier typechecks call-graph signatures against it.
-    Returns the routine's stats and its per-pass records in pass order.
-    This is the per-worker unit of [Epre_service]'s parallel supervised
-    optimization; use [optimize_supervised] for the whole-program serial
-    path (required for the [Exec] tier, whose translation validation
-    interprets the entire program). *)
+    the Ir validation tier typechecks call-graph signatures against it,
+    and the Exec tier's translation validation interprets it (so for a
+    frozen per-worker context, the reference observation matches the
+    serial run's). Returns the routine's stats and its per-pass records
+    in pass order. This is the per-worker unit of [Epre_service]'s
+    parallel supervised optimization. [dump name r] fires after every
+    pass application, post-rollback — the service captures per-pass
+    snapshot trails through it to reconstruct serial fail-fast state.
+    [inject] splices extra passes exactly like [optimize_supervised]'s.
+    [record] (default true) mirrors the stats into the metrics registry;
+    the service defers that to preserve serial metric ordering. *)
 val optimize_supervised_routine :
+  ?dump:(string -> Routine.t -> unit) ->
+  ?inject:(int * Epre_harness.Harness.named_pass) list ->
+  ?record:bool ->
   config:Epre_harness.Harness.config ->
   level:level ->
   context:Program.t ->

@@ -143,3 +143,52 @@ let named_passes () =
   List.map
     (fun k -> { Harness.pass_name = name k; run = (fun r -> run k r) })
     all_kinds
+
+(* ------------------------------------------------------------------ *)
+(* Service-layer faults *)
+
+type service_fault = Worker_raise | Slow_job | Cache_corrupt | Cache_lock_hold
+
+exception Injected of string
+
+let () =
+  Printexc.register_printer (function
+    | Injected m -> Some ("injected fault: " ^ m)
+    | _ -> None)
+
+let all_service_faults = [ Worker_raise; Slow_job; Cache_corrupt; Cache_lock_hold ]
+
+let service_name = function
+  | Worker_raise -> "chaos:worker-raise"
+  | Slow_job -> "chaos:slow-job"
+  | Cache_corrupt -> "chaos:cache-corrupt"
+  | Cache_lock_hold -> "chaos:cache-lock-hold"
+
+let service_description = function
+  | Worker_raise ->
+    "chaos: raise a transient exception inside the job worker (absorbed by \
+     retry)"
+  | Slow_job ->
+    "chaos: stall the job worker (absorbed by the per-job deadline)"
+  | Cache_corrupt ->
+    "chaos: overwrite the job's cache entries with garbage (absorbed by \
+     poison recovery)"
+  | Cache_lock_hold ->
+    "chaos: hold the cross-process cache write lock (absorbed by lock \
+     waiting)"
+
+let service_fault_of_name n =
+  List.find_opt (fun f -> service_name f = n) all_service_faults
+
+(* Per-fault firing probability, in per-mille. High enough that a small
+   soak batch sees every class fire, low enough that unfired jobs exist
+   to pin the happy path. *)
+let fire_rate = function
+  | Worker_raise -> 500
+  | Slow_job -> 350
+  | Cache_corrupt -> 350
+  | Cache_lock_hold -> 350
+
+let fires ?seed fault ~key =
+  let seed = match seed with Some s -> s | None -> !default_seed in
+  Hashtbl.hash (seed, service_name fault, key) mod 1000 < fire_rate fault

@@ -41,3 +41,36 @@ val run : ?seed:int -> kind -> Routine.t -> unit
 
 (** The four kinds as harness passes (seed read at call time). *)
 val named_passes : unit -> Harness.named_pass list
+
+(** {1 Service-layer faults}
+
+    Where {!kind} corrupts IR to exercise the harness's validation tiers,
+    a [service_fault] attacks the compile service's infrastructure to
+    exercise its fault-tolerance layer ([Epre_service]): retries absorb
+    [Worker_raise], per-job deadlines absorb [Slow_job], poison recovery
+    absorbs [Cache_corrupt], and lock waiting absorbs [Cache_lock_hold].
+
+    Whether a fault fires for a given job is a pure function of
+    [(seed, fault, key)] — chaos traffic is replayable, and a serial and a
+    parallel run over the same jobs inject exactly the same faults. *)
+
+type service_fault = Worker_raise | Slow_job | Cache_corrupt | Cache_lock_hold
+
+(** The transient exception [Worker_raise] plants inside a job worker —
+    the canonical retryable failure ([Epre_service]'s classifier treats it
+    like infrastructure flakiness). *)
+exception Injected of string
+
+val all_service_faults : service_fault list
+
+(** Registry name, e.g. ["chaos:worker-raise"]. *)
+val service_name : service_fault -> string
+
+val service_description : service_fault -> string
+
+val service_fault_of_name : string -> service_fault option
+
+(** [fires fault ~key] decides deterministically whether [fault] strikes
+    the job identified by [key] (hash of seed, fault and key against a
+    per-fault rate). Defaults to [!default_seed]. *)
+val fires : ?seed:int -> service_fault -> key:string -> bool

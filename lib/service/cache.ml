@@ -1,5 +1,6 @@
 (** Persistent content-addressed compilation cache. See the interface for
-    the on-disk layout and failure semantics. *)
+    the on-disk layout and failure semantics; the locking protocol is
+    described inline. *)
 
 module J = Epre_telemetry.Tjson
 
@@ -12,9 +13,15 @@ let count name = Epre_telemetry.Metrics.incr ~routine:metrics_routine ~name
 type t = {
   dir : string;
   max_entries : int;
+  max_bytes : int option;
   lock : Mutex.t;
+  mutable lock_fd : Unix.file_descr option;
+      (** cross-process write lock on [<dir>/.lock]; opened on first use
+          and kept open for the cache's lifetime — closing *any* fd on a
+          file drops all of the process's [lockf] locks on it *)
   mutable entries : int;  (** in-process estimate; refreshed by eviction *)
-  mutable scanned : bool;  (** [entries] initialized from disk *)
+  mutable bytes : int;  (** same, in entry-file bytes *)
+  mutable scanned : bool;  (** [entries]/[bytes] initialized from disk *)
 }
 
 let default_dir () =
@@ -27,10 +34,6 @@ let default_dir () =
       match Sys.getenv_opt "HOME" with
       | Some d when d <> "" -> Filename.concat (Filename.concat d ".cache") "eprec"
       | _ -> ".eprec-cache"))
-
-let create ?(max_entries = 65536) ~dir () =
-  { dir; max_entries = max max_entries 1; lock = Mutex.create (); entries = 0;
-    scanned = false }
 
 let dir t = t.dir
 
@@ -52,33 +55,91 @@ let mkdir_p path =
   in
   go path
 
-(* Every entry file under [dir], as (path, mtime). *)
-let scan_entries t =
+let remove_quietly path = try Sys.remove path with Sys_error _ -> ()
+
+(* Fold [f] over every file directly inside a two-hex-char shard of
+   [dir]. *)
+let iter_shard_files t f =
   if Sys.file_exists t.dir && Sys.is_directory t.dir then
-    Array.to_list (Sys.readdir t.dir)
-    |> List.concat_map (fun sub ->
-           let subdir = Filename.concat t.dir sub in
-           if String.length sub = 2 && Sys.is_directory subdir then
-             Array.to_list (Sys.readdir subdir)
-             |> List.filter_map (fun f ->
-                    if Filename.check_suffix f ".json" then
-                      let p = Filename.concat subdir f in
-                      match Unix.stat p with
-                      | st -> Some (p, st.Unix.st_mtime)
-                      | exception Unix.Unix_error _ -> None
-                    else None)
-           else [])
-  else []
+    Array.iter
+      (fun sub ->
+        let subdir = Filename.concat t.dir sub in
+        if String.length sub = 2 && Sys.is_directory subdir then
+          Array.iter (fun file -> f (Filename.concat subdir file)) (Sys.readdir subdir))
+      (Sys.readdir t.dir)
+
+(* Every entry file under [dir], as (path, mtime, size). *)
+let scan_entries t =
+  let acc = ref [] in
+  iter_shard_files t (fun p ->
+      if Filename.check_suffix p ".json" then
+        match Unix.stat p with
+        | st -> acc := (p, st.Unix.st_mtime, st.Unix.st_size) :: !acc
+        | exception Unix.Unix_error _ -> ());
+  !acc
 
 let entry_count t = List.length (scan_entries t)
+
+let byte_count t =
+  List.fold_left (fun acc (_, _, sz) -> acc + sz) 0 (scan_entries t)
+
+(* Crash recovery: a writer that died between open_temp_file and rename
+   leaves an orphaned entry*.tmp behind. Sweep only files older than
+   [max_age_s] — in-flight temp files of a live concurrent process are
+   milliseconds old and must survive the sweep. *)
+let sweep_temp ?(max_age_s = 60.0) t =
+  let cutoff = Unix.gettimeofday () -. max_age_s in
+  let swept = ref 0 in
+  iter_shard_files t (fun p ->
+      if Filename.check_suffix p ".tmp" then
+        match Unix.stat p with
+        | st when st.Unix.st_mtime <= cutoff ->
+          remove_quietly p;
+          count "cache.tmp_swept";
+          incr swept
+        | _ -> ()
+        | exception Unix.Unix_error _ -> ());
+  !swept
+
+let create ?(max_entries = 65536) ?max_bytes ~dir () =
+  let t =
+    { dir; max_entries = max max_entries 1;
+      max_bytes = Option.map (fun b -> max b 1) max_bytes;
+      lock = Mutex.create (); lock_fd = None; entries = 0; bytes = 0;
+      scanned = false }
+  in
+  ignore (sweep_temp t);
+  t
+
+(* Serialize writers across processes. Must be called with [t.lock] held —
+   the lock order is fixed (in-process mutex, then file lock) so two
+   domains of one process can never deadlock against another process.
+   Readers never take either lock: temp-write + rename keeps every entry
+   file atomic for them. *)
+let with_file_lock t f =
+  let fd =
+    match t.lock_fd with
+    | Some fd -> fd
+    | None ->
+      mkdir_p t.dir;
+      let fd =
+        Unix.openfile (Filename.concat t.dir ".lock")
+          [ Unix.O_RDWR; Unix.O_CREAT; Unix.O_CLOEXEC ] 0o644
+      in
+      t.lock_fd <- Some fd;
+      fd
+  in
+  Unix.lockf fd Unix.F_LOCK 0;
+  Fun.protect
+    ~finally:(fun () ->
+      try Unix.lockf fd Unix.F_ULOCK 0 with Unix.Unix_error _ -> ())
+    f
 
 let read_file path =
   let ic = open_in_bin path in
   Fun.protect
     ~finally:(fun () -> close_in_noerr ic)
     (fun () -> really_input_string ic (in_channel_length ic))
-
-let remove_quietly path = try Sys.remove path with Sys_error _ -> ()
 
 (* Decode and fully validate one entry file. Any failure means the entry
    is poisoned. *)
@@ -136,54 +197,99 @@ let encode ~key:k ~fingerprint ~iloc ~stats =
          ("iloc", J.Str iloc);
          ("stats", Epre.Pipeline.stats_to_json stats) ])
 
-(* Drop the oldest entries (by mtime) until 90% of the bound. Called with
-   [t.lock] held. *)
+let refresh_from_disk t =
+  let entries = scan_entries t in
+  t.entries <- List.length entries;
+  t.bytes <- List.fold_left (fun acc (_, _, sz) -> acc + sz) 0 entries;
+  t.scanned <- true
+
+(* Drop the oldest entries (by mtime) until both bounds hold, each with
+   10% headroom so a hot cache doesn't evict on every store. An eviction
+   that the entry-count bound forces counts as [cache.evict_age]; one the
+   byte budget forces counts as [cache.evict_size] (both also bump the
+   total). Called with [t.lock] and the file lock held; rescans first
+   because other processes may have added entries since our estimate. *)
 let evict t =
   let entries =
-    List.sort (fun (_, a) (_, b) -> compare a b) (scan_entries t)
+    List.sort (fun (_, a, _) (_, b, _) -> compare a b) (scan_entries t)
   in
-  let total = List.length entries in
-  t.entries <- total;
-  let target = max 1 (t.max_entries * 9 / 10) in
-  if total > t.max_entries then begin
-    let doomed = total - target in
-    List.iteri
-      (fun i (p, _) ->
-        if i < doomed then begin
-          remove_quietly p;
-          count "cache.evictions";
-          t.entries <- t.entries - 1
-        end)
-      entries
-  end
+  t.entries <- List.length entries;
+  t.bytes <- List.fold_left (fun acc (_, _, sz) -> acc + sz) 0 entries;
+  let count_target =
+    if t.entries > t.max_entries then max 1 (t.max_entries * 9 / 10)
+    else t.max_entries
+  in
+  let bytes_target =
+    match t.max_bytes with
+    | Some b when t.bytes > b -> max 1 (b * 9 / 10)
+    | Some b -> b
+    | None -> max_int
+  in
+  List.iter
+    (fun (p, _, sz) ->
+      if t.entries > count_target || t.bytes > bytes_target then begin
+        let reason =
+          if t.entries > count_target then "cache.evict_age"
+          else "cache.evict_size"
+        in
+        remove_quietly p;
+        count "cache.evictions";
+        count reason;
+        t.entries <- t.entries - 1;
+        t.bytes <- t.bytes - sz
+      end)
+    entries
 
 let store t ~key:k ~fingerprint ~iloc ~stats =
   let path = entry_path t k in
   let text = encode ~key:k ~fingerprint ~iloc ~stats in
   locked t (fun () ->
-      if not t.scanned then begin
-        t.entries <- List.length (scan_entries t);
-        t.scanned <- true
-      end;
       mkdir_p (Filename.dirname path);
-      let fresh = not (Sys.file_exists path) in
-      (* Temp-write + rename: readers (other domains or processes) see
-         either the old entry or the whole new one, never a torn file. *)
-      let tmp, oc =
-        Filename.open_temp_file ~temp_dir:(Filename.dirname path) ~mode:[ Open_binary ]
-          "entry" ".tmp"
-      in
-      (try
-         output_string oc text;
-         output_char oc '\n';
-         close_out oc;
-         Sys.rename tmp path
-       with e ->
-         close_out_noerr oc;
-         remove_quietly tmp;
-         raise e);
-      count "cache.stores";
-      if fresh then begin
-        t.entries <- t.entries + 1;
-        if t.entries > t.max_entries then evict t
-      end)
+      with_file_lock t (fun () ->
+          if not t.scanned then refresh_from_disk t;
+          let fresh = not (Sys.file_exists path) in
+          (* Temp-write + rename: readers (other domains or processes) see
+             either the old entry or the whole new one, never a torn
+             file. *)
+          let tmp, oc =
+            Filename.open_temp_file ~temp_dir:(Filename.dirname path)
+              ~mode:[ Open_binary ] "entry" ".tmp"
+          in
+          (try
+             output_string oc text;
+             output_char oc '\n';
+             close_out oc;
+             Sys.rename tmp path
+           with e ->
+             close_out_noerr oc;
+             remove_quietly tmp;
+             raise e);
+          count "cache.stores";
+          if fresh then begin
+            t.entries <- t.entries + 1;
+            t.bytes <- t.bytes + String.length text + 1;
+            let over_bytes =
+              match t.max_bytes with Some b -> t.bytes > b | None -> false
+            in
+            if t.entries > t.max_entries || over_bytes then evict t
+          end))
+
+(* ------------------------------------------------------------------ *)
+(* Chaos hooks *)
+
+let corrupt t ~key:k =
+  let path = entry_path t k in
+  if Sys.file_exists path then begin
+    (* Deliberately non-atomic in-place overwrite — the torn-file poison
+       that [find]'s recovery path must absorb. *)
+    (try
+       let oc = open_out_bin path in
+       output_string oc "chaos:cache-corrupt garbage";
+       close_out oc
+     with Sys_error _ -> ());
+    count "cache.corrupted"
+  end
+
+let hold_lock t ~ms =
+  locked t (fun () ->
+      with_file_lock t (fun () -> Unix.sleepf (ms /. 1000.0)))

@@ -19,6 +19,13 @@
     workers, or two eprec processes sharing a cache dir) can never expose
     a torn entry.
 
+    Cross-process safety: writes additionally hold an advisory [lockf]
+    lock on [<dir>/.lock], serializing store/evict across every process
+    sharing the directory. Lock order is fixed — the in-process mutex
+    first, then the file lock — and reads take neither (rename atomicity
+    is enough for them). On open, orphaned [entry*.tmp] files older than
+    a minute (a crashed writer's leftovers) are swept.
+
     Failure semantics: a poisoned entry — unreadable file, malformed
     JSON, wrong schema, key mismatch (hash collision or tampering), ILOC
     that no longer parses or names a different routine — is deleted and
@@ -26,8 +33,10 @@
     of crashing or replaying garbage.
 
     Counters (in [Epre_telemetry.Metrics], routine key ["<service>"]):
-    [cache.hits], [cache.misses], [cache.stores], [cache.evictions],
-    [cache.poisoned].
+    [cache.hits], [cache.misses], [cache.stores], [cache.evictions]
+    (split into [cache.evict_age] for the entry-count bound and
+    [cache.evict_size] for the byte budget), [cache.poisoned],
+    [cache.tmp_swept], [cache.corrupted].
 
     All operations are domain-safe. *)
 
@@ -38,11 +47,14 @@ type t
     the first [store]. *)
 val default_dir : unit -> string
 
-(** [create ~dir ()] opens (and lazily creates) a cache rooted at [dir].
-    [max_entries] bounds the entry count: exceeding it evicts the oldest
-    entries (by file modification time) down to 90% of the bound.
-    Default 65536. *)
-val create : ?max_entries:int -> dir:string -> unit -> t
+(** [create ~dir ()] opens (and lazily creates) a cache rooted at [dir],
+    sweeping any stale temp files a crashed writer left behind.
+    [max_entries] bounds the entry count (default 65536) and [max_bytes]
+    the total entry-file bytes (default unbounded): exceeding either
+    evicts the oldest entries (by file modification time — insertion
+    order, since reads don't touch mtime) down to 90% of the violated
+    bound. *)
+val create : ?max_entries:int -> ?max_bytes:int -> dir:string -> unit -> t
 
 val dir : t -> string
 
@@ -60,8 +72,10 @@ val find :
   key:string ->
   (Epre_ir.Routine.t * string * Epre.Pipeline.routine_stats) option
 
-(** Persist an entry (last write wins). Bumps [cache.stores], and
-    [cache.evictions] per entry removed by the size bound. *)
+(** Persist an entry (last write wins), under the in-process mutex and
+    the cross-process file lock. Bumps [cache.stores], and
+    [cache.evictions] plus [cache.evict_age] / [cache.evict_size] per
+    entry removed by the respective bound. *)
 val store :
   t ->
   key:string ->
@@ -72,3 +86,23 @@ val store :
 
 (** Entries currently on disk. *)
 val entry_count : t -> int
+
+(** Total entry-file bytes currently on disk. *)
+val byte_count : t -> int
+
+(** Remove orphaned [entry*.tmp] files older than [max_age_s] (default
+    60 s; [create] runs this automatically). Returns the number removed;
+    bumps [cache.tmp_swept] per file. *)
+val sweep_temp : ?max_age_s:float -> t -> int
+
+(** {1 Chaos hooks} — fault injection for [chaos:cache-*].
+
+    [corrupt t ~key] overwrites the stored entry for [key] in place with
+    garbage (a no-op if absent; bumps [cache.corrupted]) — the next
+    [find] must take the poison-recovery path. [hold_lock t ~ms] grabs
+    the write lock (mutex + file lock) and sleeps, stalling concurrent
+    writers. *)
+
+val corrupt : t -> key:string -> unit
+
+val hold_lock : t -> ms:float -> unit

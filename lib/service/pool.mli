@@ -35,6 +35,24 @@ val default_jobs : unit -> int
 (** Number of worker domains (0 for an inline pool). *)
 val size : t -> int
 
+(** Per-element result of {!map_outcomes}. *)
+type 'a outcome =
+  | Done of 'a
+  | Failed of exn * Printexc.raw_backtrace  (** the application raised *)
+  | Cancelled  (** skipped after an earlier-indexed failure ([halt]) *)
+
+(** [map_outcomes pool f arr] applies [f] to every element on the pool and
+    returns one {!outcome} per element, in input order; the call itself
+    never raises and never loses an element. With [halt] (default false),
+    a failure at index [i] cancels tasks with index [> i] that have not
+    started yet. The guarantee is deterministic where it matters: every
+    index below the batch's lowest failure always runs, so the [Done]
+    prefix before the first [Failed] is schedule-independent — the same
+    prefix a serial fail-fast loop would produce. Above the first failure,
+    [Done]/[Failed]/[Cancelled] mix nondeterministically and halting
+    callers must treat them uniformly. *)
+val map_outcomes : ?halt:bool -> t -> ('a -> 'b) -> 'a array -> 'b outcome array
+
 (** [map pool f arr] applies [f] to every element on the pool and returns
     the results in input order. If one or more applications raise, the
     lowest-indexed exception is re-raised after the whole batch has

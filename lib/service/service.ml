@@ -1,10 +1,16 @@
 (** The compile service. See the interface for the protocol; the
-    correctness argument for each parallel/cached path is inline. *)
+    correctness argument for each parallel/cached/fault path is inline. *)
 
 open Epre_ir
 module J = Epre_telemetry.Tjson
 module Harness = Epre_harness.Harness
+module Chaos = Epre_harness.Chaos
 module Pipeline = Epre.Pipeline
+module Clock = Epre_telemetry.Telemetry.Clock
+
+let metrics_routine = "<service>"
+
+let count name = Epre_telemetry.Metrics.incr ~routine:metrics_routine ~name
 
 type counts = { hits : int; misses : int }
 
@@ -16,9 +22,9 @@ let add_counts a b = { hits = a.hits + b.hits; misses = a.misses + b.misses }
    the routine's canonical pre-optimization text plus the level
    fingerprint; because [Ir_text] round-trips exactly, restoring a hit's
    stored text is byte-identical to recompiling. *)
-let optimize_routine_cached ?cache ~level ~fingerprint (r : Routine.t) =
+let optimize_routine_cached ?cache ?poll ~level ~fingerprint (r : Routine.t) =
   match cache with
-  | None -> (Pipeline.optimize_routine ~level r, { hits = 0; misses = 1 })
+  | None -> (Pipeline.optimize_routine ?poll ~level r, { hits = 0; misses = 1 })
   | Some c -> (
     let before = Ir_text.routine_to_string r in
     let k = Cache.key ~iloc:before ~fingerprint in
@@ -30,14 +36,17 @@ let optimize_routine_cached ?cache ~level ~fingerprint (r : Routine.t) =
       Pipeline.record_metrics stats;
       (stats, { hits = 1; misses = 0 })
     | Some _ | None ->
-      let stats = Pipeline.optimize_routine ~level r in
+      let stats = Pipeline.optimize_routine ?poll ~level r in
       let after = Ir_text.routine_to_string r in
       Cache.store c ~key:k ~fingerprint ~iloc:after ~stats;
       (stats, { hits = 0; misses = 1 }))
 
-let optimize_program ?cache ?pool ~level (p : Program.t) =
+let optimize_program ?cache ?pool ?(poll = fun () -> ()) ~level (p : Program.t) =
   let fingerprint = Pipeline.fingerprint ~level in
-  let one r = optimize_routine_cached ?cache ~level ~fingerprint r in
+  let one r =
+    poll ();
+    optimize_routine_cached ?cache ~poll ~level ~fingerprint r
+  in
   let results =
     match pool with
     | Some pool -> Pool.map_routines pool one p
@@ -46,21 +55,39 @@ let optimize_program ?cache ?pool ~level (p : Program.t) =
   ( List.map fst results,
     List.fold_left (fun acc (_, c) -> add_counts acc c) no_traffic results )
 
-(* Parallel supervised optimization: one worker per routine, each
-   supervising its own full pass sequence. Safe only when
+(* ------------------------------------------------------------------ *)
+(* Parallel supervised optimization *)
 
-   - validation is [Off] or [Ir]: the verifier reads the context program
-     for call-graph signatures, which no pass changes, so a frozen
-     snapshot is equivalent to the live serial program. [Exec] validation
-     interprets the whole program between passes and must stay serial;
-   - [keep_going] is true: with fail-fast semantics the serial path
-     defines *which* application raises first, so it must stay serial.
+(* One worker per routine, each supervising its own full pass sequence
+   against a frozen snapshot of the program with only its own live
+   routine swapped in (the Ir tier's [Typecheck.infer] mutates scratch
+   state on routines it reads, and the Exec tier interprets the whole
+   context — both need a private copy).
 
-   Each worker gets its own context program — the frozen snapshot with
-   only its own live routine swapped in — because [Typecheck.infer]
-   mutates scratch state on the routines it reads. *)
-let supervise_parallel pool ~config ~level (p : Program.t) =
-  let snapshot = List.map Routine.copy (Program.routines p) in
+   Exec tier: each worker's context starts byte-identical to the input
+   program, so its reference observation and adaptive check fuel equal
+   the serial run's; the context then evolves only through the worker's
+   own routine. The serial pass-major loop validates against a program
+   where *other* routines carry already-validated (hence
+   observation-preserving) passes, so both sides compare the same
+   behaviour — pass/rollback outcomes agree.
+
+   keep_going = false: workers always run internally with
+   [keep_going = true], recording every (pass, routine) outcome and a
+   per-pass snapshot trail (via the harness dump hook, which fires after
+   each application, post-rollback). After the batch drains — no job is
+   abandoned mid-flight — we locate the first rollback in serial
+   pass-major order, at pass j and routine i, and rewind every routine to
+   exactly the state the serial fail-fast loop would have left: passes
+   0..j applied at indexes <= i (with pass j rolled back on routine i —
+   the trail entry already reflects that), passes 0..j-1 above i. Then
+   raise [Supervision_failed] with routine i's record, as serial does.
+   The scan order makes the failure choice deterministic regardless of
+   schedule. *)
+let supervise_parallel ?(inject = []) pool ~config ~level (p : Program.t) =
+  let routines = Program.routines p in
+  let snapshot = List.map Routine.copy routines in
+  let worker_config = { config with Harness.keep_going = true } in
   let one (r : Routine.t) =
     let context =
       Program.create
@@ -69,37 +96,108 @@ let supervise_parallel pool ~config ~level (p : Program.t) =
              if s.Routine.name = r.Routine.name then r else Routine.copy s)
            snapshot)
     in
-    Pipeline.optimize_supervised_routine ~config ~level ~context r
+    let trail = ref [] in
+    let dump _ (tr : Routine.t) = trail := Routine.copy tr :: !trail in
+    let stats, records =
+      Pipeline.optimize_supervised_routine ~dump ~inject ~record:false
+        ~config:worker_config ~level ~context r
+    in
+    (stats, records, Array.of_list (List.rev !trail))
   in
   let results = Pool.map_routines pool one p in
-  let stats = List.map fst results in
-  (* Reassemble the per-routine record lists (each in pass order; exactly
-     one record per (pass, routine) under keep_going) into the serial
-     pass-major execution order. *)
-  let per_routine = List.map (fun (_, rs) -> Array.of_list rs) results in
-  let uniform =
-    match per_routine with
-    | [] -> true
-    | a :: rest -> List.for_all (fun b -> Array.length b = Array.length a) rest
+  let per_routine = List.map (fun (_, rs, _) -> Array.of_list rs) results in
+  let first_failure =
+    if config.Harness.keep_going then None
+    else begin
+      let arrs = Array.of_list per_routine in
+      let n_routines = Array.length arrs in
+      let n_passes =
+        Array.fold_left (fun m a -> max m (Array.length a)) 0 arrs
+      in
+      let found = ref None in
+      (try
+         for j = 0 to n_passes - 1 do
+           for i = 0 to n_routines - 1 do
+             if j < Array.length arrs.(i) then
+               match arrs.(i).(j).Harness.outcome with
+               | Harness.Rolled_back _ -> found := Some (j, i, arrs.(i).(j)); raise Exit
+               | Harness.Passed -> ()
+           done
+         done
+       with Exit -> ());
+      !found
+    end
   in
-  let records =
-    if uniform && per_routine <> [] then
-      let n_passes = Array.length (List.hd per_routine) in
-      List.concat
-        (List.init n_passes (fun j ->
-             List.map (fun a -> a.(j)) per_routine))
-    else List.concat_map Array.to_list per_routine
-  in
-  (stats, records)
+  match first_failure with
+  | Some (j, i, record) ->
+    let trails = Array.of_list (List.map (fun (_, _, t) -> t) results) in
+    let originals = Array.of_list snapshot in
+    List.iteri
+      (fun idx (r : Routine.t) ->
+        let upto = if idx <= i then j else j - 1 in
+        let from = if upto < 0 then originals.(idx) else trails.(idx).(upto) in
+        Routine.restore r ~from)
+      routines;
+    raise (Harness.Supervision_failed record)
+  | None ->
+    (* Success (or keep_going): mirror stats into the registry in routine
+       order, exactly where the serial path does it. *)
+    let stats = List.map (fun (s, _, _) -> s) results in
+    List.iter Pipeline.record_metrics stats;
+    (* Reassemble the per-routine record lists (each in pass order; exactly
+       one record per (pass, routine) under the workers' keep_going) into
+       the serial pass-major execution order. *)
+    let uniform =
+      match per_routine with
+      | [] -> true
+      | a :: rest -> List.for_all (fun b -> Array.length b = Array.length a) rest
+    in
+    let records =
+      if uniform && per_routine <> [] then
+        let n_passes = Array.length (List.hd per_routine) in
+        List.concat
+          (List.init n_passes (fun j -> List.map (fun a -> a.(j)) per_routine))
+      else List.concat_map Array.to_list per_routine
+    in
+    (stats, records)
 
-let optimize_supervised_program ?pool ~config ~level (p : Program.t) =
+let optimize_supervised_program ?pool ?(inject = []) ~config ~level
+    (p : Program.t) =
   match pool with
-  | Some pool
-    when Pool.size pool > 0
-         && config.Harness.validation <> Harness.Exec
-         && config.Harness.keep_going ->
-    supervise_parallel pool ~config ~level p
-  | _ -> Pipeline.optimize_supervised ~config ~level p
+  | Some pool when Pool.size pool > 0 ->
+    supervise_parallel ~inject pool ~config ~level p
+  | _ -> Pipeline.optimize_supervised ~inject ~config ~level p
+
+(* ------------------------------------------------------------------ *)
+(* Failure policy *)
+
+module Policy = struct
+  type t = { timeout_ms : float option; retries : int; backoff_ms : float }
+
+  let default = { timeout_ms = None; retries = 0; backoff_ms = 50.0 }
+
+  exception Deadline_exceeded
+
+  (* Transient failures are worth a retry: injected chaos (the stand-in
+     for infrastructure flakiness) and OS-level I/O errors. Everything
+     else — pass exceptions, validation failures, malformed inputs — is
+     deterministic: a retry would replay the same bug, so it is
+     permanent. Deadlines are terminal too: a retry would burn the same
+     budget on the same work. *)
+  let classify = function
+    | Chaos.Injected _ -> `Transient
+    | Unix.Unix_error _ -> `Transient
+    | Sys_error _ -> `Transient
+    | _ -> `Permanent
+
+  (* Exponential backoff with deterministic jitter in [0.5, 1.0): a
+     replayable delay schedule, but jobs retrying in lockstep still
+     spread out. Returns seconds. *)
+  let backoff_delay t ~id ~attempt =
+    let h = Hashtbl.hash (id, attempt, "backoff") in
+    let jitter = 0.5 +. (float_of_int (h mod 1000) /. 2000.0) in
+    t.backoff_ms *. float_of_int (1 lsl min (attempt - 1) 6) *. jitter /. 1000.0
+end
 
 (* ------------------------------------------------------------------ *)
 (* Serve protocol *)
@@ -152,14 +250,25 @@ let job_of_line ~default_id line =
       | [] -> Error "job needs one of \"file\", \"workload\", \"source\", \"iloc\""
       | _ :: _ :: _ -> Error "job has more than one program input"))
 
+type job_outcome = Succeeded | Failed | Timed_out | Retried
+
+let job_outcome_to_string = function
+  | Succeeded -> "ok"
+  | Failed -> "error"
+  | Timed_out -> "timeout"
+  | Retried -> "retried_ok"
+
 type result_line = {
   job_id : string;
   ok : bool;
+  outcome : job_outcome;
+  attempts : int;
   job_level : Pipeline.level;
   routines : int;
   job_counts : counts;
   latency_ms : float;
   iloc : string option;
+  line : int option;
   error : string option;
 }
 
@@ -168,11 +277,14 @@ let result_to_json r =
     ([ ("type", J.Str "result");
        ("id", J.Str r.job_id);
        ("ok", J.Bool r.ok);
+       ("outcome", J.Str (job_outcome_to_string r.outcome));
+       ("attempts", J.Int r.attempts);
        ("level", J.Str (Pipeline.level_to_string r.job_level));
        ("routines", J.Int r.routines);
        ("hits", J.Int r.job_counts.hits);
        ("misses", J.Int r.job_counts.misses);
        ("latency_ms", J.Float r.latency_ms) ]
+    @ (match r.line with Some n -> [ ("line", J.Int n) ] | None -> [])
     @ (match r.iloc with Some s -> [ ("iloc", J.Str s) ] | None -> [])
     @ match r.error with Some m -> [ ("error", J.Str m) ] | None -> [])
 
@@ -202,83 +314,219 @@ let load_program = function
     try Ok (Ir_text.parse_program text) with
     | e -> Error ("ILOC parse failed: " ^ Printexc.to_string e))
 
-let error_result ~id ~level msg =
-  { job_id = id; ok = false; job_level = level; routines = 0;
-    job_counts = no_traffic; latency_ms = 0.0; iloc = None; error = Some msg }
+let error_result ?(outcome = Failed) ?(attempts = 1) ?line ~id ~level msg =
+  { job_id = id; ok = false; outcome; attempts; job_level = level; routines = 0;
+    job_counts = no_traffic; latency_ms = 0.0; iloc = None; line;
+    error = Some msg }
+
+(* Sleep [ms] in short slices, calling [poll] between slices, so the
+   chaos:slow-job stall stays cancellable by the per-job deadline. *)
+let sliced_sleep ~poll ms =
+  let slice = 2.0 in
+  let rec go remaining =
+    poll ();
+    if remaining > 0.0 then begin
+      Unix.sleepf (Float.min slice remaining /. 1000.0);
+      go (remaining -. slice)
+    end
+  in
+  go ms
 
 (* One job, serially: parallelism in the server is across jobs, not
    within one. Never raises — a worker exception would poison the whole
-   batch. *)
-let run_job ?cache (job : job) =
-  let t0 = Epre_telemetry.Telemetry.Clock.now_ns () in
-  let finish r =
-    { r with latency_ms = Epre_telemetry.Telemetry.Clock.elapsed_ms ~since:t0 }
+   batch.
+
+   Fault protocol per attempt: a fresh deadline is armed, chaos faults
+   keyed on the job id fire deterministically, the program is loaded from
+   scratch (optimization mutates in place, so a retry must not resume a
+   half-transformed program), and any escaping exception is classified.
+   Transient failures retry with jittered exponential backoff up to
+   [policy.retries] times; permanent failures (including deadline
+   overruns) report immediately. *)
+let run_job ?cache ?(policy = Policy.default) ?(chaos = []) (job : job) =
+  let t0 = Clock.now_ns () in
+  let finish ~attempts ~outcome r =
+    count ("serve." ^ job_outcome_to_string outcome);
+    { r with latency_ms = Clock.elapsed_ms ~since:t0; attempts; outcome }
   in
-  match load_program job.input with
-  | Error m -> finish (error_result ~id:job.id ~level:job.level m)
-  | exception e ->
-    finish
-      (error_result ~id:job.id ~level:job.level (Printexc.to_string e))
-  | Ok prog -> (
-    match optimize_program ?cache ~level:job.level prog with
-    | stats, job_counts ->
-      finish
-        { job_id = job.id; ok = true; job_level = job.level;
-          routines = List.length stats; job_counts; latency_ms = 0.0;
+  let has fault = List.mem fault chaos in
+  let rec attempt k =
+    let deadline =
+      Option.map
+        (fun ms -> Int64.add (Clock.now_ns ()) (Int64.of_float (ms *. 1e6)))
+        policy.Policy.timeout_ms
+    in
+    let poll () =
+      match deadline with
+      | Some d when Clock.now_ns () > d -> raise Policy.Deadline_exceeded
+      | _ -> ()
+    in
+    let step =
+      try
+        (* Worker-raise fires on the first attempt only: with retries
+           enabled, a struck job deterministically lands on retried_ok
+           rather than flapping. *)
+        if
+          k = 1 && has Chaos.Worker_raise
+          && Chaos.fires Chaos.Worker_raise ~key:job.id
+        then begin
+          count "chaos.worker_raise";
+          raise (Chaos.Injected "chaos:worker-raise")
+        end;
+        if has Chaos.Slow_job && Chaos.fires Chaos.Slow_job ~key:job.id then begin
+          count "chaos.slow_job";
+          (* Three deadline budgets when one is set: a struck job times
+             out deterministically instead of racing the clock. *)
+          let ms =
+            match policy.Policy.timeout_ms with
+            | Some t -> 3.0 *. t
+            | None -> 20.0
+          in
+          sliced_sleep ~poll ms
+        end;
+        poll ();
+        match load_program job.input with
+        | Error m -> `Fail m
+        | Ok prog ->
+          (match cache with
+          | Some c
+            when has Chaos.Cache_corrupt
+                 && Chaos.fires Chaos.Cache_corrupt ~key:job.id ->
+            count "chaos.cache_corrupt";
+            (* Corrupt this job's own entries before the lookup: the find
+               below must take the poison-recovery path and recompile. *)
+            let fingerprint = Pipeline.fingerprint ~level:job.level in
+            List.iter
+              (fun r ->
+                let iloc = Ir_text.routine_to_string r in
+                Cache.corrupt c ~key:(Cache.key ~iloc ~fingerprint))
+              (Program.routines prog)
+          | _ -> ());
+          (match cache with
+          | Some c
+            when has Chaos.Cache_lock_hold
+                 && Chaos.fires Chaos.Cache_lock_hold ~key:job.id ->
+            count "chaos.cache_lock_hold";
+            Cache.hold_lock c ~ms:2.0
+          | _ -> ());
+          let stats, job_counts = optimize_program ?cache ~poll ~level:job.level prog in
+          `Ok (stats, job_counts, prog)
+      with
+      | Policy.Deadline_exceeded -> `Timeout
+      | e -> (
+        match Policy.classify e with
+        | `Transient when k <= policy.Policy.retries ->
+          `Retry (Printexc.to_string e)
+        | `Transient | `Permanent ->
+          `Fail ("optimization failed: " ^ Printexc.to_string e))
+    in
+    match step with
+    | `Ok (stats, job_counts, prog) ->
+      finish ~attempts:k ~outcome:(if k > 1 then Retried else Succeeded)
+        { job_id = job.id; ok = true; outcome = Succeeded; attempts = k;
+          job_level = job.level; routines = List.length stats; job_counts;
+          latency_ms = 0.0;
           iloc = (if job.emit then Some (Ir_text.print_program prog) else None);
-          error = None }
-    | exception e ->
-      finish
+          line = None; error = None }
+    | `Timeout ->
+      count "serve.deadline_exceeded";
+      finish ~attempts:k ~outcome:Timed_out
         (error_result ~id:job.id ~level:job.level
-           ("optimization failed: " ^ Printexc.to_string e)))
+           (Printf.sprintf "deadline exceeded (%.0f ms)"
+              (Option.value policy.Policy.timeout_ms ~default:0.0)))
+    | `Fail m ->
+      finish ~attempts:k ~outcome:Failed
+        (error_result ~id:job.id ~level:job.level m)
+    | `Retry m ->
+      count "serve.retries";
+      ignore m;
+      Unix.sleepf (Policy.backoff_delay policy ~id:job.id ~attempt:k);
+      attempt (k + 1)
+  in
+  attempt 1
 
 type summary = {
   jobs : int;
   succeeded : int;
   failed : int;
+  timeouts : int;
+  retried : int;
   total : counts;
   wall_ms : float;
 }
 
-let serve ?cache ?batch ~pool ~input ~output () =
+let serve ?cache ?batch ?(policy = Policy.default) ?(chaos = []) ~pool ~input
+    ~output () =
   let batch_size =
     match batch with
     | Some b -> max b 1
     | None -> max 32 (4 * Pool.size pool)
   in
-  let t0 = Epre_telemetry.Telemetry.Clock.now_ns () in
-  let seq = ref 0 in
+  let t0 = Clock.now_ns () in
+  let seq = ref 0 and line_no = ref 0 in
   let jobs = ref 0 and succeeded = ref 0 and failed = ref 0 in
+  let timeouts = ref 0 and retried = ref 0 in
   let total = ref no_traffic in
-  (* Next batch of non-blank lines, pre-parsed in input order. *)
+  (* Next batch of non-blank lines, pre-parsed in input order, each
+     carrying its 1-based physical line number for error reports. *)
   let read_batch () =
     let acc = ref [] and n = ref 0 in
     (try
        while !n < batch_size do
          let line = input_line input in
+         incr line_no;
          if String.trim line <> "" then begin
            incr seq;
-           acc := (Printf.sprintf "job-%d" !seq, line) :: !acc;
+           acc := (Printf.sprintf "job-%d" !seq, !line_no, line) :: !acc;
            incr n
          end
        done
      with End_of_file -> ());
     List.rev !acc
   in
-  let run_one (default_id, line) =
+  let run_one (default_id, lineno, line) =
     match job_of_line ~default_id line with
-    | Error m -> error_result ~id:default_id ~level:Pipeline.Partial m
-    | Ok job -> run_job ?cache job
+    | Error m ->
+      (* A malformed line is one bad job, never a dead server: report it
+         in order, with the offending line number, and keep serving. *)
+      count "serve.bad_line";
+      error_result ~id:default_id ~level:Pipeline.Partial ~line:lineno
+        (Printf.sprintf "line %d: %s" lineno m)
+    | Ok job -> run_job ?cache ~policy ~chaos job
   in
   let rec loop () =
     match read_batch () with
     | [] -> ()
-    | lines ->
-      let results = Pool.map_list pool run_one lines in
+    | batch_lines ->
+      let arr = Array.of_list batch_lines in
+      (* [run_job] never raises; [map_outcomes] is the last-ditch
+         containment if the service layer itself crashes on a job — the
+         batch still drains and every job still reports in order. *)
+      let outcomes = Pool.map_outcomes pool run_one arr in
+      let results =
+        Array.to_list
+          (Array.mapi
+             (fun i outcome ->
+               let default_id, lineno, _ = arr.(i) in
+               match outcome with
+               | Pool.Done r -> r
+               | Pool.Failed (e, _) ->
+                 count "serve.worker_crash";
+                 error_result ~id:default_id ~level:Pipeline.Partial
+                   ~line:lineno ("worker crashed: " ^ Printexc.to_string e)
+               | Pool.Cancelled ->
+                 error_result ~id:default_id ~level:Pipeline.Partial
+                   ~line:lineno "cancelled")
+             outcomes)
+      in
       List.iter
         (fun r ->
-          jobs := !jobs + 1;
+          incr jobs;
           if r.ok then incr succeeded else incr failed;
+          (match r.outcome with
+          | Timed_out -> incr timeouts
+          | Retried -> incr retried
+          | Succeeded | Failed -> ());
           total := add_counts !total r.job_counts;
           output_string output (J.to_string (result_to_json r));
           output_char output '\n')
@@ -287,5 +535,6 @@ let serve ?cache ?batch ~pool ~input ~output () =
       loop ()
   in
   loop ();
-  { jobs = !jobs; succeeded = !succeeded; failed = !failed; total = !total;
-    wall_ms = Epre_telemetry.Telemetry.Clock.elapsed_ms ~since:t0 }
+  { jobs = !jobs; succeeded = !succeeded; failed = !failed;
+    timeouts = !timeouts; retried = !retried; total = !total;
+    wall_ms = Clock.elapsed_ms ~since:t0 }

@@ -1,13 +1,16 @@
 (** The compile service: cached, parallel program optimization, and the
-    batch protocol behind `eprec serve`.
+    fault-tolerant batch protocol behind `eprec serve`.
 
-    Composition of the two substrates:
+    Composition of the substrates:
     - {!Pool} fans per-routine (or per-job) work across domains while
       preserving input order, so parallel output is byte-identical to the
       serial path;
     - {!Cache} short-circuits routines whose (canonical ILOC, pipeline
       fingerprint) digest was optimized before, replaying the stored text
-      and statistics.
+      and statistics;
+    - {!Policy} bounds each job with a deadline and absorbs transient
+      failures with retries, so one bad job is one [ok:false] result,
+      never a dead server.
 
     Serve protocol (newline-delimited JSON on stdin/stdout):
 
@@ -16,16 +19,24 @@
             {"id":"j2","file":"kernels/spline.src","emit":false}
             {"id":"j3","source":"fn main() { ... }"}
             {"id":"j4","iloc":"routine main ..."}
-    result: {"type":"result","id":"j1","ok":true,"level":"partial",
-             "routines":1,"hits":0,"misses":1,"latency_ms":1.93,
-             "iloc":"..."}
-            {"type":"result","id":"j2","ok":false,"error":"..."}
+    result: {"type":"result","id":"j1","ok":true,"outcome":"ok",
+             "attempts":1,"level":"partial","routines":1,"hits":0,
+             "misses":1,"latency_ms":1.93,"iloc":"..."}
+            {"type":"result","id":"j2","ok":false,"outcome":"error",
+             "attempts":1,...,"line":7,"error":"line 7: ..."}
     v}
 
     [level] defaults to ["partial"], [emit] (include optimized ILOC in
     the result) to [true]. Exactly one of [file] / [workload] / [source]
     / [iloc] names the program. A malformed job line yields an in-order
-    [ok:false] result rather than killing the server. *)
+    [ok:false] result carrying the offending input line number rather
+    than killing the server; [outcome] is one of ["ok"], ["error"],
+    ["timeout"], ["retried_ok"].
+
+    Counters (routine key ["<service>"]): [serve.ok], [serve.error],
+    [serve.timeout], [serve.retried_ok], [serve.retries],
+    [serve.deadline_exceeded], [serve.bad_line], [serve.worker_crash],
+    and [chaos.*] per injected fault. *)
 
 open Epre_ir
 
@@ -36,30 +47,70 @@ type counts = { hits : int; misses : int }
 
 (** Optimize every routine of the program in place at [level].
     [pool] fans the routines across domains ({!Pool.map_routines});
-    [cache] consults and fills the persistent cache per routine. Stats
-    come back in routine order, byte-identical to the serial uncached
-    path. *)
+    [cache] consults and fills the persistent cache per routine. [poll]
+    is called between routines and passes and may raise to abandon the
+    job (deadline enforcement). Stats come back in routine order,
+    byte-identical to the serial uncached path. *)
 val optimize_program :
   ?cache:Cache.t ->
   ?pool:Pool.t ->
+  ?poll:(unit -> unit) ->
   level:Epre.Pipeline.level ->
   Program.t ->
   Epre.Pipeline.routine_stats list * counts
 
-(** Supervised variant. The parallel path (pool of size >= 1) supervises
-    each routine on its own worker against a frozen snapshot of the
-    program — validation sees consistent call-graph signatures — and
-    reassembles the per-pass records into the serial pass-major order.
-    Falls back to the serial [Epre.Pipeline.optimize_supervised] whenever
-    parallelism cannot preserve its semantics: no pool, [Exec]-tier
-    validation (which interprets the whole program between passes), or
-    [keep_going = false] (first-failure abort order is serial). *)
+(** Supervised variant. With a pool of size >= 1 every configuration runs
+    parallel — there is no serial fallback. Each routine is supervised on
+    its own worker against a frozen snapshot of the program (its private
+    context supplies call-graph signatures to the Ir tier and the whole
+    program to the Exec tier's translation validation), and the per-pass
+    records are reassembled into the serial pass-major order. Under
+    [keep_going = false] the workers run to completion internally,
+    recording per-pass snapshot trails; the first rollback in pass-major
+    order is then chosen deterministically, every routine is rewound to
+    the exact state of the serial fail-fast loop, and
+    [Supervision_failed] is raised with that record — byte-identical
+    results and reports, whatever the schedule. [inject] splices extra
+    passes (chaos faults) into every routine's sequence, as
+    [Epre.Pipeline.optimize_supervised] does serially. *)
 val optimize_supervised_program :
   ?pool:Pool.t ->
+  ?inject:(int * Epre_harness.Harness.named_pass) list ->
   config:Epre_harness.Harness.config ->
   level:Epre.Pipeline.level ->
   Program.t ->
   Epre.Pipeline.routine_stats list * Epre_harness.Harness.record list
+
+(** Per-job failure policy: deadline, retry budget, backoff. *)
+module Policy : sig
+  type t = {
+    timeout_ms : float option;
+        (** per-attempt wall-clock budget; overruns are cancelled at the
+            next pass boundary and reported as [outcome = "timeout"] *)
+    retries : int;  (** extra attempts granted to transient failures *)
+    backoff_ms : float;
+        (** base delay before attempt [k+1]; grows exponentially with a
+            deterministic per-(job, attempt) jitter in [0.5, 1.0) *)
+  }
+
+  (** No deadline, no retries, 50 ms base backoff. *)
+  val default : t
+
+  (** Raised by the poll hook when the attempt's deadline has passed. *)
+  exception Deadline_exceeded
+
+  (** Retry classifier. [`Transient] (worth a retry): injected chaos
+      ([Epre_harness.Chaos.Injected]) and OS-level I/O errors
+      ([Unix.Unix_error], [Sys_error]). [`Permanent] (never retried,
+      including when transient budget is exhausted): deterministic
+      failures — pass exceptions, validation failures, malformed inputs
+      — where a retry would replay the same bug. Deadline overruns are
+      terminal and never reach the classifier. *)
+  val classify : exn -> [ `Transient | `Permanent ]
+
+  (** Backoff before attempt [attempt + 1], in seconds. *)
+  val backoff_delay : t -> id:string -> attempt:int -> float
+end
 
 type job_input =
   | File of string  (** mini-language source file path *)
@@ -79,41 +130,70 @@ type job = {
     [ok:false] result. *)
 val job_of_line : default_id:string -> string -> (job, string) result
 
+(** How a job ended: [Succeeded] ("ok") on the first attempt, [Retried]
+    ("retried_ok") after absorbing a transient failure, [Timed_out]
+    ("timeout") past its deadline, [Failed] ("error") on a permanent
+    failure. *)
+type job_outcome = Succeeded | Failed | Timed_out | Retried
+
+(** The wire name: ["ok"] / ["error"] / ["timeout"] / ["retried_ok"]. *)
+val job_outcome_to_string : job_outcome -> string
+
 type result_line = {
   job_id : string;
   ok : bool;
+  outcome : job_outcome;
+  attempts : int;  (** 1 unless retries fired *)
   job_level : Epre.Pipeline.level;
   routines : int;
   job_counts : counts;
-  latency_ms : float;
+  latency_ms : float;  (** total wall, across every attempt and backoff *)
   iloc : string option;  (** optimized program text, when [emit] *)
+  line : int option;  (** input line number, on protocol-level errors *)
   error : string option;
 }
 
 val result_to_json : result_line -> Epre_telemetry.Tjson.t
 
-(** Execute one job serially: load the program, optimize it at the job's
-    level through [cache], measure wall latency. Never raises — failures
-    come back as [ok = false]. *)
-val run_job : ?cache:Cache.t -> job -> result_line
+(** Execute one job serially (parallelism in the server is across jobs):
+    load the program, optimize it at the job's level through [cache],
+    measure wall latency. Never raises — failures come back as
+    [ok = false] with a classified {!job_outcome}. [policy] arms a fresh
+    deadline per attempt and grants retries to transient failures;
+    [chaos] enables service-fault injection keyed deterministically on
+    the job id ({!Epre_harness.Chaos.fires}). *)
+val run_job :
+  ?cache:Cache.t ->
+  ?policy:Policy.t ->
+  ?chaos:Epre_harness.Chaos.service_fault list ->
+  job ->
+  result_line
 
-(** Whole-batch totals, for the closing stderr line and the smoke test. *)
+(** Whole-batch totals, for the closing stderr line and the smoke test.
+    [timeouts] and [retried] break down [failed] and [succeeded]
+    respectively. *)
 type summary = {
   jobs : int;
   succeeded : int;
   failed : int;
+  timeouts : int;
+  retried : int;
   total : counts;
   wall_ms : float;
 }
 
 (** Read job lines from [input] until EOF, batching up to [batch] jobs
-    (default [max 32 (4 * pool size)]) per {!Pool.map} round, and stream
-    one JSON result line per job to [output] in input order (flushed
-    after every batch). Blank lines are skipped; malformed lines produce
-    error results. *)
+    (default [max 32 (4 * pool size)]) per {!Pool.map_outcomes} round,
+    and stream one JSON result line per job to [output] in input order
+    (flushed after every batch). Blank lines are skipped; malformed lines
+    produce error results carrying their input line number; a crash in
+    the service layer itself is contained to that job's slot. No job is
+    ever lost or reordered. *)
 val serve :
   ?cache:Cache.t ->
   ?batch:int ->
+  ?policy:Policy.t ->
+  ?chaos:Epre_harness.Chaos.service_fault list ->
   pool:Pool.t ->
   input:in_channel ->
   output:out_channel ->

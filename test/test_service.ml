@@ -157,25 +157,186 @@ let test_parallel_supervised_identical () =
         (List.map shape s_records = List.map shape p_records))
     Epre_workloads.Workloads.all
 
-let test_exec_validation_falls_back_serial () =
-  (* Exec-tier supervision must produce its usual result through the
-     service entry point even with a pool attached (it runs serially). *)
+let test_exec_validation_parallel_identical () =
+  (* Exec-tier supervision runs truly parallel through the service entry
+     point — no serial fallback — against per-worker frozen contexts, so
+     the translation-validation reference observations (and therefore the
+     results and records) match the serial run exactly. *)
   let w = Option.get (Epre_workloads.Workloads.find "saxpy") in
   let reference = Epre_workloads.Workloads.compile w in
   let prog = Epre_workloads.Workloads.compile w in
   let config =
     { Epre_harness.Harness.default_config with validation = Epre_harness.Harness.Exec }
   in
-  let _, _ =
+  let s_stats, s_records =
     Pipeline.optimize_supervised ~config ~level:Pipeline.Partial reference
   in
-  let _, _ =
+  let p_stats, p_records =
     Pool.with_pool ~jobs:2 (fun pool ->
         Service.optimize_supervised_program ~pool ~config
           ~level:Pipeline.Partial prog)
   in
   Alcotest.(check string) "exec-tier result" (program_text reference)
-    (program_text prog)
+    (program_text prog);
+  Alcotest.(check bool) "stats equal" true (s_stats = p_stats);
+  let shape (r : Epre_harness.Harness.record) =
+    (r.pass, r.routine, r.outcome = Epre_harness.Harness.Passed)
+  in
+  Alcotest.(check bool) "record order" true
+    (List.map shape s_records = List.map shape p_records)
+
+let test_failfast_parallel_identical () =
+  (* keep_going = false with a chaos pass spliced in: the parallel path
+     must raise Supervision_failed with the same record as serial
+     fail-fast, and leave the program in the same pass-boundary state —
+     workers past the failure point are rewound via their snapshot
+     trails. *)
+  let break_phi =
+    List.find
+      (fun (p : Epre_harness.Harness.named_pass) ->
+        p.pass_name = "chaos:break-phi")
+      (Epre_harness.Chaos.named_passes ())
+  in
+  let inject = [ (1, break_phi) ] in
+  let config =
+    { Epre_harness.Harness.default_config with
+      keep_going = false;
+      validation = Epre_harness.Harness.Ir }
+  in
+  let w = Option.get (Epre_workloads.Workloads.find "crout") in
+  let run f prog =
+    match f prog with
+    | _ -> Alcotest.fail "expected Supervision_failed"
+    | exception Epre_harness.Harness.Supervision_failed r -> r
+  in
+  let serial = Epre_workloads.Workloads.compile w in
+  let s_record =
+    run (Pipeline.optimize_supervised ~inject ~config ~level:Pipeline.Partial)
+      serial
+  in
+  let parallel = Epre_workloads.Workloads.compile w in
+  let p_record =
+    Pool.with_pool ~jobs:3 (fun pool ->
+        run
+          (Service.optimize_supervised_program ~pool ~inject ~config
+             ~level:Pipeline.Partial)
+          parallel)
+  in
+  Alcotest.(check string) "failing pass" s_record.pass p_record.pass;
+  Alcotest.(check string) "failing routine" s_record.routine p_record.routine;
+  Alcotest.(check bool) "same rollback reason" true
+    (s_record.outcome = p_record.outcome);
+  Alcotest.(check string) "program state at failure" (program_text serial)
+    (program_text parallel)
+
+(* ------------------------------------------------------------------ *)
+(* Deque contention / outcome protocol *)
+
+let test_deque_contention () =
+  (* Property test under real multi-domain contention: one owner pushes
+     (and occasionally pops) while several stealer domains drain the FIFO
+     end. Correctness means (a) no element is lost or duplicated, and
+     (b) each stealer's sequence is strictly increasing — steals remove
+     the oldest remaining element, and elements are pushed in order, so a
+     decreasing step would be a linearizability violation. *)
+  let d = Deque.create () in
+  let n = 20_000 and stealers = 3 in
+  let stop = Atomic.make false in
+  let thieves =
+    List.init stealers (fun _ ->
+        Domain.spawn (fun () ->
+            let acc = ref [] in
+            let rec loop () =
+              match Deque.steal d with
+              | Some v ->
+                acc := v :: !acc;
+                loop ()
+              | None -> if not (Atomic.get stop) then (Domain.cpu_relax (); loop ())
+            in
+            loop ();
+            List.rev !acc))
+  in
+  let popped = ref [] in
+  for i = 1 to n do
+    Deque.push d i;
+    if i mod 7 = 0 then
+      match Deque.pop d with Some v -> popped := v :: !popped | None -> ()
+  done;
+  Atomic.set stop true;
+  let stolen = List.map Domain.join thieves in
+  let rec drain () =
+    match Deque.pop d with
+    | Some v ->
+      popped := v :: !popped;
+      drain ()
+    | None -> ()
+  in
+  drain ();
+  let rec increasing = function
+    | a :: (b :: _ as rest) -> a < b && increasing rest
+    | _ -> true
+  in
+  List.iteri
+    (fun i s ->
+      Alcotest.(check bool)
+        (Printf.sprintf "stealer %d strictly increasing (%d steals)" i
+           (List.length s))
+        true (increasing s))
+    stolen;
+  let all = List.sort compare (List.concat (!popped :: stolen)) in
+  Alcotest.(check bool) "no element lost or duplicated" true
+    (all = List.init n (fun i -> i + 1))
+
+let test_pool_outcome_mix () =
+  (* Without halt, every job runs to an outcome: failures are contained
+     per index, successes keep their slots, nothing is cancelled. *)
+  Pool.with_pool ~jobs:2 (fun pool ->
+      let out =
+        Pool.map_outcomes pool
+          (fun i -> if i mod 5 = 3 then raise (Boom i) else i * 2)
+          (Array.init 23 (fun i -> i))
+      in
+      Array.iteri
+        (fun i o ->
+          match o with
+          | Pool.Done v ->
+            Alcotest.(check bool) "done slot" true (i mod 5 <> 3);
+            Alcotest.(check int) "value" (i * 2) v
+          | Pool.Failed (Boom j, _) ->
+            Alcotest.(check int) "failed slot" i j;
+            Alcotest.(check bool) "failing index" true (i mod 5 = 3)
+          | Pool.Failed (e, _) ->
+            Alcotest.failf "unexpected exception %s" (Printexc.to_string e)
+          | Pool.Cancelled -> Alcotest.fail "nothing may be cancelled")
+        out)
+
+let test_pool_halt_done_prefix () =
+  (* With halt, cancellation only strikes indexes above the lowest
+     failure: everything below it is Done, deterministically, whatever
+     the schedule — the serial fail-fast prefix. *)
+  List.iter
+    (fun jobs ->
+      Pool.with_pool ~jobs (fun pool ->
+          let fail_at = 11 in
+          let out =
+            Pool.map_outcomes ~halt:true pool
+              (fun i -> if i >= fail_at && i mod 2 = 1 then raise (Boom i) else i)
+              (Array.init 40 (fun i -> i))
+          in
+          let first_failed = ref max_int in
+          Array.iteri
+            (fun i o ->
+              match o with
+              | Pool.Failed _ when i < !first_failed -> first_failed := i
+              | _ -> ())
+            out;
+          Alcotest.(check int) "lowest failure" fail_at !first_failed;
+          for i = 0 to fail_at - 1 do
+            match out.(i) with
+            | Pool.Done v -> Alcotest.(check int) "prefix value" i v
+            | _ -> Alcotest.failf "index %d below the failure must be Done" i
+          done))
+    [ 1; 2; 4 ]
 
 (* ------------------------------------------------------------------ *)
 (* Cache *)
@@ -301,6 +462,189 @@ let test_cache_eviction () =
     (Printf.sprintf "bounded (%d entries)" entries)
     true (entries <= 4)
 
+let some_stats () =
+  let prog =
+    Epre_workloads.Workloads.compile
+      (Option.get (Epre_workloads.Workloads.find "saxpy"))
+  in
+  List.hd (fst (Service.optimize_program ~level:Pipeline.Baseline prog))
+
+let test_cache_byte_budget () =
+  (* Entries whose total size exceeds --cache-max-bytes are evicted
+     oldest-first down to the budget, independent of the entry-count
+     bound. *)
+  let dir = fresh_dir () in
+  let budget = 8192 in
+  let cache = Cache.create ~dir ~max_bytes:budget () in
+  let stats = some_stats () in
+  let fingerprint = Pipeline.fingerprint ~level:Pipeline.Baseline in
+  for i = 1 to 12 do
+    (* ~1.6 KB per entry: 12 of them overflow an 8 KB budget. *)
+    let iloc = String.concat "\n" (List.init 40 (fun j ->
+        Printf.sprintf "  r%d_%d <- add r%d, r%d" i j j (j + 1))) in
+    let key = Cache.key ~iloc ~fingerprint in
+    Cache.store cache ~key ~fingerprint ~iloc ~stats;
+    (* Spread mtimes so oldest-first has a defined order even on coarse
+       filesystem timestamp granularity. *)
+    Unix.sleepf 0.002
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "bytes bounded (%d <= %d)" (Cache.byte_count cache) budget)
+    true
+    (Cache.byte_count cache <= budget);
+  Alcotest.(check bool)
+    (Printf.sprintf "entries evicted (%d < 12)" (Cache.entry_count cache))
+    true
+    (Cache.entry_count cache < 12)
+
+let test_cache_sweep_temp () =
+  (* A crashed writer's orphaned entry*.tmp is reclaimed by the sweep;
+     a fresh one (a live concurrent writer's) survives. *)
+  let dir = fresh_dir () in
+  let cache = Cache.create ~dir () in
+  let shard = Filename.concat dir "ab" in
+  List.iter
+    (fun d ->
+      try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ())
+    [ dir; shard ];
+  let stale = Filename.concat shard "entry-stale.tmp" in
+  let fresh = Filename.concat shard "entry-fresh.tmp" in
+  List.iter
+    (fun p ->
+      let oc = open_out_bin p in
+      output_string oc "torn half-written entry";
+      close_out oc)
+    [ stale; fresh ];
+  let old = Unix.gettimeofday () -. 3600.0 in
+  Unix.utimes stale old old;
+  let swept = Cache.sweep_temp cache in
+  Alcotest.(check int) "one orphan swept" 1 swept;
+  Alcotest.(check bool) "stale gone" false (Sys.file_exists stale);
+  Alcotest.(check bool) "fresh survives" true (Sys.file_exists fresh)
+
+let test_cache_concurrent_stores () =
+  (* Two Cache.t instances over one directory (two processes, in effect)
+     store overlapping keys from separate domains. The file lock keeps
+     the entries and the accounting intact: a third, fresh handle must
+     afterwards serve every routine as a hit, byte-identical to an
+     undisturbed serial compile. *)
+  let dir = fresh_dir () in
+  let progs () =
+    List.init 6 (fun i ->
+        Epre_frontend.Frontend.compile_string (Epre_fuzz.Gen.source (i + 1)))
+  in
+  let writer () =
+    let cache = Cache.create ~dir () in
+    List.iter
+      (fun p ->
+        ignore (Service.optimize_program ~cache ~level:Pipeline.Partial p))
+      (progs ())
+  in
+  let other = Domain.spawn writer in
+  writer ();
+  Domain.join other;
+  let reference =
+    List.map
+      (fun p ->
+        ignore (Service.optimize_program ~level:Pipeline.Partial p);
+        program_text p)
+      (progs ())
+  in
+  let cache = Cache.create ~dir () in
+  List.iteri
+    (fun i p ->
+      let stats, counts =
+        Service.optimize_program ~cache ~level:Pipeline.Partial p
+      in
+      Alcotest.(check int)
+        (Printf.sprintf "program %d all hits" i)
+        (List.length stats) counts.Service.hits;
+      Alcotest.(check string)
+        (Printf.sprintf "program %d text intact" i)
+        (List.nth reference i) (program_text p))
+    (progs ())
+
+(* ------------------------------------------------------------------ *)
+(* Failure policy *)
+
+module Chaos = Epre_harness.Chaos
+
+(* A job id the given fault deterministically strikes (or spares). *)
+let chaos_id fault ~firing =
+  let rec find i =
+    let id = Printf.sprintf "job-%d" i in
+    if Chaos.fires fault ~key:id = firing then id
+    else if i > 10_000 then Alcotest.fail "no id found"
+    else find (i + 1)
+  in
+  find 1
+
+let iloc_job id =
+  { Service.id;
+    level = Pipeline.Partial;
+    input =
+      Service.Iloc
+        (program_text
+           (Epre_workloads.Workloads.compile
+              (Option.get (Epre_workloads.Workloads.find "saxpy"))));
+    emit = true }
+
+let test_run_job_retry () =
+  (* chaos:worker-raise fires on attempt 1 only; with a retry budget the
+     job recovers, reports retried_ok, and emits the exact output of an
+     undisturbed run. *)
+  let id = chaos_id Chaos.Worker_raise ~firing:true in
+  let reference = Service.run_job (iloc_job id) in
+  Alcotest.(check bool) "reference ok" true reference.Service.ok;
+  let policy = { Service.Policy.default with retries = 2; backoff_ms = 1.0 } in
+  let r = Service.run_job ~policy ~chaos:[ Chaos.Worker_raise ] (iloc_job id) in
+  Alcotest.(check bool) "ok after retry" true r.Service.ok;
+  Alcotest.(check bool) "outcome retried_ok" true
+    (r.Service.outcome = Service.Retried);
+  Alcotest.(check int) "two attempts" 2 r.Service.attempts;
+  Alcotest.(check bool) "same output as undisturbed" true
+    (r.Service.iloc = reference.Service.iloc);
+  (* Without a retry budget the same transient failure is an error. *)
+  let r0 = Service.run_job ~chaos:[ Chaos.Worker_raise ] (iloc_job id) in
+  Alcotest.(check bool) "no budget -> error" true
+    ((not r0.Service.ok) && r0.Service.outcome = Service.Failed)
+
+let test_run_job_timeout () =
+  (* chaos:slow-job sleeps past the deadline; the poll hook cancels at a
+     pass boundary and the outcome is timeout — never retried, retries
+     are for transient failures only. *)
+  let id = chaos_id Chaos.Slow_job ~firing:true in
+  let policy =
+    { Service.Policy.timeout_ms = Some 25.0; retries = 2; backoff_ms = 1.0 }
+  in
+  let r = Service.run_job ~policy ~chaos:[ Chaos.Slow_job ] (iloc_job id) in
+  Alcotest.(check bool) "not ok" false r.Service.ok;
+  Alcotest.(check bool) "outcome timeout" true
+    (r.Service.outcome = Service.Timed_out);
+  Alcotest.(check int) "deadline is terminal: one attempt" 1 r.Service.attempts;
+  (* A spared job under the same policy completes normally. *)
+  let spared = chaos_id Chaos.Slow_job ~firing:false in
+  let policy = { policy with timeout_ms = Some 10_000.0 } in
+  let r2 = Service.run_job ~policy ~chaos:[ Chaos.Slow_job ] (iloc_job spared) in
+  Alcotest.(check bool) "spared job ok" true
+    (r2.Service.ok && r2.Service.outcome = Service.Succeeded)
+
+let test_policy_classify_and_backoff () =
+  Alcotest.(check bool) "chaos is transient" true
+    (Service.Policy.classify (Chaos.Injected "x") = `Transient);
+  Alcotest.(check bool) "I/O is transient" true
+    (Service.Policy.classify (Sys_error "disk") = `Transient);
+  Alcotest.(check bool) "pass bug is permanent" true
+    (Service.Policy.classify (Failure "broken invariant") = `Permanent);
+  let p = { Service.Policy.default with backoff_ms = 8.0 } in
+  let d1 = Service.Policy.backoff_delay p ~id:"j" ~attempt:1 in
+  let d1' = Service.Policy.backoff_delay p ~id:"j" ~attempt:1 in
+  Alcotest.(check bool) "deterministic" true (d1 = d1');
+  Alcotest.(check bool) "within jittered bounds" true
+    (d1 >= 0.004 && d1 < 0.008);
+  let d3 = Service.Policy.backoff_delay p ~id:"j" ~attempt:3 in
+  Alcotest.(check bool) "grows exponentially" true (d3 >= 0.016 && d3 < 0.032)
+
 (* ------------------------------------------------------------------ *)
 (* Serve protocol *)
 
@@ -372,6 +716,78 @@ let test_serve_stream () =
   Sys.remove in_path;
   Sys.remove out_path
 
+let test_serve_malformed_line_numbers () =
+  (* A malformed line becomes an in-order error result carrying the
+     *physical* input line number — blank lines count, so the number can
+     differ from the job sequence number. *)
+  let input =
+    String.concat "\n"
+      [ "";
+        {|{"id":"good","workload":"saxpy","emit":false}|};
+        "";
+        "{ truncated";
+        {|{"workload":"saxpy","level":"warp"}|};
+        {|{"id":"tail","workload":"saxpy","emit":false}|} ]
+    ^ "\n"
+  in
+  let in_path = Filename.temp_file "eprec-serve" ".jobs" in
+  let out_path = Filename.temp_file "eprec-serve" ".out" in
+  let oc = open_out_bin in_path in
+  output_string oc input;
+  close_out oc;
+  let ic = open_in_bin in_path and out = open_out_bin out_path in
+  let summary =
+    Pool.with_pool ~jobs:2 (fun pool ->
+        Service.serve ~pool ~input:ic ~output:out ())
+  in
+  close_in_noerr ic;
+  close_out_noerr out;
+  Alcotest.(check int) "jobs" 4 summary.Service.jobs;
+  Alcotest.(check int) "failed" 2 summary.Service.failed;
+  let lines = ref [] in
+  let ic = open_in out_path in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> close_in_noerr ic);
+  let results =
+    List.rev_map
+      (fun l ->
+        match Epre_telemetry.Tjson.parse l with
+        | Error m -> Alcotest.failf "bad result line: %s" m
+        | Ok j ->
+          let str f =
+            match Epre_telemetry.Tjson.member f j with
+            | Some (Epre_telemetry.Tjson.Str s) -> Some s
+            | _ -> None
+          in
+          let line =
+            match Epre_telemetry.Tjson.member "line" j with
+            | Some (Epre_telemetry.Tjson.Int n) -> Some n
+            | _ -> None
+          in
+          (Option.get (str "id"), line, str "error"))
+      !lines
+  in
+  (match results with
+  | [ (id1, None, None); (id2, Some l2, Some e2); (id3, Some l3, Some e3);
+      (id4, None, None) ] ->
+    Alcotest.(check string) "first" "good" id1;
+    Alcotest.(check string) "last" "tail" id4;
+    (* Physical lines: blank line 1, good job on 2, blank 3, garbage on 4,
+       bad level on 5, tail on 6. *)
+    Alcotest.(check int) "garbage line number" 4 l2;
+    Alcotest.(check int) "bad-level line number" 5 l3;
+    Alcotest.(check bool) "error names its line" true
+      (String.length e2 >= 7 && String.sub e2 0 7 = "line 4:");
+    Alcotest.(check bool) "error names its line (2)" true
+      (String.length e3 >= 7 && String.sub e3 0 7 = "line 5:");
+    Alcotest.(check bool) "synthesized ids" true (id2 = "job-2" && id3 = "job-3")
+  | rs -> Alcotest.failf "unexpected result shape (%d results)" (List.length rs));
+  Sys.remove in_path;
+  Sys.remove out_path
+
 let suite =
   [
     Alcotest.test_case "deque lifo/fifo" `Quick test_deque_lifo_fifo;
@@ -383,8 +799,16 @@ let suite =
       test_parallel_identical_to_serial;
     Alcotest.test_case "parallel supervised == serial" `Slow
       test_parallel_supervised_identical;
-    Alcotest.test_case "exec tier falls back serial" `Quick
-      test_exec_validation_falls_back_serial;
+    Alcotest.test_case "exec tier parallel == serial" `Quick
+      test_exec_validation_parallel_identical;
+    Alcotest.test_case "fail-fast parallel == serial" `Quick
+      test_failfast_parallel_identical;
+    Alcotest.test_case "deque multi-domain contention" `Quick
+      test_deque_contention;
+    Alcotest.test_case "outcome protocol contains failures" `Quick
+      test_pool_outcome_mix;
+    Alcotest.test_case "halt preserves the done prefix" `Quick
+      test_pool_halt_done_prefix;
     Alcotest.test_case "second run all cache hits" `Quick
       test_cache_second_run_all_hits;
     Alcotest.test_case "cache survives reopen" `Quick test_cache_survives_reopen;
@@ -393,6 +817,18 @@ let suite =
     Alcotest.test_case "poisoned entry recompiles" `Quick
       test_cache_poisoned_entry_recompiles;
     Alcotest.test_case "eviction bounds entries" `Quick test_cache_eviction;
+    Alcotest.test_case "eviction bounds bytes" `Quick test_cache_byte_budget;
+    Alcotest.test_case "orphaned temp sweep" `Quick test_cache_sweep_temp;
+    Alcotest.test_case "concurrent stores, shared dir" `Quick
+      test_cache_concurrent_stores;
+    Alcotest.test_case "retry absorbs transient fault" `Quick
+      test_run_job_retry;
+    Alcotest.test_case "deadline bounds a slow job" `Quick
+      test_run_job_timeout;
+    Alcotest.test_case "classifier and backoff" `Quick
+      test_policy_classify_and_backoff;
     Alcotest.test_case "job parsing" `Quick test_job_parsing;
     Alcotest.test_case "serve streams in order" `Quick test_serve_stream;
+    Alcotest.test_case "malformed lines carry line numbers" `Quick
+      test_serve_malformed_line_numbers;
   ]
