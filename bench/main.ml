@@ -456,10 +456,17 @@ let zipf_ranks ~st ~n ~total =
       let rec find i = if i >= n - 1 || cumulative.(i) >= u then i else find (i + 1) in
       find 0)
 
-let percentile sorted p =
-  let n = Array.length sorted in
-  if n = 0 then 0.0
-  else sorted.(min (n - 1) (int_of_float (ceil (p *. float_of_int n)) - 1 |> max 0))
+(* Latency quantiles go through the shared telemetry histogram — the same
+   bucketing `eprec serve --metrics-out` exposes, so bench numbers and
+   production metrics agree within bucket resolution. *)
+let latency_quantiles_ms latencies_ms =
+  let h = Epre_telemetry.Histogram.create () in
+  List.iter
+    (fun ms -> Epre_telemetry.Histogram.record h (int_of_float (ms *. 1e6)))
+    latencies_ms;
+  let m = Epre_telemetry.Histogram.merged h in
+  let q p = float_of_int (Epre_telemetry.Histogram.quantile m p) /. 1e6 in
+  (q 0.50, q 0.90, q 0.99)
 
 let run_traffic ~small () =
   section
@@ -532,12 +539,10 @@ let run_traffic ~small () =
   let hits, misses = totals parallel_results in
   let warm_hits, warm_misses = totals warm_results in
   let hit_rate = float_of_int hits /. float_of_int (max 1 (hits + misses)) in
-  let latencies =
-    Array.of_list
+  let p50, p90, p99 =
+    latency_quantiles_ms
       (List.map (fun (r : Service.result_line) -> r.Service.latency_ms) parallel_results)
   in
-  Array.sort compare latencies;
-  let p50 = percentile latencies 0.50 and p99 = percentile latencies 0.99 in
   let throughput = float_of_int total /. (parallel_ms /. 1000.0) in
   let speedup = serial_ms /. parallel_ms in
   let utilization =
@@ -554,7 +559,7 @@ let run_traffic ~small () =
     parallel_ms speedup throughput;
   Printf.printf "parallel (warm cache):   %8.1f ms   %d hit(s), %d miss(es)\n"
     warm_ms warm_hits warm_misses;
-  Printf.printf "latency: p50 %.3f ms, p99 %.3f ms\n" p50 p99;
+  Printf.printf "latency: p50 %.3f ms, p90 %.3f ms, p99 %.3f ms\n" p50 p90 p99;
   Printf.printf "cache: %d hit(s), %d miss(es) (%.1f%% hit rate)\n" hits misses
     (100.0 *. hit_rate);
   Printf.printf "results identical to serial: cold %b, warm %b\n" identical
@@ -589,6 +594,7 @@ let run_traffic ~small () =
         ("speedup", J.Float speedup);
         ("throughput_jobs_per_s", J.Float throughput);
         ("latency_p50_ms", J.Float p50);
+        ("latency_p90_ms", J.Float p90);
         ("latency_p99_ms", J.Float p99);
         ("cache_hits", J.Int hits);
         ("cache_misses", J.Int misses);
@@ -624,6 +630,7 @@ type soak_row = {
   sk_ok : bool;
   sk_outcome : string;
   sk_iloc : string option;
+  sk_latency_ms : float;
 }
 
 let run_soak ~small () =
@@ -687,10 +694,16 @@ let run_soak ~small () =
            let ok =
              match J.member "ok" j with Some (J.Bool b) -> b | _ -> false
            in
+           let latency =
+             match J.member "latency_ms" j with
+             | Some (J.Float f) -> f
+             | Some (J.Int i) -> float_of_int i
+             | _ -> 0.0
+           in
            rows :=
              { sk_id = Option.value (str "id") ~default:"?"; sk_ok = ok;
                sk_outcome = Option.value (str "outcome") ~default:"?";
-               sk_iloc = str "iloc" }
+               sk_iloc = str "iloc"; sk_latency_ms = latency }
              :: !rows
        done
      with End_of_file -> close_in_noerr ic);
@@ -753,12 +766,15 @@ let run_soak ~small () =
         in
         let ok = tally "ok" and error = tally "error" in
         let timeout = tally "timeout" and retried = tally "retried_ok" in
+        let p50, p90, p99 =
+          latency_quantiles_ms (List.map (fun r -> r.sk_latency_ms) parallel)
+        in
         Printf.printf
           "%-22s lost %d, ok %d, retried_ok %d, timeout %d, error %d | \
            in-order %b, serial==parallel %b, ok==reference %b (serial %.0f \
-           ms, parallel %.0f ms)\n"
+           ms, parallel %.0f ms, p50/p90/p99 %.1f/%.1f/%.1f ms)\n"
           name lost ok retried timeout error in_order identical
-          ok_matches_reference serial_ms parallel_ms;
+          ok_matches_reference serial_ms parallel_ms p50 p90 p99;
         (* The hard contract, per fault class. *)
         assert (lost = 0);
         assert in_order;
@@ -786,7 +802,10 @@ let run_soak ~small () =
             ("serial_parallel_identical", J.Bool identical);
             ("ok_matches_reference", J.Bool ok_matches_reference);
             ("serial_ms", J.Float serial_ms);
-            ("parallel_ms", J.Float parallel_ms) ])
+            ("parallel_ms", J.Float parallel_ms);
+            ("latency_p50_ms", J.Float p50);
+            ("latency_p90_ms", J.Float p90);
+            ("latency_p99_ms", J.Float p99) ])
       Chaos.all_service_faults
   in
   Sys.remove jobs_path;

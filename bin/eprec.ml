@@ -927,6 +927,20 @@ let serve_cmd =
          $(b,chaos:worker-raise), $(b,chaos:slow-job), \
          $(b,chaos:cache-corrupt), $(b,chaos:cache-lock-hold)) keyed \
          deterministically on job ids, for drills and soak tests.";
+      `P
+        "Observability: every job carries its id as a correlation id \
+         through the structured event log — $(b,--log-level) mirrors \
+         events at that level and above to stderr, $(b,--log-out) \
+         appends every event as JSONL. $(b,--stats-every) prints a \
+         one-line progress summary (throughput, hit rate, p50/p99 \
+         latency, pool utilization) every N jobs, and $(b,--metrics-out) \
+         writes Prometheus-style counters and latency histograms \
+         (atomically) on each stats tick and at exit. A flight recorder \
+         is on by default: each domain keeps a ring of recent events, \
+         and any worker exception, timeout, crash or chaos firing dumps \
+         them to $(b,--flight-dir)/flightrec-<pid>.json for \
+         post-mortems ($(b,--no-flight) disables). None of this touches \
+         stdout: results are byte-identical with every sink on or off.";
       `P "Exit status: 1 when any job failed." ]
   in
   let input_arg =
@@ -999,8 +1013,67 @@ let serve_cmd =
              $(b,chaos:worker-raise), $(b,chaos:slow-job), \
              $(b,chaos:cache-corrupt), $(b,chaos:cache-lock-hold).")
   in
+  let log_level_arg =
+    let level_conv =
+      Arg.conv
+        ( (fun s ->
+            match Epre_telemetry.Log.level_of_string s with
+            | Some l -> Ok l
+            | None ->
+              Error (`Msg (Printf.sprintf "unknown log level %S" s))),
+          fun ppf l ->
+            Format.pp_print_string ppf (Epre_telemetry.Log.level_to_string l) )
+    in
+    Arg.(
+      value
+      & opt (some level_conv) None
+      & info [ "log-level" ] ~docv:"LEVEL"
+          ~doc:
+            "Mirror structured events at LEVEL ($(b,debug), $(b,info), \
+             $(b,warn), $(b,error)) and above to stderr as one-line text.")
+  in
+  let log_out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "log-out" ] ~docv:"FILE"
+          ~doc:"Append every structured event to FILE as JSON lines.")
+  in
+  let stats_every_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "stats-every" ] ~docv:"N"
+          ~doc:
+            "Print a one-line progress summary to stderr every N completed \
+             jobs (throughput, hit rate, p50/p99 latency, pool \
+             utilization), and once at the end.")
+  in
+  let metrics_out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics-out" ] ~docv:"FILE"
+          ~doc:
+            "Write Prometheus-style text exposition (counters plus latency \
+             histogram quantiles) to FILE, atomically, on each stats tick \
+             and at exit.")
+  in
+  let flight_dir_arg =
+    Arg.(
+      value & opt string "."
+      & info [ "flight-dir" ] ~docv:"DIR"
+          ~doc:
+            "Directory for flight-recorder dumps \
+             ($(b,flightrec-<pid>.json)); written whenever a worker \
+             raises, a job times out or crashes, or a chaos fault fires.")
+  in
+  let no_flight_arg =
+    Arg.(value & flag & info [ "no-flight" ] ~doc:"Disable the flight recorder.")
+  in
   let run input jobs cache_dir no_cache batch cache_max_bytes timeout_ms
-      retries backoff_ms chaos_names chaos_seed tel =
+      retries backoff_ms chaos_names chaos_seed log_level log_out stats_every
+      metrics_out flight_dir no_flight tel =
     (match chaos_seed with
     | Some s -> Epre_harness.Chaos.default_seed := s
     | None -> ());
@@ -1029,14 +1102,26 @@ let serve_cmd =
              ())
     in
     let ic = match input with None -> stdin | Some f -> open_in f in
-    let close () = if input <> None then close_in_noerr ic in
+    (match log_level with
+    | Some l -> Epre_telemetry.Log.set_stderr_level (Some l)
+    | None -> ());
+    (match log_out with
+    | Some f -> Epre_telemetry.Log.open_file f
+    | None -> ());
+    if not no_flight then Epre_telemetry.Recorder.configure ~dir:flight_dir ();
+    let close () =
+      if input <> None then close_in_noerr ic;
+      Epre_telemetry.Log.close_file ();
+      Epre_telemetry.Recorder.disable ()
+    in
     let summary =
       Fun.protect ~finally:close (fun () ->
           with_telemetry tel (fun () ->
               Epre_service.Pool.with_pool ~jobs:(effective_jobs jobs)
                 (fun pool ->
                   Epre_service.Service.serve ?cache ?batch ~policy ~chaos
-                    ~pool ~input:ic ~output:stdout ())))
+                    ?stats_every ?metrics_out ~pool ~input:ic ~output:stdout
+                    ())))
     in
     emit_metrics tel [];
     Fmt.epr
@@ -1054,7 +1139,9 @@ let serve_cmd =
     Term.(
       const run $ input_arg $ jobs_arg $ cache_dir_arg $ no_cache_arg
       $ batch_arg $ cache_max_bytes_arg $ timeout_arg $ retries_arg
-      $ backoff_arg $ serve_chaos_arg $ chaos_seed_arg $ telemetry_term)
+      $ backoff_arg $ serve_chaos_arg $ chaos_seed_arg $ log_level_arg
+      $ log_out_arg $ stats_every_arg $ metrics_out_arg $ flight_dir_arg
+      $ no_flight_arg $ telemetry_term)
 
 let workloads_cmd =
   let doc = "list the built-in workload suite, or differentially check it" in

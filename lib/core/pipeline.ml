@@ -272,9 +272,12 @@ let optimize_routine ?(hooks = no_hooks) ?(poll = fun () -> ()) ~level
              the compile service) — only between passes, never mid-pass,
              so the routine is always left in a pass boundary state. *)
           poll ();
+          let pass_t0 = Epre_telemetry.Telemetry.Clock.now_ns () in
           Epre_telemetry.Telemetry.Span.with_ ~kind:"pass" ~routine:r
             ~name:np.Epre_harness.Harness.pass_name (fun () ->
               np.Epre_harness.Harness.run r);
+          Epre_telemetry.Histogram.observe_since
+            ~name:("pass." ^ np.Epre_harness.Harness.pass_name) pass_t0;
           hooks.dump np.Epre_harness.Harness.pass_name r)
         passes;
       Routine.validate r);

@@ -144,6 +144,8 @@ let supervise ?(dump = fun _ _ -> ()) ?only config ~passes (p : Program.t) =
           let t0 = Epre_telemetry.Telemetry.Clock.now_ns () in
           let finish ?(meta = []) outcome =
             let duration_ms = Epre_telemetry.Telemetry.Clock.elapsed_ms ~since:t0 in
+            Epre_telemetry.Histogram.observe ~name:("pass." ^ np.pass_name)
+              (int_of_float (duration_ms *. 1e6));
             let record =
               { pass = np.pass_name; routine = r.Routine.name; outcome;
                 duration_ms; meta }
@@ -151,9 +153,22 @@ let supervise ?(dump = fun _ _ -> ()) ?only config ~passes (p : Program.t) =
             records := record :: !records;
             dump np.pass_name r;
             match outcome with
-            | Rolled_back _ when not config.keep_going ->
-              raise (Supervision_failed record)
-            | _ -> ()
+            | Rolled_back reason ->
+              Epre_telemetry.Log.warn ~event:"harness.rollback"
+                ~fields:
+                  [ ("pass", Epre_telemetry.Tjson.Str np.pass_name);
+                    ("routine", Epre_telemetry.Tjson.Str r.Routine.name) ]
+                (reason_to_string reason);
+              if not config.keep_going then begin
+                ignore
+                  (Epre_telemetry.Recorder.dump
+                     ~reason:
+                       (Printf.sprintf "supervision-failed: %s/%s"
+                          np.pass_name r.Routine.name)
+                     ());
+                raise (Supervision_failed record)
+              end
+            | Passed -> ()
           in
           let roll_back ?meta reason =
             Routine.restore r ~from:snapshot;

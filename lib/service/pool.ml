@@ -32,6 +32,7 @@ let find_task t i =
   match Deque.pop t.workers.(i).deque with
   | Some _ as found -> found
   | None ->
+    let t0 = now_ns () in
     let rec sweep k =
       if k >= n then None
       else
@@ -39,7 +40,11 @@ let find_task t i =
         | Some _ as found -> found
         | None -> sweep (k + 1)
     in
-    sweep 1
+    let found = sweep 1 in
+    (match found with
+    | Some _ -> Epre_telemetry.Histogram.observe_since ~name:"pool.steal" t0
+    | None -> ());
+    found
 
 let steal_any t =
   let n = Array.length t.workers in
@@ -81,8 +86,10 @@ let worker_loop t i =
         loop ()
       end
       else begin
+        let t0 = now_ns () in
         Condition.wait t.cv t.lock;
         Mutex.unlock t.lock;
+        Epre_telemetry.Histogram.observe_since ~name:"pool.idle" t0;
         loop ()
       end
   in
@@ -204,7 +211,11 @@ let map_outcomes ?(halt = false) t f arr =
       if i < cur && not (Atomic.compare_and_set first_failed cur i) then
         note_failure i
     in
+    let submit_ns = now_ns () in
     let task i () =
+      (* Queue wait: submission to first execution, whichever domain
+         (worker or helping submitter) picks the task up. *)
+      Epre_telemetry.Histogram.observe_since ~name:"pool.queue_wait" submit_ns;
       (if halt && i > Atomic.get first_failed then results.(i) <- Some Cancelled
        else
          match f arr.(i) with

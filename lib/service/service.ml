@@ -7,6 +7,9 @@ module Harness = Epre_harness.Harness
 module Chaos = Epre_harness.Chaos
 module Pipeline = Epre.Pipeline
 module Clock = Epre_telemetry.Telemetry.Clock
+module Hist = Epre_telemetry.Histogram
+module Log = Epre_telemetry.Log
+module Recorder = Epre_telemetry.Recorder
 
 let metrics_routine = "<service>"
 
@@ -130,6 +133,12 @@ let supervise_parallel ?(inject = []) pool ~config ~level (p : Program.t) =
   in
   match first_failure with
   | Some (j, i, record) ->
+    ignore
+      (Recorder.dump
+         ~reason:
+           (Printf.sprintf "supervision-failed: %s/%s" record.Harness.pass
+              record.Harness.routine)
+         ());
     let trails = Array.of_list (List.map (fun (_, _, t) -> t) results) in
     let originals = Array.of_list snapshot in
     List.iteri
@@ -344,10 +353,30 @@ let sliced_sleep ~poll ms =
    [policy.retries] times; permanent failures (including deadline
    overruns) report immediately. *)
 let run_job ?cache ?(policy = Policy.default) ?(chaos = []) (job : job) =
+  (* Every observability event of this job's dynamic extent — log lines,
+     span closures, ring entries, flight dumps — carries the job id as
+     its correlation id, on whichever domain executes it. *)
+  Recorder.with_corr job.id @@ fun () ->
   let t0 = Clock.now_ns () in
   let finish ~attempts ~outcome r =
     count ("serve." ^ job_outcome_to_string outcome);
-    { r with latency_ms = Clock.elapsed_ms ~since:t0; attempts; outcome }
+    let latency_ms = Clock.elapsed_ms ~since:t0 in
+    Hist.observe_since ~name:"serve.job" t0;
+    Log.info ~event:"serve.job"
+      ~fields:
+        [ ("outcome", J.Str (job_outcome_to_string outcome));
+          ("attempts", J.Int attempts);
+          ("latency_ms", J.Float latency_ms);
+          ("hits", J.Int r.job_counts.hits);
+          ("misses", J.Int r.job_counts.misses) ]
+      (Printf.sprintf "job %s: %s" job.id (job_outcome_to_string outcome));
+    { r with latency_ms; attempts; outcome }
+  in
+  let chaos_fire fault_name =
+    Log.warn ~event:"chaos.fire"
+      ~fields:[ ("fault", J.Str fault_name) ]
+      ("injected " ^ fault_name);
+    ignore (Recorder.dump ~reason:fault_name ~corr:job.id ())
   in
   let has fault = List.mem fault chaos in
   let rec attempt k =
@@ -371,10 +400,12 @@ let run_job ?cache ?(policy = Policy.default) ?(chaos = []) (job : job) =
           && Chaos.fires Chaos.Worker_raise ~key:job.id
         then begin
           count "chaos.worker_raise";
+          chaos_fire "chaos:worker-raise";
           raise (Chaos.Injected "chaos:worker-raise")
         end;
         if has Chaos.Slow_job && Chaos.fires Chaos.Slow_job ~key:job.id then begin
           count "chaos.slow_job";
+          chaos_fire "chaos:slow-job";
           (* Three deadline budgets when one is set: a struck job times
              out deterministically instead of racing the clock. *)
           let ms =
@@ -393,6 +424,7 @@ let run_job ?cache ?(policy = Policy.default) ?(chaos = []) (job : job) =
             when has Chaos.Cache_corrupt
                  && Chaos.fires Chaos.Cache_corrupt ~key:job.id ->
             count "chaos.cache_corrupt";
+            chaos_fire "chaos:cache-corrupt";
             (* Corrupt this job's own entries before the lookup: the find
                below must take the poison-recovery path and recompile. *)
             let fingerprint = Pipeline.fingerprint ~level:job.level in
@@ -407,6 +439,7 @@ let run_job ?cache ?(policy = Policy.default) ?(chaos = []) (job : job) =
             when has Chaos.Cache_lock_hold
                  && Chaos.fires Chaos.Cache_lock_hold ~key:job.id ->
             count "chaos.cache_lock_hold";
+            chaos_fire "chaos:cache-lock-hold";
             Cache.hold_lock c ~ms:2.0
           | _ -> ());
           let stats, job_counts = optimize_program ?cache ~poll ~level:job.level prog in
@@ -418,6 +451,15 @@ let run_job ?cache ?(policy = Policy.default) ?(chaos = []) (job : job) =
         | `Transient when k <= policy.Policy.retries ->
           `Retry (Printexc.to_string e)
         | `Transient | `Permanent ->
+          (* A worker raised and no retry budget absorbs it: capture the
+             post-mortem before reporting the failure. *)
+          Log.error ~event:"serve.worker_raise"
+            ~fields:[ ("attempt", J.Int k) ]
+            (Printexc.to_string e);
+          ignore
+            (Recorder.dump
+               ~reason:("worker-raise: " ^ Printexc.to_string e)
+               ~corr:job.id ());
           `Fail ("optimization failed: " ^ Printexc.to_string e))
     in
     match step with
@@ -430,6 +472,13 @@ let run_job ?cache ?(policy = Policy.default) ?(chaos = []) (job : job) =
           line = None; error = None }
     | `Timeout ->
       count "serve.deadline_exceeded";
+      Log.warn ~event:"serve.timeout"
+        ~fields:
+          [ ("attempt", J.Int k);
+            ( "timeout_ms",
+              J.Float (Option.value policy.Policy.timeout_ms ~default:0.0) ) ]
+        ("job " ^ job.id ^ " blew its deadline");
+      ignore (Recorder.dump ~reason:"timeout" ~corr:job.id ());
       finish ~attempts:k ~outcome:Timed_out
         (error_result ~id:job.id ~level:job.level
            (Printf.sprintf "deadline exceeded (%.0f ms)"
@@ -439,7 +488,9 @@ let run_job ?cache ?(policy = Policy.default) ?(chaos = []) (job : job) =
         (error_result ~id:job.id ~level:job.level m)
     | `Retry m ->
       count "serve.retries";
-      ignore m;
+      Log.warn ~event:"serve.retry"
+        ~fields:[ ("attempt", J.Int k) ]
+        ("transient failure, retrying: " ^ m);
       Unix.sleepf (Policy.backoff_delay policy ~id:job.id ~attempt:k);
       attempt (k + 1)
   in
@@ -455,8 +506,8 @@ type summary = {
   wall_ms : float;
 }
 
-let serve ?cache ?batch ?(policy = Policy.default) ?(chaos = []) ~pool ~input
-    ~output () =
+let serve ?cache ?batch ?(policy = Policy.default) ?(chaos = []) ?stats_every
+    ?metrics_out ?(stats_sink = prerr_endline) ~pool ~input ~output () =
   let batch_size =
     match batch with
     | Some b -> max b 1
@@ -467,6 +518,48 @@ let serve ?cache ?batch ?(policy = Policy.default) ?(chaos = []) ~pool ~input
   let jobs = ref 0 and succeeded = ref 0 and failed = ref 0 in
   let timeouts = ref 0 and retried = ref 0 in
   let total = ref no_traffic in
+  let stats_every =
+    match stats_every with Some n when n > 0 -> Some n | _ -> None
+  in
+  let next_stats = ref (Option.value stats_every ~default:max_int) in
+  let write_metrics () =
+    match metrics_out with
+    | Some path -> Epre_telemetry.Exposition.write ~path
+    | None -> ()
+  in
+  (* One line on stderr every [stats_every] completed jobs: enough to
+     watch a long batch without tailing the JSONL log. All of it reads
+     the registries the jobs already feed — no extra bookkeeping in the
+     serving path. *)
+  let emit_stats () =
+    let wall_ms = Clock.elapsed_ms ~since:t0 in
+    let m = Hist.merged (Hist.handle ~name:"serve.job") in
+    let q p = float_of_int (Hist.quantile m p) /. 1e6 in
+    let hit_rate =
+      100.0
+      *. float_of_int !total.hits
+      /. float_of_int (max 1 (!total.hits + !total.misses))
+    in
+    let ps = Pool.stats pool in
+    let util ns = 100.0 *. Int64.to_float ns /. 1e6 /. Float.max 1e-6 wall_ms in
+    let per_domain =
+      String.concat "/"
+        (Array.to_list
+           (Array.map (fun b -> Printf.sprintf "%.0f" (util b)) ps.Pool.busy_ns))
+    in
+    let per_domain =
+      if per_domain = "" then Printf.sprintf "%.0f" (util ps.Pool.helper_busy_ns)
+      else per_domain
+    in
+    stats_sink
+      (Printf.sprintf
+         "stats: %d jobs, %.1f jobs/s, hit rate %.0f%%, p50 %.2f ms, p99 %.2f \
+          ms, util %s%%"
+         !jobs
+         (float_of_int !jobs /. Float.max 1e-6 (wall_ms /. 1000.0))
+         hit_rate (q 0.5) (q 0.99) per_domain);
+    write_metrics ()
+  in
   (* Next batch of non-blank lines, pre-parsed in input order, each
      carrying its 1-based physical line number for error reports. *)
   let read_batch () =
@@ -512,6 +605,12 @@ let serve ?cache ?batch ?(policy = Policy.default) ?(chaos = []) ~pool ~input
                | Pool.Done r -> r
                | Pool.Failed (e, _) ->
                  count "serve.worker_crash";
+                 Log.error ~event:"serve.worker_crash" ~corr:default_id
+                   (Printexc.to_string e);
+                 ignore
+                   (Recorder.dump
+                      ~reason:("worker-crash: " ^ Printexc.to_string e)
+                      ~corr:default_id ());
                  error_result ~id:default_id ~level:Pipeline.Partial
                    ~line:lineno ("worker crashed: " ^ Printexc.to_string e)
                | Pool.Cancelled ->
@@ -532,9 +631,19 @@ let serve ?cache ?batch ?(policy = Policy.default) ?(chaos = []) ~pool ~input
           output_char output '\n')
         results;
       flush output;
+      (match stats_every with
+      | Some every when !jobs >= !next_stats ->
+        emit_stats ();
+        (* Catch up past a large batch instead of emitting once per
+           crossed threshold. *)
+        while !jobs >= !next_stats do
+          next_stats := !next_stats + every
+        done
+      | _ -> ());
       loop ()
   in
   loop ();
+  if stats_every <> None then emit_stats () else write_metrics ();
   { jobs = !jobs; succeeded = !succeeded; failed = !failed;
     timeouts = !timeouts; retried = !retried; total = !total;
     wall_ms = Clock.elapsed_ms ~since:t0 }

@@ -36,7 +36,22 @@
     Counters (routine key ["<service>"]): [serve.ok], [serve.error],
     [serve.timeout], [serve.retried_ok], [serve.retries],
     [serve.deadline_exceeded], [serve.bad_line], [serve.worker_crash],
-    and [chaos.*] per injected fault. *)
+    and [chaos.*] per injected fault.
+
+    Observability (all off the result path — stdout results are
+    byte-identical with every sink enabled or disabled):
+    - histograms ({!Epre_telemetry.Histogram}): [serve.job] end-to-end
+      latency, [pool.queue_wait], [pool.steal], [pool.idle],
+      [cache.read], [cache.write], [cache.lock_wait], and [pass.<name>]
+      per optimization pass;
+    - structured events ({!Epre_telemetry.Log}): [serve.job],
+      [serve.retry], [serve.timeout], [serve.worker_raise],
+      [serve.worker_crash], [chaos.fire], [harness.rollback] — every
+      [serve.*] / [chaos.*] event carries the job id as its correlation
+      id ({!Epre_telemetry.Recorder.with_corr} wraps [run_job]);
+    - flight dumps ({!Epre_telemetry.Recorder.dump}): written on worker
+      exceptions, job timeouts, escaped supervision failures, worker
+      crashes, and chaos fault firings, when a recorder is configured. *)
 
 open Epre_ir
 
@@ -188,12 +203,24 @@ type summary = {
     (flushed after every batch). Blank lines are skipped; malformed lines
     produce error results carrying their input line number; a crash in
     the service layer itself is contained to that job's slot. No job is
-    ever lost or reordered. *)
+    ever lost or reordered.
+
+    [stats_every] emits a one-line progress summary to [stats_sink]
+    (default stderr) after every N completed jobs and once at the end:
+    job count, throughput, cache hit rate, p50/p99 job latency from the
+    [serve.job] histogram, and per-domain pool utilization. [metrics_out]
+    writes the full Prometheus-style exposition
+    ({!Epre_telemetry.Exposition.write}, atomic temp+rename) on each
+    stats tick and once when the input is drained. Neither touches
+    [output]. *)
 val serve :
   ?cache:Cache.t ->
   ?batch:int ->
   ?policy:Policy.t ->
   ?chaos:Epre_harness.Chaos.service_fault list ->
+  ?stats_every:int ->
+  ?metrics_out:string ->
+  ?stats_sink:(string -> unit) ->
   pool:Pool.t ->
   input:in_channel ->
   output:out_channel ->

@@ -31,6 +31,14 @@ let get ~routine ~name =
 
 let reset () = locked (fun () -> Hashtbl.reset table)
 
+(* Tests that assert on registry contents call this first instead of
+   depending on which suites ran before them; it clears the counters
+   *and* the histogram registry, which snapshot consumers treat as one
+   registry. *)
+let reset_for_testing () =
+  reset ();
+  Histogram.reset_for_testing ()
+
 type entry = { routine : string; name : string; value : int }
 
 let snapshot () =

@@ -19,6 +19,11 @@ val get : routine:string -> name:string -> int
 
 val reset : unit -> unit
 
+(** Test isolation: clear the counters {e and} the {!Histogram}
+    registry, so a test's assertions see only its own increments rather
+    than depending on global registry state left by earlier suites. *)
+val reset_for_testing : unit -> unit
+
 type entry = { routine : string; name : string; value : int }
 
 (** All counters, sorted by routine then name. *)

@@ -1,0 +1,179 @@
+(** Flight recorder: per-domain ring buffers of recent observability
+    events, dumped to a JSON post-mortem on failure. See the interface
+    for the model. *)
+
+module J = Tjson
+
+let now_ns () = Monotonic_clock.now ()
+
+type entry = {
+  ts_ns : int64;
+  domain : int;
+  kind : string;
+  level : string;
+  event : string;
+  corr : string option;
+  fields : (string * J.t) list;
+}
+
+let dummy =
+  { ts_ns = 0L; domain = 0; kind = ""; level = ""; event = ""; corr = None;
+    fields = [] }
+
+type ring = {
+  lock : Mutex.t;
+  mutable buf : entry array;  (** [[||]] until the ring's first event *)
+  mutable n : int;  (** total events ever written to this ring *)
+}
+
+type state = { dir : string; capacity : int; rings : ring array }
+
+let ring_slots = 64 (* power of two; domain ids wrap around it *)
+
+let state : state option ref = ref None
+
+(* Mirror of [state <> None], probed on hot paths (every log event and
+   span closure) without touching the option. *)
+let on = ref false
+
+let config_lock = Mutex.create ()
+
+let dump_lock = Mutex.create ()
+
+let configure ?(capacity = 256) ~dir () =
+  Mutex.lock config_lock;
+  state :=
+    Some
+      { dir; capacity = max 8 capacity;
+        rings =
+          Array.init ring_slots (fun _ ->
+              { lock = Mutex.create (); buf = [||]; n = 0 }) };
+  on := true;
+  Mutex.unlock config_lock
+
+let disable () =
+  Mutex.lock config_lock;
+  state := None;
+  on := false;
+  Mutex.unlock config_lock
+
+let enabled () = !on
+
+(* ------------------------------------------------------------------ *)
+(* Correlation context *)
+
+(* The job (or routine) id every event in the current dynamic extent
+   belongs to. Domain-local, so a pool worker carries the id of the job
+   it is executing, not of whatever the submitter is doing. *)
+let corr_key : string option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
+
+let corr () = Domain.DLS.get corr_key
+
+let with_corr id f =
+  let old = Domain.DLS.get corr_key in
+  Domain.DLS.set corr_key (Some id);
+  Fun.protect ~finally:(fun () -> Domain.DLS.set corr_key old) f
+
+(* ------------------------------------------------------------------ *)
+(* Recording *)
+
+let note ?(kind = "log") ?(level = "info") ?corr:c ?(fields = []) event =
+  match !state with
+  | None -> ()
+  | Some st ->
+    let domain = (Domain.self () :> int) in
+    let corr = match c with Some _ -> c | None -> Domain.DLS.get corr_key in
+    let e = { ts_ns = now_ns (); domain; kind; level; event; corr; fields } in
+    let r = st.rings.(domain land (ring_slots - 1)) in
+    Mutex.lock r.lock;
+    (* The ring is the only storage: the entry overwrites the slot it
+       wraps onto, so memory stays bounded at [capacity] per domain. *)
+    if Array.length r.buf = 0 then r.buf <- Array.make st.capacity dummy;
+    r.buf.(r.n mod st.capacity) <- e;
+    r.n <- r.n + 1;
+    Mutex.unlock r.lock
+
+let snapshot () =
+  match !state with
+  | None -> []
+  | Some st ->
+    let acc = ref [] in
+    Array.iter
+      (fun r ->
+        Mutex.lock r.lock;
+        let cap = Array.length r.buf in
+        if cap > 0 then begin
+          let kept = min r.n cap in
+          for i = r.n - kept to r.n - 1 do
+            acc := r.buf.(i mod cap) :: !acc
+          done
+        end;
+        Mutex.unlock r.lock)
+      st.rings;
+    List.sort
+      (fun a b ->
+        match Int64.compare a.ts_ns b.ts_ns with
+        | 0 -> compare (a.domain, a.event) (b.domain, b.event)
+        | c -> c)
+      !acc
+
+let entry_to_json e =
+  J.Obj
+    ([ ("ts_ns", J.Int (Int64.to_int e.ts_ns));
+       ("domain", J.Int e.domain);
+       ("kind", J.Str e.kind);
+       ("level", J.Str e.level);
+       ("event", J.Str e.event) ]
+    @ (match e.corr with Some c -> [ ("corr", J.Str c) ] | None -> [])
+    @ match e.fields with [] -> [] | fs -> [ ("fields", J.Obj fs) ])
+
+let mkdir_p path =
+  let rec go p =
+    if p <> "" && p <> "." && p <> "/" && not (Sys.file_exists p) then begin
+      go (Filename.dirname p);
+      try Sys.mkdir p 0o755 with Sys_error _ -> ()
+    end
+  in
+  go path
+
+let schema = "epre/flightrec/v1"
+
+let dump ~reason ?corr:c () =
+  match !state with
+  | None -> None
+  | Some st ->
+    Mutex.lock dump_lock;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock dump_lock)
+      (fun () ->
+        let pid = Unix.getpid () in
+        let doc =
+          J.Obj
+            ([ ("schema", J.Str schema);
+               ("pid", J.Int pid);
+               ("reason", J.Str reason) ]
+            @ (match c with Some id -> [ ("corr", J.Str id) ] | None -> [])
+            @ [ ("dumped_at_ns", J.Int (Int64.to_int (now_ns ())));
+                ("events", J.Arr (List.map entry_to_json (snapshot ()))) ])
+        in
+        let path =
+          Filename.concat st.dir (Printf.sprintf "flightrec-%d.json" pid)
+        in
+        try
+          mkdir_p st.dir;
+          (* Temp-write + rename under [dump_lock]: a reader (CI, a
+             human) sees either the previous dump or the whole new one,
+             and concurrent failing jobs serialize their dumps. *)
+          let tmp = path ^ ".tmp" in
+          let oc = open_out_bin tmp in
+          (try
+             output_string oc (J.to_string doc);
+             output_char oc '\n';
+             close_out oc
+           with e ->
+             close_out_noerr oc;
+             raise e);
+          Sys.rename tmp path;
+          Metrics.incr ~routine:"<service>" ~name:"flightrec.dumps";
+          Some path
+        with Sys_error _ -> None)

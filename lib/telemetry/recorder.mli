@@ -1,0 +1,76 @@
+(** The flight recorder: a per-domain ring buffer of the most recent
+    observability events (log events and span closures), dumped
+    atomically to a JSON file when something goes wrong — a worker
+    raises, a job blows its deadline, [Supervision_failed] escapes, or a
+    chaos fault fires. The dump turns a red CI run or a crashed serve
+    process into a replayable post-mortem: the last [capacity] events of
+    every domain, each stamped with a monotonic timestamp, its domain id
+    and the correlation id of the job it belonged to.
+
+    Disabled (the default) every entry point is a cheap no-op — one ref
+    probe — so the recording calls stay unconditionally wired through
+    the service. [eprec serve] enables it by default (see
+    [--flight-dir] / [--no-flight]).
+
+    Memory is bounded: each domain's ring holds at most [capacity]
+    entries and new events overwrite the oldest in place.
+
+    This module also owns the ambient {e correlation id} (domain-local
+    storage): [Epre_service.Service.run_job] wraps each job in
+    [with_corr job_id], so every event logged from that job's dynamic
+    extent — through the pool, the pipeline and the harness — carries
+    the job id without explicit threading. *)
+
+type entry = {
+  ts_ns : int64;  (** monotonic clock reading at [note] time *)
+  domain : int;  (** recording domain's id *)
+  kind : string;  (** ["log"] or ["span"] *)
+  level : string;  (** log level, or ["span"] for span closures *)
+  event : string;  (** event name / span name *)
+  corr : string option;  (** correlation id (job id), if any *)
+  fields : (string * Tjson.t) list;
+}
+
+(** Enable the recorder: dumps go to [<dir>/flightrec-<pid>.json];
+    each domain keeps its last [capacity] (default 256, min 8) events. *)
+val configure : ?capacity:int -> dir:string -> unit -> unit
+
+val disable : unit -> unit
+
+(** One ref probe; [note]/[dump] are no-ops when false. *)
+val enabled : unit -> bool
+
+(** {2 Correlation context} *)
+
+(** The current domain's correlation id, if inside [with_corr]. *)
+val corr : unit -> string option
+
+(** Run [f] with the correlation id set to [id] on this domain
+    (restored on exit, exception-safe). Events noted by [f] — and by
+    {!Log} and span closures within it — carry [id] by default. *)
+val with_corr : string -> (unit -> 'a) -> 'a
+
+(** {2 Recording and dumping} *)
+
+(** Append an event to the recording domain's ring. [corr] defaults to
+    the ambient correlation id; no-op when disabled. *)
+val note :
+  ?kind:string ->
+  ?level:string ->
+  ?corr:string ->
+  ?fields:(string * Tjson.t) list ->
+  string ->
+  unit
+
+(** Every live ring entry, merged across domains and sorted by
+    timestamp. Empty when disabled. *)
+val snapshot : unit -> entry list
+
+val entry_to_json : entry -> Tjson.t
+
+(** Write [<dir>/flightrec-<pid>.json] atomically (temp + rename,
+    serialized across domains): schema ["epre/flightrec/v1"], the
+    [reason], the triggering [corr] if given, and every ring entry.
+    Returns the path written, or [None] when disabled or the write
+    failed. Bumps the [flightrec.dumps] counter. *)
+val dump : reason:string -> ?corr:string -> unit -> string option

@@ -59,44 +59,63 @@ let with_recorder f =
 
 module Span = struct
   let with_ ?(kind = "task") ?routine ~name f =
-    match !current with
-    | None -> f ()
-    | Some rec_ ->
+    match (!current, Recorder.enabled ()) with
+    | None, false -> f ()
+    | rec_opt, flight ->
       let routine_name = Option.map (fun r -> r.Epre_ir.Routine.name) routine in
       let ir_before = Option.map measure_routine routine in
       let depth =
-        Mutex.lock rec_.lock;
-        let d = rec_.depth in
-        rec_.depth <- d + 1;
-        Mutex.unlock rec_.lock;
-        d
+        match rec_opt with
+        | None -> 0
+        | Some rec_ ->
+          Mutex.lock rec_.lock;
+          let d = rec_.depth in
+          rec_.depth <- d + 1;
+          Mutex.unlock rec_.lock;
+          d
       in
       let alloc0 = Gc.minor_words () in
       let t0 = Clock.now_ns () in
       let finish raised =
         let dur_ns = Int64.sub (Clock.now_ns ()) t0 in
         let alloc_minor_words = Gc.minor_words () -. alloc0 in
-        let finished_span =
-          {
-            name;
-            kind;
-            routine = routine_name;
-            depth;
-            start_ns = Int64.sub t0 rec_.epoch;
-            dur_ns;
-            alloc_minor_words;
-            ir_before;
-            ir_after = Option.map measure_routine routine;
-            raised;
-          }
-        in
-        Mutex.lock rec_.lock;
-        (* Restore the open-time depth rather than decrementing: an
-           exception that escaped several nested spans still leaves the
-           recorder balanced once the outermost one closes. *)
-        rec_.depth <- depth;
-        rec_.finished <- finished_span :: rec_.finished;
-        Mutex.unlock rec_.lock
+        (match rec_opt with
+        | None -> ()
+        | Some rec_ ->
+          let finished_span =
+            {
+              name;
+              kind;
+              routine = routine_name;
+              depth;
+              start_ns = Int64.sub t0 rec_.epoch;
+              dur_ns;
+              alloc_minor_words;
+              ir_before;
+              ir_after = Option.map measure_routine routine;
+              raised;
+            }
+          in
+          Mutex.lock rec_.lock;
+          (* Restore the open-time depth rather than decrementing: an
+             exception that escaped several nested spans still leaves the
+             recorder balanced once the outermost one closes. *)
+          rec_.depth <- depth;
+          rec_.finished <- finished_span :: rec_.finished;
+          Mutex.unlock rec_.lock);
+        (* Span closures also feed the flight recorder's ring, so a
+           post-mortem shows what each domain was computing — not just
+           what it logged — in the run-up to the failure. *)
+        if flight then
+          Recorder.note ~kind:"span" ~level:"span"
+            ~fields:
+              ([ ("kind", Tjson.Str kind);
+                 ("dur_ns", Tjson.Int (Int64.to_int dur_ns)) ]
+              @ (match routine_name with
+                | Some r -> [ ("routine", Tjson.Str r) ]
+                | None -> [])
+              @ if raised then [ ("raised", Tjson.Bool true) ] else [])
+            name
       in
       (match f () with
       | v ->

@@ -75,10 +75,14 @@ val spans : recorder -> span list
 val with_recorder : (recorder -> 'a) -> 'a
 
 module Span : sig
-  (** [with_ ~name f] runs [f ()] inside a span. No-op (beyond one ref
-      probe) when no recorder is installed. [routine] enables the IR size
-      delta and stamps the span with the routine's name. The span closes
-      and is recorded even when [f] raises. *)
+  (** [with_ ~name f] runs [f ()] inside a span. No-op (beyond two ref
+      probes) when no recorder is installed and the flight recorder
+      ({!Recorder}) is disabled. [routine] enables the IR size delta and
+      stamps the span with the routine's name. The span closes and is
+      recorded even when [f] raises. With the flight recorder enabled,
+      every span closure is also noted into its ring (kind ["span"],
+      with duration and the ambient correlation id) — even when no trace
+      recorder is installed. *)
   val with_ :
     ?kind:string -> ?routine:Epre_ir.Routine.t -> name:string -> (unit -> 'a) -> 'a
 end

@@ -33,5 +33,6 @@ let () =
       ("verify", Test_verify.suite);
       ("harness", Test_harness.suite);
       ("telemetry", Test_telemetry.suite);
+      ("observability", Test_observability.suite);
       ("service", Test_service.suite);
     ]

@@ -212,7 +212,7 @@ let test_ir_size_deltas () =
 (* Counters registry                                                   *)
 
 let test_counters_accumulate () =
-  Metrics.reset ();
+  Metrics.reset_for_testing ();
   Metrics.add ~routine:"a" ~name:"widgets" 2;
   Metrics.add ~routine:"a" ~name:"widgets" 3;
   Metrics.incr ~routine:"b" ~name:"widgets";
@@ -225,11 +225,11 @@ let test_counters_accumulate () =
   Alcotest.(check bool) "sorted by routine then name" true
     (List.map (fun e -> (e.Metrics.routine, e.Metrics.name)) snap
     = [ ("a", "gadgets"); ("a", "widgets"); ("b", "widgets") ]);
-  Metrics.reset ();
+  Metrics.reset_for_testing ();
   Alcotest.(check int) "reset" 0 (List.length (Metrics.snapshot ()))
 
 let test_pipeline_fills_registry () =
-  Metrics.reset ();
+  Metrics.reset_for_testing ();
   let prog =
     Helpers.compile
       {|
@@ -259,7 +259,7 @@ fn main(): int { var a: int = f(3); var b: int = f(5); return a + b; }
          match Tjson.parse line with
          | Ok (Tjson.Obj _) -> ()
          | Ok _ | Error _ -> Alcotest.failf "bad metrics JSONL line %S" line);
-  Metrics.reset ()
+  Metrics.reset_for_testing ()
 
 (* ------------------------------------------------------------------ *)
 (* Harness timing and stats JSON                                       *)
