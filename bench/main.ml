@@ -729,7 +729,8 @@ let run_soak ~small () =
     (summary, wall_ms, rows)
   in
   let policy =
-    { Service.Policy.timeout_ms = Some 300.0; retries = 2; backoff_ms = 1.0 }
+    { Service.Policy.timeout_ms = Some 300.0; retries = 2; backoff_ms = 1.0;
+      degrade = false }
   in
   (* Undisturbed serial reference: the byte-identity baseline. *)
   let _, ref_ms, reference =
@@ -789,7 +790,11 @@ let run_soak ~small () =
           assert (timeout > 0 && error = 0 && ok + timeout = total)
         | Chaos.Cache_corrupt | Chaos.Cache_lock_hold ->
           (* Absorbed invisibly: poison recovery / lock waiting. *)
-          assert (error = 0 && timeout = 0 && ok = total));
+          assert (error = 0 && timeout = 0 && ok = total)
+        | Chaos.Kill_self | Chaos.Pass_poison ->
+          (* Exercised by their dedicated classes below, not the generic
+             per-fault loop. *)
+          assert false);
         ignore summary;
         J.Obj
           [ ("fault", J.Str name);
@@ -806,8 +811,163 @@ let run_soak ~small () =
             ("latency_p50_ms", J.Float p50);
             ("latency_p90_ms", J.Float p90);
             ("latency_p99_ms", J.Float p99) ])
-      Chaos.all_service_faults
+      [ Chaos.Worker_raise; Chaos.Slow_job; Chaos.Cache_corrupt;
+        Chaos.Cache_lock_hold ]
   in
+  (* Crash-safety class: a serve killed mid-batch by chaos:kill-self,
+     resumed from its journal; killed output ++ resumed output must equal
+     the undisturbed reference on the (id, ok, outcome, iloc) view — zero
+     jobs lost, zero duplicated. *)
+  let kill_resume_row =
+    let batch = 32 in
+    (* A seed that deterministically spares the first batch and kills a
+       later one, so the crash happens with output already streamed. *)
+    let fires_in lo hi s =
+      let rec go i =
+        i <= hi
+        && (Chaos.fires ~seed:s Chaos.Kill_self
+              ~key:(Printf.sprintf "job-%d" i)
+           || go (i + 1))
+      in
+      go lo
+    in
+    let seed =
+      let rec find s =
+        if s > 100_000 then failwith "no kill-self seed found"
+        else if (not (fires_in 1 batch s)) && fires_in (batch + 1) total s
+        then s
+        else find (s + 1)
+      in
+      find 1
+    in
+    let dir = fresh_dir "kill" in
+    let jpath = Filename.concat dir "journal.jsonl" in
+    let out_path = Filename.temp_file "eprec-soak" ".out" in
+    let run ~chaos ~resume () =
+      let cache = Epre_service.Cache.create ~dir () in
+      let journal = Epre_service.Journal.open_ ~path:jpath in
+      let ic = open_in_bin jobs_path
+      and out =
+        open_out_gen [ Open_append; Open_creat; Open_binary ] 0o644 out_path
+      in
+      let res =
+        match
+          Pool.with_pool ~jobs:1 (fun pool ->
+              Service.serve ~cache ~batch ~policy ~chaos ~journal ~resume
+                ~pool ~input:ic ~output:out ())
+        with
+        | s -> Ok s
+        | exception Service.Killed -> Error `Killed
+      in
+      close_in_noerr ic;
+      close_out_noerr out;
+      Epre_service.Journal.close journal;
+      res
+    in
+    let saved_seed = !Chaos.default_seed in
+    Chaos.default_seed := seed;
+    let killed = run ~chaos:[ Chaos.Kill_self ] ~resume:false () in
+    Chaos.default_seed := saved_seed;
+    assert (killed = Error `Killed);
+    let emitted = List.length (parse_results out_path) in
+    assert (emitted > 0 && emitted < total);
+    let resumed =
+      match run ~chaos:[] ~resume:true () with
+      | Ok s -> s
+      | Error `Killed -> failwith "resume run must complete"
+    in
+    let merged = parse_results out_path in
+    Sys.remove out_path;
+    let view r = (r.sk_id, r.sk_ok, r.sk_outcome, r.sk_iloc) in
+    let matches = List.map view merged = List.map view reference in
+    Printf.printf
+      "%-22s killed after %d, replayed %d, resumed %d | merged==reference \
+       %b\n"
+      "chaos:kill-self" emitted resumed.Service.replayed
+      resumed.Service.jobs matches;
+    assert matches;
+    assert (resumed.Service.replayed = emitted);
+    assert (resumed.Service.jobs = total - emitted);
+    assert (resumed.Service.failed = 0);
+    J.Obj
+      [ ("fault", J.Str "chaos:kill-self");
+        ("killed_after", J.Int emitted);
+        ("replayed", J.Int resumed.Service.replayed);
+        ("resumed", J.Int resumed.Service.jobs);
+        ("merged_matches_reference", J.Bool matches) ]
+  in
+  (* Degradation class: chaos:pass-poison deterministically breaks one
+     pass; with the ladder and circuit breakers every job must still be
+     served (degraded, never failed), and the process never exits. *)
+  let pass_poison_row =
+    let requested =
+      let target = Option.get (Service.poisoned_pass ()) in
+      List.find
+        (fun l -> List.mem target (Epre.Pipeline.level_stages ~level:l))
+        Epre.Pipeline.all_levels
+    in
+    let pj_path = Filename.temp_file "eprec-soak" ".jobs" in
+    let oc = open_out_bin pj_path in
+    List.iteri
+      (fun i rank ->
+        output_string oc
+          (J.to_string
+             (J.Obj
+                [ ("id", J.Str (Printf.sprintf "job-%d" (i + 1)));
+                  ("level",
+                   J.Str (Epre.Pipeline.level_to_string requested));
+                  ("iloc", J.Str corpus.(rank)) ]));
+        output_char oc '\n')
+      ranks;
+    close_out oc;
+    let dir = fresh_dir "poison" in
+    let cache = Epre_service.Cache.create ~dir () in
+    let breaker = Epre_service.Breaker.create () in
+    let out_path = Filename.temp_file "eprec-soak" ".out" in
+    let ic = open_in_bin pj_path and out = open_out_bin out_path in
+    let summary =
+      Pool.with_pool ~jobs:workers (fun pool ->
+          Service.serve ~cache
+            ~policy:{ policy with Service.Policy.degrade = true }
+            ~chaos:[ Chaos.Pass_poison ] ~breaker ~pool ~input:ic
+            ~output:out ())
+    in
+    close_in_noerr ic;
+    close_out_noerr out;
+    let rows = parse_results out_path in
+    Sys.remove out_path;
+    Sys.remove pj_path;
+    let lost = total - List.length rows in
+    let tally o =
+      List.length (List.filter (fun r -> r.sk_outcome = o) rows)
+    in
+    let degraded = tally "degraded" and error = tally "error" in
+    let completed = List.for_all (fun r -> r.sk_ok) rows in
+    Printf.printf
+      "%-22s lost %d, degraded %d/%d, error %d | 100%% completion %b \
+       (breakers: %s)\n"
+      "chaos:pass-poison" lost degraded total error completed
+      (String.concat ", "
+         (List.map
+            (fun (p, s) -> p ^ "=" ^ s)
+            (Epre_service.Breaker.snapshot breaker)));
+    assert (lost = 0);
+    assert completed;
+    assert (error = 0);
+    assert (degraded > 0);
+    assert (summary.Service.failed = 0);
+    J.Obj
+      [ ("fault", J.Str "chaos:pass-poison");
+        ("requested_level",
+         J.Str (Epre.Pipeline.level_to_string requested));
+        ("lost", J.Int lost);
+        ("degraded", J.Int degraded);
+        ("error", J.Int error);
+        ("degraded_rate",
+         J.Float (float_of_int degraded /. float_of_int total));
+        ("completion", J.Bool completed) ]
+  in
+  let class_rows = class_rows @ [ kill_resume_row; pass_poison_row ] in
   Sys.remove jobs_path;
   let json =
     J.Obj
@@ -816,7 +976,10 @@ let run_soak ~small () =
                         fault class, serial and parallel; asserts zero \
                         lost jobs, input order, serial/parallel report \
                         identity and reference byte-identity of \
-                        successful outputs");
+                        successful outputs; plus a kill/resume crash \
+                        drill (journal replay merges byte-identically) \
+                        and a pass-poison degradation class (breakers + \
+                        ladder keep 100% completion)");
         ("small", J.Bool small);
         ("workers", J.Int workers);
         ("distinct_programs", J.Int distinct);

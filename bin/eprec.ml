@@ -908,7 +908,10 @@ let serve_cmd =
       `P
         "Results carry per-job cache traffic, wall latency \
          ($(b,latency_ms)), the attempt count and an $(b,outcome) of \
-         $(b,ok), $(b,error), $(b,timeout) or $(b,retried_ok); a \
+         $(b,ok), $(b,error), $(b,timeout), $(b,retried_ok), \
+         $(b,degraded) (served at a lower level than requested — the \
+         result also reports $(b,requested) and any $(b,excised) passes) \
+         or $(b,shed) (rejected by admission control); a \
          malformed job line yields an in-order $(b,ok:false) result with \
          its input line number instead of killing the server. The cache \
          lives in $(b,--cache-dir) (default $(b,\\$EPREC_CACHE_DIR), else \
@@ -922,11 +925,34 @@ let serve_cmd =
         "Fault tolerance: $(b,--timeout-ms) cancels a job attempt at its \
          next pass boundary, $(b,--retries) grants extra attempts to \
          transient failures (with jittered exponential backoff from \
-         $(b,--backoff-ms)); deterministic failures are never retried. \
-         $(b,--chaos) injects service faults (repeatable; \
-         $(b,chaos:worker-raise), $(b,chaos:slow-job), \
-         $(b,chaos:cache-corrupt), $(b,chaos:cache-lock-hold)) keyed \
+         $(b,--backoff-ms)); deterministic failures are never retried — \
+         instead the degradation ladder re-attempts them at successively \
+         lower optimization levels down to baseline ($(b,--no-degrade) \
+         disables), validating every degraded result against the \
+         unoptimized program before serving it. Per-pass circuit \
+         breakers ($(b,--breaker-threshold) consecutive failures open \
+         one; a half-open probe runs after $(b,--breaker-probe-after) \
+         skipped executions) excise a deterministically-failing pass \
+         from subsequent pipelines so one poisoned pass degrades service \
+         instead of failing every job. $(b,--chaos) injects service \
+         faults (repeatable; $(b,chaos:worker-raise), $(b,chaos:slow-job), \
+         $(b,chaos:cache-corrupt), $(b,chaos:cache-lock-hold), \
+         $(b,chaos:kill-self), $(b,chaos:pass-poison)) keyed \
          deterministically on job ids, for drills and soak tests.";
+      `P
+        "Crash safety: with a cache directory, every job's lifecycle is \
+         journaled to $(b,<cache-dir>/journal.jsonl) — an fsync'd \
+         append-only WAL. If the server is killed mid-batch, restarting \
+         it with $(b,--resume) on the same input skips jobs whose result \
+         lines provably reached the output (they produce no line on the \
+         resumed run) and re-runs in-flight ones exactly once, so \
+         concatenating the killed run's output with the resumed run's \
+         yields the complete batch byte-identically. \
+         Overload: $(b,--max-pending) bounds the pending queue; under \
+         $(b,--shed-policy=block) (default) the reader simply stops \
+         consuming stdin (backpressure), under $(b,reject) a saturated \
+         queue deterministically sheds the next jobs as \
+         $(b,outcome:shed) result lines.";
       `P
         "Observability: every job carries its id as a correlation id \
          through the structured event log — $(b,--log-level) mirrors \
@@ -941,7 +967,14 @@ let serve_cmd =
          them to $(b,--flight-dir)/flightrec-<pid>.json for \
          post-mortems ($(b,--no-flight) disables). None of this touches \
          stdout: results are byte-identical with every sink on or off.";
-      `P "Exit status: 1 when any job failed." ]
+      `S "EXIT STATUS";
+      `P
+        "$(b,0) every job served at its requested level; $(b,1) at least \
+         one job failed; $(b,2) fatal error (bad usage, unknown fault, \
+         $(b,--resume) without a cache); $(b,4) all jobs completed but \
+         some were degraded or shed. Under $(b,chaos:kill-self) the \
+         server kills itself with $(b,SIGKILL) (exit 137) after \
+         journaling the in-flight batch." ]
   in
   let input_arg =
     Arg.(
@@ -1011,7 +1044,73 @@ let serve_cmd =
           ~doc:
             "Inject a service fault class (repeatable): \
              $(b,chaos:worker-raise), $(b,chaos:slow-job), \
-             $(b,chaos:cache-corrupt), $(b,chaos:cache-lock-hold).")
+             $(b,chaos:cache-corrupt), $(b,chaos:cache-lock-hold), \
+             $(b,chaos:kill-self), $(b,chaos:pass-poison).")
+  in
+  let resume_arg =
+    Arg.(
+      value & flag
+      & info [ "resume" ]
+          ~doc:
+            "Resume a killed batch: jobs the journal proves were already \
+             emitted produce no line, the rest re-run. Requires a cache \
+             directory (the journal lives at \
+             $(b,<cache-dir>/journal.jsonl)).")
+  in
+  let max_pending_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-pending" ] ~docv:"N"
+          ~doc:
+            "Bound the pending-job queue at N (default unbounded): stdin \
+             is only consumed while the queue is below the bound.")
+  in
+  let shed_policy_arg =
+    Arg.(
+      value
+      & opt (enum [ ("block", `Block); ("reject", `Reject) ]) `Block
+      & info [ "shed-policy" ] ~docv:"POLICY"
+          ~doc:
+            "What a saturated queue does to new jobs: $(b,block) \
+             (default) stops reading input until it drains below the low \
+             watermark; $(b,reject) shed them deterministically as \
+             $(b,outcome:shed) result lines.")
+  in
+  let cache_sweep_age_arg =
+    Arg.(
+      value & opt float 60.0
+      & info [ "cache-sweep-age-s" ] ~docv:"S"
+          ~doc:
+            "Age in seconds before an orphaned cache temp file is swept \
+             on startup; files whose writer still holds its advisory \
+             lock are spared regardless.")
+  in
+  let breaker_threshold_arg =
+    Arg.(
+      value & opt int 3
+      & info [ "breaker-threshold" ] ~docv:"N"
+          ~doc:
+            "Consecutive failures attributed to one pass before its \
+             circuit breaker opens and the pass is excised from \
+             subsequent pipelines.")
+  in
+  let breaker_probe_after_arg =
+    Arg.(
+      value & opt int 8
+      & info [ "breaker-probe-after" ] ~docv:"N"
+          ~doc:
+            "Pipeline executions skipped by an open breaker before a \
+             half-open probe re-runs the pass once.")
+  in
+  let no_degrade_arg =
+    Arg.(
+      value & flag
+      & info [ "no-degrade" ]
+          ~doc:
+            "Disable the graceful-degradation ladder: terminal failures \
+             are reported as-is instead of being re-attempted at lower \
+             optimization levels.")
   in
   let log_level_arg =
     let level_conv =
@@ -1072,8 +1171,9 @@ let serve_cmd =
     Arg.(value & flag & info [ "no-flight" ] ~doc:"Disable the flight recorder.")
   in
   let run input jobs cache_dir no_cache batch cache_max_bytes timeout_ms
-      retries backoff_ms chaos_names chaos_seed log_level log_out stats_every
-      metrics_out flight_dir no_flight tel =
+      retries backoff_ms chaos_names chaos_seed resume max_pending shed_policy
+      cache_sweep_age_s breaker_threshold breaker_probe_after no_degrade
+      log_level log_out stats_every metrics_out flight_dir no_flight tel =
     (match chaos_seed with
     | Some s -> Epre_harness.Chaos.default_seed := s
     | None -> ());
@@ -1089,17 +1189,36 @@ let serve_cmd =
     in
     let policy =
       { Epre_service.Service.Policy.timeout_ms; retries = max 0 retries;
-        backoff_ms = Float.max 0.0 backoff_ms }
+        backoff_ms = Float.max 0.0 backoff_ms; degrade = not no_degrade }
     in
     let cache =
       if no_cache then None
       else
         Some
           (Epre_service.Cache.create ?max_bytes:cache_max_bytes
+             ~sweep_age_s:cache_sweep_age_s
              ~dir:
                (Option.value cache_dir
                   ~default:(Epre_service.Cache.default_dir ()))
              ())
+    in
+    let journal =
+      match cache with
+      | Some c ->
+        Some
+          (Epre_service.Journal.open_
+             ~path:(Filename.concat (Epre_service.Cache.dir c) "journal.jsonl"))
+      | None ->
+        if resume then begin
+          Fmt.epr "serve: --resume needs the journal, which lives in the \
+                   cache directory; drop --no-cache@.";
+          exit 2
+        end;
+        None
+    in
+    let breaker =
+      Epre_service.Breaker.create ~threshold:breaker_threshold
+        ~probe_after:breaker_probe_after ()
     in
     let ic = match input with None -> stdin | Some f -> open_in f in
     (match log_level with
@@ -1111,37 +1230,58 @@ let serve_cmd =
     if not no_flight then Epre_telemetry.Recorder.configure ~dir:flight_dir ();
     let close () =
       if input <> None then close_in_noerr ic;
+      Option.iter Epre_service.Journal.close journal;
       Epre_telemetry.Log.close_file ();
       Epre_telemetry.Recorder.disable ()
     in
     let summary =
-      Fun.protect ~finally:close (fun () ->
-          with_telemetry tel (fun () ->
-              Epre_service.Pool.with_pool ~jobs:(effective_jobs jobs)
-                (fun pool ->
-                  Epre_service.Service.serve ?cache ?batch ~policy ~chaos
-                    ?stats_every ?metrics_out ~pool ~input:ic ~output:stdout
-                    ())))
+      match
+        Fun.protect ~finally:close (fun () ->
+            with_telemetry tel (fun () ->
+                Epre_service.Pool.with_pool ~jobs:(effective_jobs jobs)
+                  (fun pool ->
+                    Epre_service.Service.serve ?cache ?batch ~policy ~chaos
+                      ?stats_every ?metrics_out ?journal ~resume ~breaker
+                      ?max_pending ~shed_policy ~pool ~input:ic ~output:stdout
+                      ())))
+      with
+      | summary -> summary
+      | exception Epre_service.Service.Killed ->
+        (* chaos:kill-self — make the drill real: flushed output and the
+           journal survive, then the process dies exactly as a crashed
+           server would (exit 137). *)
+        flush stdout;
+        flush stderr;
+        Unix.kill (Unix.getpid ()) Sys.sigkill;
+        assert false
     in
     emit_metrics tel [];
     Fmt.epr
-      "serve: %d job(s), %d ok (%d retried), %d failed (%d timeout), %d \
-       hit(s), %d miss(es), %.1f ms@."
+      "serve: %d job(s), %d ok (%d retried, %d degraded), %d failed (%d \
+       timeout), %d shed, %d replayed, %d hit(s), %d miss(es), %.1f ms@."
       summary.Epre_service.Service.jobs summary.Epre_service.Service.succeeded
-      summary.Epre_service.Service.retried summary.Epre_service.Service.failed
-      summary.Epre_service.Service.timeouts
+      summary.Epre_service.Service.retried
+      summary.Epre_service.Service.degraded
+      summary.Epre_service.Service.failed summary.Epre_service.Service.timeouts
+      summary.Epre_service.Service.shed summary.Epre_service.Service.replayed
       summary.Epre_service.Service.total.Epre_service.Service.hits
       summary.Epre_service.Service.total.Epre_service.Service.misses
       summary.Epre_service.Service.wall_ms;
     if summary.Epre_service.Service.failed > 0 then exit 1
+    else if
+      summary.Epre_service.Service.degraded > 0
+      || summary.Epre_service.Service.shed > 0
+    then exit 4
   in
   Cmd.v (Cmd.info "serve" ~doc ~man)
     Term.(
       const run $ input_arg $ jobs_arg $ cache_dir_arg $ no_cache_arg
       $ batch_arg $ cache_max_bytes_arg $ timeout_arg $ retries_arg
-      $ backoff_arg $ serve_chaos_arg $ chaos_seed_arg $ log_level_arg
-      $ log_out_arg $ stats_every_arg $ metrics_out_arg $ flight_dir_arg
-      $ no_flight_arg $ telemetry_term)
+      $ backoff_arg $ serve_chaos_arg $ chaos_seed_arg $ resume_arg
+      $ max_pending_arg $ shed_policy_arg $ cache_sweep_age_arg
+      $ breaker_threshold_arg $ breaker_probe_after_arg $ no_degrade_arg
+      $ log_level_arg $ log_out_arg $ stats_every_arg $ metrics_out_arg
+      $ flight_dir_arg $ no_flight_arg $ telemetry_term)
 
 let workloads_cmd =
   let doc = "list the built-in workload suite, or differentially check it" in

@@ -118,6 +118,17 @@ let level_passes ~level =
   let shared = fresh_acc () in
   level_passes_into ~level ~acc_for:(fun _ -> shared)
 
+let level_stages ~level =
+  List.map (fun p -> p.Epre_harness.Harness.pass_name) (level_passes ~level)
+
+(* The next rung down the degradation ladder: each level is a strict
+   extension of the previous, so stepping down only removes passes. *)
+let lower = function
+  | Distribution -> Some Reassociation
+  | Reassociation -> Some Partial
+  | Partial -> Some Baseline
+  | Baseline -> None
+
 (* Funnel the per-routine record into the generic counters registry, so
    the CLI's --metrics=json, CI and the bench baseline read pipeline
    results and pass-private counters through one interface. *)
@@ -260,10 +271,10 @@ let fingerprint ~level =
   Printf.sprintf "epre-pipeline-v1|%s|%s" (level_to_string level)
     (String.concat "," stages)
 
-let optimize_routine ?(hooks = no_hooks) ?(poll = fun () -> ()) ~level
-    (r : Routine.t) =
+let optimize_routine ?(hooks = no_hooks) ?(poll = fun () -> ())
+    ?(wrap = fun passes -> passes) ~level (r : Routine.t) =
   let acc = fresh_acc () in
-  let passes = level_passes_into ~level ~acc_for:(fun _ -> acc) in
+  let passes = wrap (level_passes_into ~level ~acc_for:(fun _ -> acc)) in
   Epre_telemetry.Telemetry.Span.with_ ~kind:"routine" ~routine:r
     ~name:r.Routine.name (fun () ->
       List.iter

@@ -88,6 +88,17 @@ val reassoc_config : distribute:bool -> Epre_reassoc.Expr_tree.config
     use [optimize]/[optimize_supervised] to collect them. *)
 val level_passes : level:level -> Epre_harness.Harness.named_pass list
 
+(** Just the stage names of a level's sequence, in pass order — what the
+    compile service's circuit breakers match opened passes against. *)
+val level_stages : level:level -> string list
+
+(** The next rung down the degradation ladder ([Distribution] →
+    [Reassociation] → [Partial] → [Baseline] → [None]). Each level is a
+    strict extension of the one below, so stepping down only removes
+    passes — the compile service re-attempts failing jobs down this
+    chain. *)
+val lower : level -> level option
+
 (** Insert a pass at a 0-based position (clamped to the sequence). *)
 val splice :
   Epre_harness.Harness.named_pass list ->
@@ -98,9 +109,19 @@ val splice :
 (** Optimize one routine in place. [poll] is called before every pass and
     may raise to abandon the remaining passes (the compile service's
     deadline enforcement): the routine is then left at a pass boundary,
-    never mid-transformation. *)
+    never mid-transformation. [wrap] transforms the level's pass list
+    before it runs (default: identity) — the compile service uses it to
+    excise breaker-opened passes and to attribute per-pass failures;
+    wrapped passes must keep their [pass_name]s for spans and histograms
+    to stay meaningful. *)
 val optimize_routine :
-  ?hooks:hooks -> ?poll:(unit -> unit) -> level:level -> Routine.t -> routine_stats
+  ?hooks:hooks ->
+  ?poll:(unit -> unit) ->
+  ?wrap:
+    (Epre_harness.Harness.named_pass list -> Epre_harness.Harness.named_pass list) ->
+  level:level ->
+  Routine.t ->
+  routine_stats
 
 (** Optimize a whole program in place; per-routine statistics. *)
 val optimize : ?hooks:hooks -> level:level -> Program.t -> routine_stats list

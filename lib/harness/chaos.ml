@@ -147,22 +147,33 @@ let named_passes () =
 (* ------------------------------------------------------------------ *)
 (* Service-layer faults *)
 
-type service_fault = Worker_raise | Slow_job | Cache_corrupt | Cache_lock_hold
+type service_fault =
+  | Worker_raise
+  | Slow_job
+  | Cache_corrupt
+  | Cache_lock_hold
+  | Kill_self
+  | Pass_poison
 
 exception Injected of string
+exception Pass_poisoned of string
 
 let () =
   Printexc.register_printer (function
     | Injected m -> Some ("injected fault: " ^ m)
+    | Pass_poisoned p -> Some ("poisoned pass: " ^ p)
     | _ -> None)
 
-let all_service_faults = [ Worker_raise; Slow_job; Cache_corrupt; Cache_lock_hold ]
+let all_service_faults =
+  [ Worker_raise; Slow_job; Cache_corrupt; Cache_lock_hold; Kill_self; Pass_poison ]
 
 let service_name = function
   | Worker_raise -> "chaos:worker-raise"
   | Slow_job -> "chaos:slow-job"
   | Cache_corrupt -> "chaos:cache-corrupt"
   | Cache_lock_hold -> "chaos:cache-lock-hold"
+  | Kill_self -> "chaos:kill-self"
+  | Pass_poison -> "chaos:pass-poison"
 
 let service_description = function
   | Worker_raise ->
@@ -176,19 +187,40 @@ let service_description = function
   | Cache_lock_hold ->
     "chaos: hold the cross-process cache write lock (absorbed by lock \
      waiting)"
+  | Kill_self ->
+    "chaos: abort the serve process at a journal-consistent batch boundary \
+     (absorbed by --resume)"
+  | Pass_poison ->
+    "chaos: make one optimization pass fail deterministically on every job \
+     (absorbed by the degradation ladder and circuit breakers)"
 
 let service_fault_of_name n =
   List.find_opt (fun f -> service_name f = n) all_service_faults
 
 (* Per-fault firing probability, in per-mille. High enough that a small
    soak batch sees every class fire, low enough that unfired jobs exist
-   to pin the happy path. *)
+   to pin the happy path. [Kill_self] is rarer: one firing job is enough
+   to take the whole process down, and the drill wants it mid-stream, not
+   on the first batch. [Pass_poison] is unconditional: the point is a
+   *deterministic* failure that retries cannot absorb. *)
 let fire_rate = function
   | Worker_raise -> 500
   | Slow_job -> 350
   | Cache_corrupt -> 350
   | Cache_lock_hold -> 350
+  | Kill_self -> 80
+  | Pass_poison -> 1000
 
 let fires ?seed fault ~key =
   let seed = match seed with Some s -> s | None -> !default_seed in
   Hashtbl.hash (seed, service_name fault, key) mod 1000 < fire_rate fault
+
+let poison_target ?seed ~candidates () =
+  match candidates with
+  | [] -> None
+  | _ ->
+    let seed = match seed with Some s -> s | None -> !default_seed in
+    let i =
+      Hashtbl.hash (seed, service_name Pass_poison) mod List.length candidates
+    in
+    List.nth_opt candidates i

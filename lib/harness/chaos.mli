@@ -54,12 +54,25 @@ val named_passes : unit -> Harness.named_pass list
     [(seed, fault, key)] — chaos traffic is replayable, and a serial and a
     parallel run over the same jobs inject exactly the same faults. *)
 
-type service_fault = Worker_raise | Slow_job | Cache_corrupt | Cache_lock_hold
+type service_fault =
+  | Worker_raise
+  | Slow_job
+  | Cache_corrupt
+  | Cache_lock_hold
+  | Kill_self  (** abort serve at a journal-consistent batch boundary *)
+  | Pass_poison  (** one pass fails deterministically on every job *)
 
 (** The transient exception [Worker_raise] plants inside a job worker —
     the canonical retryable failure ([Epre_service]'s classifier treats it
     like infrastructure flakiness). *)
 exception Injected of string
+
+(** The exception [Pass_poison] plants inside the poisoned pass. Unlike
+    {!Injected} it is classified as {e permanent}: a deterministic pass
+    failure recurs on every attempt, so burning the retry budget on it is
+    pointless — the degradation ladder and circuit breakers absorb it
+    instead. Carries the poisoned pass name. *)
+exception Pass_poisoned of string
 
 val all_service_faults : service_fault list
 
@@ -72,5 +85,14 @@ val service_fault_of_name : string -> service_fault option
 
 (** [fires fault ~key] decides deterministically whether [fault] strikes
     the job identified by [key] (hash of seed, fault and key against a
-    per-fault rate). Defaults to [!default_seed]. *)
+    per-fault rate). Defaults to [!default_seed]. [Pass_poison] fires for
+    every key — a deterministic failure is the point — and which pass it
+    poisons comes from {!poison_target}. *)
 val fires : ?seed:int -> service_fault -> key:string -> bool
+
+(** [poison_target ~candidates ()] picks the pass [Pass_poison] breaks —
+    one deterministic choice per seed from [candidates], [None] when the
+    list is empty. The service restricts candidates to passes absent from
+    the [-O0] pipeline so the degradation floor always survives. Defaults
+    to [!default_seed]. *)
+val poison_target : ?seed:int -> candidates:string list -> unit -> string option

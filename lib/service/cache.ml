@@ -16,6 +16,7 @@ type t = {
   dir : string;
   max_entries : int;
   max_bytes : int option;
+  sweep_age_s : float;
   lock : Mutex.t;
   mutable lock_fd : Unix.file_descr option;
       (** cross-process write lock on [<dir>/.lock]; opened on first use
@@ -85,28 +86,56 @@ let entry_count t = List.length (scan_entries t)
 let byte_count t =
   List.fold_left (fun acc (_, _, sz) -> acc + sz) 0 (scan_entries t)
 
+(* A writer that is still alive holds an [lockf] region lock on its temp
+   file (taken in [store]). [F_TEST] from another process reports it as
+   held, so the sweeper can spare it even when the file is older than the
+   age cutoff (e.g. a writer stalled on a slow disk). EACCES/EAGAIN both
+   mean "held" depending on the platform. NB: this must only ever be
+   called on files that failed the age check — opening and closing an fd
+   on a path this process is itself writing would drop our own locks
+   (POSIX lockf semantics), but our own in-flight temp files are
+   milliseconds old and never reach the lock test. *)
+let locked_elsewhere p =
+  match Unix.openfile p [ Unix.O_RDWR; Unix.O_CLOEXEC ] 0 with
+  | exception Unix.Unix_error _ -> false
+  | fd ->
+    Fun.protect
+      ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+      (fun () ->
+        match Unix.lockf fd Unix.F_TEST 0 with
+        | () -> false
+        | exception Unix.Unix_error ((Unix.EACCES | Unix.EAGAIN), _, _) -> true
+        | exception Unix.Unix_error _ -> false)
+
 (* Crash recovery: a writer that died between open_temp_file and rename
    leaves an orphaned entry*.tmp behind. Sweep only files older than
-   [max_age_s] — in-flight temp files of a live concurrent process are
-   milliseconds old and must survive the sweep. *)
-let sweep_temp ?(max_age_s = 60.0) t =
+   [max_age_s] (defaulting to the cache's [sweep_age_s]) — in-flight temp
+   files of a live concurrent process are milliseconds old and must
+   survive the sweep — and even past the cutoff, spare files whose writer
+   still holds its [lockf] lock (alive but slow). *)
+let sweep_temp ?max_age_s t =
+  let max_age_s = match max_age_s with Some a -> a | None -> t.sweep_age_s in
   let cutoff = Unix.gettimeofday () -. max_age_s in
   let swept = ref 0 in
   iter_shard_files t (fun p ->
       if Filename.check_suffix p ".tmp" then
         match Unix.stat p with
         | st when st.Unix.st_mtime <= cutoff ->
-          remove_quietly p;
-          count "cache.tmp_swept";
-          incr swept
+          if locked_elsewhere p then count "cache.tmp_spared"
+          else begin
+            remove_quietly p;
+            count "cache.tmp_swept";
+            incr swept
+          end
         | _ -> ()
         | exception Unix.Unix_error _ -> ());
   !swept
 
-let create ?(max_entries = 65536) ?max_bytes ~dir () =
+let create ?(max_entries = 65536) ?max_bytes ?(sweep_age_s = 60.0) ~dir () =
   let t =
     { dir; max_entries = max max_entries 1;
       max_bytes = Option.map (fun b -> max b 1) max_bytes;
+      sweep_age_s = Float.max 0.0 sweep_age_s;
       lock = Mutex.create (); lock_fd = None; entries = 0; bytes = 0;
       scanned = false }
   in
@@ -269,6 +298,10 @@ let store t ~key:k ~fingerprint ~iloc ~stats =
             Filename.open_temp_file ~temp_dir:(Filename.dirname path)
               ~mode:[ Open_binary ] "entry" ".tmp"
           in
+          (* Mark the temp file as live for other processes' sweepers
+             ([locked_elsewhere]); the lock dies with the channel's fd. *)
+          (try Unix.lockf (Unix.descr_of_out_channel oc) Unix.F_TLOCK 0
+           with Unix.Unix_error _ -> ());
           (try
              output_string oc text;
              output_char oc '\n';

@@ -24,7 +24,9 @@
     sharing the directory. Lock order is fixed — the in-process mutex
     first, then the file lock — and reads take neither (rename atomicity
     is enough for them). On open, orphaned [entry*.tmp] files older than
-    a minute (a crashed writer's leftovers) are swept.
+    the sweep age (a crashed writer's leftovers) are swept; temp files
+    whose writer is still alive — writers hold an advisory [lockf] lock
+    on their temp file — are spared even past the age cutoff.
 
     Failure semantics: a poisoned entry — unreadable file, malformed
     JSON, wrong schema, key mismatch (hash collision or tampering), ILOC
@@ -36,7 +38,8 @@
     [cache.hits], [cache.misses], [cache.stores], [cache.evictions]
     (split into [cache.evict_age] for the entry-count bound and
     [cache.evict_size] for the byte budget), [cache.poisoned],
-    [cache.tmp_swept], [cache.corrupted].
+    [cache.tmp_swept], [cache.tmp_spared] (a stale-looking temp file kept
+    because its writer still holds its lock), [cache.corrupted].
 
     All operations are domain-safe. *)
 
@@ -53,8 +56,15 @@ val default_dir : unit -> string
     the total entry-file bytes (default unbounded): exceeding either
     evicts the oldest entries (by file modification time — insertion
     order, since reads don't touch mtime) down to 90% of the violated
-    bound. *)
-val create : ?max_entries:int -> ?max_bytes:int -> dir:string -> unit -> t
+    bound. [sweep_age_s] (default 60 s) is the age a temp file must reach
+    before {!sweep_temp} considers it orphaned. *)
+val create :
+  ?max_entries:int ->
+  ?max_bytes:int ->
+  ?sweep_age_s:float ->
+  dir:string ->
+  unit ->
+  t
 
 val dir : t -> string
 
@@ -90,8 +100,10 @@ val entry_count : t -> int
 (** Total entry-file bytes currently on disk. *)
 val byte_count : t -> int
 
-(** Remove orphaned [entry*.tmp] files older than [max_age_s] (default
-    60 s; [create] runs this automatically). Returns the number removed;
+(** Remove orphaned [entry*.tmp] files older than [max_age_s] (default:
+    the cache's [sweep_age_s]; [create] runs this automatically). Files
+    past the cutoff whose writer still holds its advisory temp-file lock
+    are spared (bumping [cache.tmp_spared]). Returns the number removed;
     bumps [cache.tmp_swept] per file. *)
 val sweep_temp : ?max_age_s:float -> t -> int
 

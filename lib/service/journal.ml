@@ -1,0 +1,103 @@
+(** Durable job journal. See the interface for the record format. *)
+
+module J = Epre_telemetry.Tjson
+
+type t = { j_path : string; fd : Unix.file_descr; mutex : Mutex.t }
+
+type entry = {
+  kind : string;
+  seq : int;
+  id : string;
+  key : string;
+  fields : (string * J.t) list;
+}
+
+let entry ~kind ~seq ~id ~key ?(fields = []) () = { kind; seq; id; key; fields }
+
+let rec mkdir_p p =
+  if p <> "" && p <> "." && p <> "/" && not (Sys.file_exists p) then begin
+    mkdir_p (Filename.dirname p);
+    try Sys.mkdir p 0o755 with Sys_error _ -> ()
+  end
+
+let open_ ~path =
+  mkdir_p (Filename.dirname path);
+  let fd =
+    Unix.openfile path [ Unix.O_WRONLY; Unix.O_APPEND; Unix.O_CREAT; Unix.O_CLOEXEC ]
+      0o644
+  in
+  { j_path = path; fd; mutex = Mutex.create () }
+
+let path t = t.j_path
+
+let encode e =
+  J.to_string
+    (J.Obj
+       ([ ("type", J.Str e.kind); ("seq", J.Int e.seq); ("id", J.Str e.id);
+          ("key", J.Str e.key) ]
+       @ e.fields))
+
+let append t = function
+  | [] -> ()
+  | entries ->
+    let buf = Buffer.create 256 in
+    List.iter
+      (fun e ->
+        Buffer.add_string buf (encode e);
+        Buffer.add_char buf '\n')
+      entries;
+    let s = Buffer.contents buf in
+    Mutex.lock t.mutex;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock t.mutex)
+      (fun () ->
+        (* One write so concurrent appenders interleave at record
+           granularity (O_APPEND), then fsync for durability: a record is
+           either fully on disk or (torn tail) ignored by [load]. *)
+        let n = Unix.write_substring t.fd s 0 (String.length s) in
+        if n <> String.length s then
+          failwith ("journal: short write to " ^ t.j_path);
+        Unix.fsync t.fd)
+
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+let decode line =
+  match J.parse line with
+  | Error _ -> None
+  | Ok j ->
+    let str k = match J.member k j with Some (J.Str s) -> Some s | _ -> None in
+    let int k = match J.member k j with Some (J.Int n) -> Some n | _ -> None in
+    (match (str "type", int "seq", str "id", str "key", j) with
+    | Some kind, Some seq, Some id, Some key, J.Obj members ->
+      let fields =
+        List.filter
+          (fun (k, _) -> not (List.mem k [ "type"; "seq"; "id"; "key" ]))
+          members
+      in
+      Some { kind; seq; id; key; fields }
+    | _ -> None)
+
+let load ~path =
+  match open_in path with
+  | exception Sys_error _ -> []
+  | ic ->
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        let rec go acc =
+          match input_line ic with
+          | exception End_of_file -> List.rev acc
+          | line ->
+            (match decode line with
+            | Some e -> go (e :: acc)
+            | None -> go acc)
+        in
+        go [])
+
+let emitted entries =
+  List.filter_map
+    (fun e ->
+      match e.kind with
+      | "done" | "failed" -> Some (e.seq, e.key)
+      | _ -> None)
+    entries

@@ -1,0 +1,63 @@
+(** Durable job journal — the write-ahead log behind [eprec serve --resume].
+
+    An append-only JSONL file (by convention [<cache-dir>/journal.jsonl])
+    recording the lifecycle of every job in a serve batch:
+
+    {v {"type":"accepted","seq":3,"id":"job-3","key":"<md5 of raw line>","line":7}
+       {"type":"started","seq":3,"id":"job-3","key":"...","fingerprint":"epre-pipeline-v1|..."}
+       {"type":"done","seq":3,"id":"job-3","key":"...","outcome":"ok"}
+       {"type":"failed","seq":4,"id":"job-4","key":"...","outcome":"error"} v}
+
+    [seq] is the job's 1-based position among the non-blank input lines,
+    [key] the MD5 of the raw input line (content hash), [fingerprint] the
+    pipeline fingerprint the job was dispatched against. [done]/[failed]
+    records are appended only {e after} the job's result line has been
+    flushed to the output stream, so on resume a [done]/[failed] entry
+    proves the line was emitted and the job is skipped; an [accepted] or
+    [started] entry without one proves it was not, and the job re-runs
+    exactly once. (A crash inside the flush-then-journal window can
+    re-emit an already-flushed line — the protocol is at-least-once per
+    line, exactly-once per journaled line.)
+
+    Each {!append} issues a single [write] on an [O_APPEND] descriptor
+    followed by [fsync], so records from concurrent serves interleave at
+    line granularity and survive the process. {!load} tolerates a torn
+    trailing line (a crash mid-append) by skipping undecodable lines. *)
+
+type t
+
+type entry = {
+  kind : string;  (** ["accepted"] | ["started"] | ["done"] | ["failed"] *)
+  seq : int;
+  id : string;
+  key : string;
+  fields : (string * Epre_telemetry.Tjson.t) list;
+      (** extra fields: ["line"], ["fingerprint"], ["outcome"], ... *)
+}
+
+val entry :
+  kind:string ->
+  seq:int ->
+  id:string ->
+  key:string ->
+  ?fields:(string * Epre_telemetry.Tjson.t) list ->
+  unit ->
+  entry
+
+(** Open (creating if absent) for appending. *)
+val open_ : path:string -> t
+
+val path : t -> string
+
+(** Append the entries as JSONL in one write, then [fsync]. No-op on []. *)
+val append : t -> entry list -> unit
+
+val close : t -> unit
+
+(** Decode the journal at [path]: [[]] when the file does not exist;
+    undecodable lines (torn tail, foreign garbage) are skipped. *)
+val load : path:string -> entry list
+
+(** The [(seq, key)] pairs of [done]/[failed] entries in [entries] — the
+    jobs whose result lines provably reached the output stream. *)
+val emitted : entry list -> (int * string) list

@@ -25,9 +25,11 @@ let add_counts a b = { hits = a.hits + b.hits; misses = a.misses + b.misses }
    the routine's canonical pre-optimization text plus the level
    fingerprint; because [Ir_text] round-trips exactly, restoring a hit's
    stored text is byte-identical to recompiling. *)
-let optimize_routine_cached ?cache ?poll ~level ~fingerprint (r : Routine.t) =
+let optimize_routine_cached ?cache ?poll ?wrap ~level ~fingerprint
+    (r : Routine.t) =
   match cache with
-  | None -> (Pipeline.optimize_routine ?poll ~level r, { hits = 0; misses = 1 })
+  | None ->
+    (Pipeline.optimize_routine ?poll ?wrap ~level r, { hits = 0; misses = 1 })
   | Some c -> (
     let before = Ir_text.routine_to_string r in
     let k = Cache.key ~iloc:before ~fingerprint in
@@ -39,16 +41,24 @@ let optimize_routine_cached ?cache ?poll ~level ~fingerprint (r : Routine.t) =
       Pipeline.record_metrics stats;
       (stats, { hits = 1; misses = 0 })
     | Some _ | None ->
-      let stats = Pipeline.optimize_routine ?poll ~level r in
+      let stats = Pipeline.optimize_routine ?poll ?wrap ~level r in
       let after = Ir_text.routine_to_string r in
       Cache.store c ~key:k ~fingerprint ~iloc:after ~stats;
       (stats, { hits = 0; misses = 1 }))
 
-let optimize_program ?cache ?pool ?(poll = fun () -> ()) ~level (p : Program.t) =
-  let fingerprint = Pipeline.fingerprint ~level in
+let optimize_program ?cache ?pool ?(poll = fun () -> ()) ?wrap ?fingerprint
+    ~level (p : Program.t) =
+  (* A caller that transforms the pass list ([wrap]) must supply the
+     matching fingerprint, or cached results from the standard pipeline
+     would replay against a different transformation. *)
+  let fingerprint =
+    match fingerprint with
+    | Some f -> f
+    | None -> Pipeline.fingerprint ~level
+  in
   let one r =
     poll ();
-    optimize_routine_cached ?cache ~poll ~level ~fingerprint r
+    optimize_routine_cached ?cache ~poll ?wrap ~level ~fingerprint r
   in
   let results =
     match pool with
@@ -181,9 +191,15 @@ let optimize_supervised_program ?pool ?(inject = []) ~config ~level
 (* Failure policy *)
 
 module Policy = struct
-  type t = { timeout_ms : float option; retries : int; backoff_ms : float }
+  type t = {
+    timeout_ms : float option;
+    retries : int;
+    backoff_ms : float;
+    degrade : bool;
+  }
 
-  let default = { timeout_ms = None; retries = 0; backoff_ms = 50.0 }
+  let default =
+    { timeout_ms = None; retries = 0; backoff_ms = 50.0; degrade = false }
 
   exception Deadline_exceeded
 
@@ -259,13 +275,15 @@ let job_of_line ~default_id line =
       | [] -> Error "job needs one of \"file\", \"workload\", \"source\", \"iloc\""
       | _ :: _ :: _ -> Error "job has more than one program input"))
 
-type job_outcome = Succeeded | Failed | Timed_out | Retried
+type job_outcome = Succeeded | Failed | Timed_out | Retried | Degraded | Shed
 
 let job_outcome_to_string = function
   | Succeeded -> "ok"
   | Failed -> "error"
   | Timed_out -> "timeout"
   | Retried -> "retried_ok"
+  | Degraded -> "degraded"
+  | Shed -> "shed"
 
 type result_line = {
   job_id : string;
@@ -273,6 +291,8 @@ type result_line = {
   outcome : job_outcome;
   attempts : int;
   job_level : Pipeline.level;
+  requested : Pipeline.level option;
+  excised : string list;
   routines : int;
   job_counts : counts;
   latency_ms : float;
@@ -288,11 +308,17 @@ let result_to_json r =
        ("ok", J.Bool r.ok);
        ("outcome", J.Str (job_outcome_to_string r.outcome));
        ("attempts", J.Int r.attempts);
-       ("level", J.Str (Pipeline.level_to_string r.job_level));
-       ("routines", J.Int r.routines);
-       ("hits", J.Int r.job_counts.hits);
-       ("misses", J.Int r.job_counts.misses);
-       ("latency_ms", J.Float r.latency_ms) ]
+       ("level", J.Str (Pipeline.level_to_string r.job_level)) ]
+    @ (match r.requested with
+      | Some l -> [ ("requested", J.Str (Pipeline.level_to_string l)) ]
+      | None -> [])
+    @ (match r.excised with
+      | [] -> []
+      | ps -> [ ("excised", J.Arr (List.map (fun p -> J.Str p) ps)) ])
+    @ [ ("routines", J.Int r.routines);
+        ("hits", J.Int r.job_counts.hits);
+        ("misses", J.Int r.job_counts.misses);
+        ("latency_ms", J.Float r.latency_ms) ]
     @ (match r.line with Some n -> [ ("line", J.Int n) ] | None -> [])
     @ (match r.iloc with Some s -> [ ("iloc", J.Str s) ] | None -> [])
     @ match r.error with Some m -> [ ("error", J.Str m) ] | None -> [])
@@ -324,9 +350,9 @@ let load_program = function
     | e -> Error ("ILOC parse failed: " ^ Printexc.to_string e))
 
 let error_result ?(outcome = Failed) ?(attempts = 1) ?line ~id ~level msg =
-  { job_id = id; ok = false; outcome; attempts; job_level = level; routines = 0;
-    job_counts = no_traffic; latency_ms = 0.0; iloc = None; line;
-    error = Some msg }
+  { job_id = id; ok = false; outcome; attempts; job_level = level;
+    requested = None; excised = []; routines = 0; job_counts = no_traffic;
+    latency_ms = 0.0; iloc = None; line; error = Some msg }
 
 (* Sleep [ms] in short slices, calling [poll] between slices, so the
    chaos:slow-job stall stays cancellable by the per-job deadline. *)
@@ -341,6 +367,21 @@ let sliced_sleep ~poll ms =
   in
   go ms
 
+(* Passes [chaos:pass-poison] may break: present at some level above
+   Baseline but absent from Baseline itself, so the degradation floor
+   always survives a poisoned pass. *)
+let poison_candidates =
+  lazy
+    (let baseline = Pipeline.level_stages ~level:Pipeline.Baseline in
+     List.sort_uniq compare
+       (List.filter
+          (fun s -> not (List.mem s baseline))
+          (Pipeline.level_stages ~level:Pipeline.Partial
+          @ Pipeline.level_stages ~level:Pipeline.Distribution)))
+
+let poisoned_pass ?seed () =
+  Chaos.poison_target ?seed ~candidates:(Lazy.force poison_candidates) ()
+
 (* One job, serially: parallelism in the server is across jobs, not
    within one. Never raises — a worker exception would poison the whole
    batch.
@@ -351,8 +392,13 @@ let sliced_sleep ~poll ms =
    half-transformed program), and any escaping exception is classified.
    Transient failures retry with jittered exponential backoff up to
    [policy.retries] times; permanent failures (including deadline
-   overruns) report immediately. *)
-let run_job ?cache ?(policy = Policy.default) ?(chaos = []) (job : job) =
+   overruns) report immediately — unless [policy.degrade] grants the job
+   a fresh run one optimization level lower (the degradation ladder,
+   down to Baseline). A result served below the requested level — or
+   with breaker-opened passes excised — is translation-checked at the
+   exec tier against the freshly loaded (unoptimized) program before it
+   may report [outcome = "degraded"]; a mismatch keeps descending. *)
+let run_job ?cache ?(policy = Policy.default) ?(chaos = []) ?breaker (job : job) =
   (* Every observability event of this job's dynamic extent — log lines,
      span closures, ring entries, flight dumps — carries the job id as
      its correlation id, on whichever domain executes it. *)
@@ -362,6 +408,9 @@ let run_job ?cache ?(policy = Policy.default) ?(chaos = []) (job : job) =
     count ("serve." ^ job_outcome_to_string outcome);
     let latency_ms = Clock.elapsed_ms ~since:t0 in
     Hist.observe_since ~name:"serve.job" t0;
+    (match outcome with
+    | Degraded -> Hist.observe_since ~name:"serve.degraded" t0
+    | Succeeded | Failed | Timed_out | Retried | Shed -> ());
     Log.info ~event:"serve.job"
       ~fields:
         [ ("outcome", J.Str (job_outcome_to_string outcome));
@@ -379,7 +428,9 @@ let run_job ?cache ?(policy = Policy.default) ?(chaos = []) (job : job) =
     ignore (Recorder.dump ~reason:fault_name ~corr:job.id ())
   in
   let has fault = List.mem fault chaos in
-  let rec attempt k =
+  let poison = if has Chaos.Pass_poison then poisoned_pass () else None in
+  let requested = job.level in
+  let rec attempt ~level k =
     let deadline =
       Option.map
         (fun ms -> Int64.add (Clock.now_ns ()) (Int64.of_float (ms *. 1e6)))
@@ -389,6 +440,67 @@ let run_job ?cache ?(policy = Policy.default) ?(chaos = []) (job : job) =
       match deadline with
       | Some d when Clock.now_ns () > d -> raise Policy.Deadline_exceeded
       | _ -> ()
+    in
+    (* Which passes the breakers currently refuse, at this rung. Prefer
+       serving a standard lower level whose sequence avoids every opened
+       pass — the result is then a pure level run, cache-coherent under
+       the standard fingerprint and byte-identical to a direct run at
+       that level. True excision is the fallback when even the requested
+       rung's floor contains an opened pass. *)
+    let opened =
+      match breaker with
+      | None -> []
+      | Some b -> Breaker.excluded b ~passes:(Pipeline.level_stages ~level)
+    in
+    let level, excised =
+      if opened = [] then (level, [])
+      else begin
+        let avoids l =
+          let stages = Pipeline.level_stages ~level:l in
+          List.for_all (fun p -> not (List.mem p stages)) opened
+        in
+        let rec seek l =
+          if avoids l then Some l else Option.bind (Pipeline.lower l) seek
+        in
+        match seek level with Some l -> (l, []) | None -> (level, opened)
+      end
+    in
+    let degraded_serving = level <> requested || excised <> [] in
+    (* The pass-list transform: excise breaker-opened passes, inject the
+       poisoned pass's deterministic failure, and report every pass
+       outcome back to the breaker registry. Pass names are preserved so
+       spans/histograms stay attributable. *)
+    let wrap passes =
+      let fired = ref false in
+      List.filter
+        (fun np -> not (List.mem np.Harness.pass_name excised))
+        passes
+      |> List.map (fun np ->
+             let name = np.Harness.pass_name in
+             { np with
+               Harness.run =
+                 (fun r ->
+                   try
+                     (match poison with
+                     | Some p when p = name ->
+                       if not !fired then begin
+                         fired := true;
+                         count "chaos.pass_poison";
+                         chaos_fire "chaos:pass-poison"
+                       end;
+                       raise (Chaos.Pass_poisoned name)
+                     | _ -> ());
+                     np.Harness.run r;
+                     Option.iter (fun b -> Breaker.success b ~pass:name) breaker
+                   with e ->
+                     Option.iter (fun b -> Breaker.failure b ~pass:name) breaker;
+                     raise e) })
+    in
+    let fingerprint =
+      let base = Pipeline.fingerprint ~level in
+      match excised with
+      | [] -> base
+      | ps -> base ^ "|excised:" ^ String.concat "," (List.sort compare ps)
     in
     let step =
       try
@@ -417,7 +529,7 @@ let run_job ?cache ?(policy = Policy.default) ?(chaos = []) (job : job) =
         end;
         poll ();
         match load_program job.input with
-        | Error m -> `Fail m
+        | Error m -> `Input_error m
         | Ok prog ->
           (match cache with
           | Some c
@@ -427,7 +539,6 @@ let run_job ?cache ?(policy = Policy.default) ?(chaos = []) (job : job) =
             chaos_fire "chaos:cache-corrupt";
             (* Corrupt this job's own entries before the lookup: the find
                below must take the poison-recovery path and recompile. *)
-            let fingerprint = Pipeline.fingerprint ~level:job.level in
             List.iter
               (fun r ->
                 let iloc = Ir_text.routine_to_string r in
@@ -442,8 +553,27 @@ let run_job ?cache ?(policy = Policy.default) ?(chaos = []) (job : job) =
             chaos_fire "chaos:cache-lock-hold";
             Cache.hold_lock c ~ms:2.0
           | _ -> ());
-          let stats, job_counts = optimize_program ?cache ~poll ~level:job.level prog in
-          `Ok (stats, job_counts, prog)
+          (* A degraded result must prove itself: translation-check the
+             optimized program against the freshly loaded reference at
+             the exec tier before it may be served. *)
+          let reference = if degraded_serving then Some (Program.copy prog) else None in
+          let stats, job_counts =
+            optimize_program ?cache ~poll ~wrap ~fingerprint ~level prog
+          in
+          (match reference with
+          | None -> `Ok (stats, job_counts, prog)
+          | Some before ->
+            let fuel = Harness.default_config.Harness.fuel in
+            if Harness.obs_equal (Harness.observe ~fuel before)
+                 (Harness.observe ~fuel prog)
+            then `Ok (stats, job_counts, prog)
+            else begin
+              count "serve.degraded_invalid";
+              `Fail
+                (Printf.sprintf
+                   "degraded result failed translation validation at %s"
+                   (Pipeline.level_to_string level))
+            end)
       with
       | Policy.Deadline_exceeded -> `Timeout
       | e -> (
@@ -462,15 +592,43 @@ let run_job ?cache ?(policy = Policy.default) ?(chaos = []) (job : job) =
                ~corr:job.id ());
           `Fail ("optimization failed: " ^ Printexc.to_string e))
     in
+    (* The ladder: when this rung fails terminally and [policy.degrade]
+       allows it, re-attempt one level lower with a fresh deadline. The
+       attempt counter keeps running — [attempts] in the result is the
+       total across rungs. *)
+    let descend ~why m =
+      match (policy.Policy.degrade, Pipeline.lower level) with
+      | true, Some next ->
+        count "serve.degrade_step";
+        Log.warn ~event:"serve.degrade"
+          ~fields:
+            [ ("from", J.Str (Pipeline.level_to_string level));
+              ("to", J.Str (Pipeline.level_to_string next));
+              ("cause", J.Str why);
+              ("attempt", J.Int k) ]
+          (Printf.sprintf "job %s: degrading %s -> %s (%s)" job.id
+             (Pipeline.level_to_string level)
+             (Pipeline.level_to_string next)
+             m);
+        Some (attempt ~level:next (k + 1))
+      | _ -> None
+    in
     match step with
     | `Ok (stats, job_counts, prog) ->
-      finish ~attempts:k ~outcome:(if k > 1 then Retried else Succeeded)
-        { job_id = job.id; ok = true; outcome = Succeeded; attempts = k;
-          job_level = job.level; routines = List.length stats; job_counts;
+      let outcome =
+        if degraded_serving then Degraded
+        else if k > 1 then Retried
+        else Succeeded
+      in
+      finish ~attempts:k ~outcome
+        { job_id = job.id; ok = true; outcome; attempts = k;
+          job_level = level;
+          requested = (if level <> requested then Some requested else None);
+          excised; routines = List.length stats; job_counts;
           latency_ms = 0.0;
           iloc = (if job.emit then Some (Ir_text.print_program prog) else None);
           line = None; error = None }
-    | `Timeout ->
+    | `Timeout -> (
       count "serve.deadline_exceeded";
       Log.warn ~event:"serve.timeout"
         ~fields:
@@ -478,23 +636,32 @@ let run_job ?cache ?(policy = Policy.default) ?(chaos = []) (job : job) =
             ( "timeout_ms",
               J.Float (Option.value policy.Policy.timeout_ms ~default:0.0) ) ]
         ("job " ^ job.id ^ " blew its deadline");
-      ignore (Recorder.dump ~reason:"timeout" ~corr:job.id ());
-      finish ~attempts:k ~outcome:Timed_out
-        (error_result ~id:job.id ~level:job.level
-           (Printf.sprintf "deadline exceeded (%.0f ms)"
-              (Option.value policy.Policy.timeout_ms ~default:0.0)))
-    | `Fail m ->
-      finish ~attempts:k ~outcome:Failed
-        (error_result ~id:job.id ~level:job.level m)
+      match descend ~why:"timeout" "deadline exceeded" with
+      | Some r -> r
+      | None ->
+        ignore (Recorder.dump ~reason:"timeout" ~corr:job.id ());
+        finish ~attempts:k ~outcome:Timed_out
+          (error_result ~id:job.id ~level
+             (Printf.sprintf "deadline exceeded (%.0f ms)"
+                (Option.value policy.Policy.timeout_ms ~default:0.0))))
+    | `Input_error m ->
+      (* The input itself is bad — no optimization level can fix it, so
+         the ladder does not apply. *)
+      finish ~attempts:k ~outcome:Failed (error_result ~id:job.id ~level m)
+    | `Fail m -> (
+      match descend ~why:"failure" m with
+      | Some r -> r
+      | None ->
+        finish ~attempts:k ~outcome:Failed (error_result ~id:job.id ~level m))
     | `Retry m ->
       count "serve.retries";
       Log.warn ~event:"serve.retry"
         ~fields:[ ("attempt", J.Int k) ]
         ("transient failure, retrying: " ^ m);
       Unix.sleepf (Policy.backoff_delay policy ~id:job.id ~attempt:k);
-      attempt (k + 1)
+      attempt ~level (k + 1)
   in
-  attempt 1
+  attempt ~level:job.level 1
 
 type summary = {
   jobs : int;
@@ -502,21 +669,50 @@ type summary = {
   failed : int;
   timeouts : int;
   retried : int;
+  degraded : int;
+  shed : int;
+  replayed : int;
   total : counts;
   wall_ms : float;
 }
 
+exception Killed
+
+(* One admitted (or about-to-be-shed) input line, read ahead of dispatch.
+   [p_key] is the content hash the journal records; [p_id]/[p_level] come
+   from a cheap pre-parse (falling back to the positional default on
+   malformed lines, which still flow through [run_one] for their in-order
+   error result). *)
+type pending_item = {
+  p_default : string;
+  p_seq : int;
+  p_line_no : int;
+  p_raw : string;
+  p_key : string;
+  p_id : string;
+  p_level : Pipeline.level;
+  p_fp : string option;
+}
+
 let serve ?cache ?batch ?(policy = Policy.default) ?(chaos = []) ?stats_every
-    ?metrics_out ?(stats_sink = prerr_endline) ~pool ~input ~output () =
+    ?metrics_out ?(stats_sink = prerr_endline) ?journal ?(resume = false)
+    ?breaker ?max_pending ?(shed_policy = `Block) ~pool ~input ~output () =
   let batch_size =
     match batch with
     | Some b -> max b 1
     | None -> max 32 (4 * Pool.size pool)
   in
+  (* Admission watermarks: the queue refills to [high] (which also bounds
+     stdin read-ahead — backpressure in block mode); in reject mode a
+     saturated queue sheds down to [low]'s distance worth of lines. *)
+  let high = match max_pending with Some n -> max 1 n | None -> max_int in
+  let low = if high = max_int then max_int else max 1 (high / 2) in
+  let prefetch_target = if high = max_int then batch_size else high in
   let t0 = Clock.now_ns () in
   let seq = ref 0 and line_no = ref 0 in
   let jobs = ref 0 and succeeded = ref 0 and failed = ref 0 in
   let timeouts = ref 0 and retried = ref 0 in
+  let degraded = ref 0 and shed = ref 0 and replayed = ref 0 in
   let total = ref no_traffic in
   let stats_every =
     match stats_every with Some n when n > 0 -> Some n | _ -> None
@@ -560,77 +756,248 @@ let serve ?cache ?batch ?(policy = Policy.default) ?(chaos = []) ?stats_every
          hit_rate (q 0.5) (q 0.99) per_domain);
     write_metrics ()
   in
-  (* Next batch of non-blank lines, pre-parsed in input order, each
-     carrying its 1-based physical line number for error reports. *)
-  let read_batch () =
-    let acc = ref [] and n = ref 0 in
-    (try
-       while !n < batch_size do
-         let line = input_line input in
-         incr line_no;
-         if String.trim line <> "" then begin
-           incr seq;
-           acc := (Printf.sprintf "job-%d" !seq, !line_no, line) :: !acc;
-           incr n
-         end
-       done
-     with End_of_file -> ());
-    List.rev !acc
+  (* Result lines a previous incarnation provably emitted (journal
+     [done]/[failed] records), keyed (seq, content-hash): on --resume
+     those jobs are skipped, everything else re-runs exactly once. *)
+  let emitted_before =
+    match (resume, journal) with
+    | true, Some jr ->
+      let tbl = Hashtbl.create 64 in
+      List.iter
+        (fun sk -> Hashtbl.replace tbl sk ())
+        (Journal.emitted (Journal.load ~path:(Journal.path jr)));
+      tbl
+    | _ -> Hashtbl.create 1
   in
-  let run_one (default_id, lineno, line) =
-    match job_of_line ~default_id line with
+  let jappend entries =
+    match journal with Some j -> Journal.append j entries | None -> ()
+  in
+  (* [done]/[failed] records may only hit the journal after their result
+     line is physically flushed (otherwise a crash in between would lose
+     the line on resume); records wait here until the output sequencer
+     has passed their seq. *)
+  let post_hold = ref [] in
+  (* Output sequencer: every seq eventually resolves to a rendered line
+     (processed or shed) or a skip (replayed on resume); lines leave in
+     strict seq order whatever order they resolve in. *)
+  let out_buf = Hashtbl.create 64 in
+  let next_out = ref 1 in
+  let emit_seq s v =
+    Hashtbl.replace out_buf s v;
+    while Hashtbl.mem out_buf !next_out do
+      (match Hashtbl.find out_buf !next_out with
+      | Some l ->
+        output_string output l;
+        output_char output '\n'
+      | None -> ());
+      Hashtbl.remove out_buf !next_out;
+      incr next_out
+    done
+  in
+  let flush_post () =
+    let ready, rest = List.partition (fun (s, _) -> s < !next_out) !post_hold in
+    jappend (List.map snd (List.sort compare ready));
+    post_hold := rest
+  in
+  let record r =
+    incr jobs;
+    (if r.ok then incr succeeded
+     else
+       match r.outcome with
+       | Shed -> incr shed
+       | _ -> incr failed);
+    (match r.outcome with
+    | Timed_out -> incr timeouts
+    | Retried -> incr retried
+    | Degraded -> incr degraded
+    | Succeeded | Failed | Shed -> ());
+    total := add_counts !total r.job_counts
+  in
+  let eof = ref false in
+  let rec read_one () =
+    if !eof then None
+    else
+      match input_line input with
+      | exception End_of_file ->
+        eof := true;
+        None
+      | line ->
+        incr line_no;
+        if String.trim line = "" then read_one ()
+        else begin
+          incr seq;
+          let default_id = Printf.sprintf "job-%d" !seq in
+          let id, level, fp =
+            match job_of_line ~default_id line with
+            | Ok j -> (j.id, j.level, Some (Pipeline.fingerprint ~level:j.level))
+            | Error _ -> (default_id, Pipeline.Partial, None)
+          in
+          Some
+            { p_default = default_id; p_seq = !seq; p_line_no = !line_no;
+              p_raw = line; p_key = Digest.to_hex (Digest.string line);
+              p_id = id; p_level = level; p_fp = fp }
+        end
+  in
+  let pending = Queue.create () in
+  let replay it =
+    incr replayed;
+    count "serve.replayed";
+    emit_seq it.p_seq None
+  in
+  let shed_one it =
+    count "serve.shed";
+    Log.warn ~event:"serve.shed" ~corr:it.p_id
+      ~fields:[ ("seq", J.Int it.p_seq); ("max_pending", J.Int high) ]
+      (Printf.sprintf "job %s shed: pending queue at capacity" it.p_id);
+    let r =
+      error_result ~outcome:Shed ~id:it.p_id ~level:it.p_level
+        ~line:it.p_line_no
+        (Printf.sprintf "shed: pending queue at capacity (max-pending %d)" high)
+    in
+    record r;
+    emit_seq it.p_seq (Some (J.to_string (result_to_json r)));
+    post_hold :=
+      ( it.p_seq,
+        Journal.entry ~kind:"failed" ~seq:it.p_seq ~id:it.p_id ~key:it.p_key
+          ~fields:[ ("outcome", J.Str "shed") ] () )
+      :: !post_hold
+  in
+  (* Admit input up to the prefetch target; under reject-mode saturation,
+     deterministically shed the next (high - low) lines. Returns the
+     [accepted] journal records for the newly admitted jobs. *)
+  let refill () =
+    let accepted = ref [] in
+    while (not !eof) && Queue.length pending < prefetch_target do
+      match read_one () with
+      | None -> ()
+      | Some it ->
+        if Hashtbl.mem emitted_before (it.p_seq, it.p_key) then replay it
+        else begin
+          Queue.add it pending;
+          accepted :=
+            Journal.entry ~kind:"accepted" ~seq:it.p_seq ~id:it.p_id
+              ~key:it.p_key
+              ~fields:[ ("line", J.Int it.p_line_no) ]
+              ()
+            :: !accepted
+        end
+    done;
+    if shed_policy = `Reject && Queue.length pending >= high then begin
+      let quota = max 1 (high - low) in
+      let rec shed_loop n item =
+        match item with
+        | None -> ()
+        | Some it ->
+          if Hashtbl.mem emitted_before (it.p_seq, it.p_key) then begin
+            (* Already served by the previous incarnation: a replay skip,
+               not a shed, and it does not burn shed quota. *)
+            replay it;
+            shed_loop n (read_one ())
+          end
+          else begin
+            shed_one it;
+            if n > 1 then shed_loop (n - 1) (read_one ())
+          end
+      in
+      match read_one () with
+      | None -> ()
+      | Some first -> shed_loop quota (Some first)
+    end;
+    List.rev !accepted
+  in
+  let run_one it =
+    match job_of_line ~default_id:it.p_default it.p_raw with
     | Error m ->
       (* A malformed line is one bad job, never a dead server: report it
          in order, with the offending line number, and keep serving. *)
       count "serve.bad_line";
-      error_result ~id:default_id ~level:Pipeline.Partial ~line:lineno
-        (Printf.sprintf "line %d: %s" lineno m)
-    | Ok job -> run_job ?cache ~policy ~chaos job
+      error_result ~id:it.p_default ~level:Pipeline.Partial ~line:it.p_line_no
+        (Printf.sprintf "line %d: %s" it.p_line_no m)
+    | Ok job -> run_job ?cache ~policy ~chaos ?breaker job
   in
+  let has_kill = List.mem Chaos.Kill_self chaos in
   let rec loop () =
-    match read_batch () with
-    | [] -> ()
-    | batch_lines ->
-      let arr = Array.of_list batch_lines in
+    let accepted_now = refill () in
+    Hist.observe ~name:"queue.depth" (Queue.length pending);
+    let n = min batch_size (Queue.length pending) in
+    if n = 0 then begin
+      jappend accepted_now;
+      flush output;
+      flush_post ()
+    end
+    else begin
+      let arr = Array.init n (fun _ -> Queue.pop pending) in
+      (* WAL barrier: accepted + started records are durable before any
+         of the batch dispatches — a crash from here on leaves every
+         in-flight job journaled, so --resume re-runs it exactly once. *)
+      jappend
+        (accepted_now
+        @ (Array.to_list arr
+          |> List.map (fun it ->
+                 Journal.entry ~kind:"started" ~seq:it.p_seq ~id:it.p_id
+                   ~key:it.p_key
+                   ~fields:
+                     (match it.p_fp with
+                     | Some fp -> [ ("fingerprint", J.Str fp) ]
+                     | None -> [])
+                   ())));
+      (* chaos:kill-self aborts at exactly this journal-consistent point:
+         the batch is journaled [started] but none of its results have
+         been emitted, so output ends clean at a batch boundary and the
+         resume run recomputes the batch from the same cache state an
+         uninterrupted run would have seen. *)
+      if
+        has_kill
+        && Array.exists (fun it -> Chaos.fires Chaos.Kill_self ~key:it.p_id) arr
+      then begin
+        count "chaos.kill_self";
+        Log.warn ~event:"chaos.fire"
+          ~fields:[ ("fault", J.Str "chaos:kill-self") ]
+          "injected chaos:kill-self";
+        ignore (Recorder.dump ~reason:"chaos:kill-self" ());
+        flush output;
+        raise Killed
+      end;
       (* [run_job] never raises; [map_outcomes] is the last-ditch
          containment if the service layer itself crashes on a job — the
          batch still drains and every job still reports in order. *)
       let outcomes = Pool.map_outcomes pool run_one arr in
-      let results =
-        Array.to_list
-          (Array.mapi
-             (fun i outcome ->
-               let default_id, lineno, _ = arr.(i) in
-               match outcome with
-               | Pool.Done r -> r
-               | Pool.Failed (e, _) ->
-                 count "serve.worker_crash";
-                 Log.error ~event:"serve.worker_crash" ~corr:default_id
-                   (Printexc.to_string e);
-                 ignore
-                   (Recorder.dump
-                      ~reason:("worker-crash: " ^ Printexc.to_string e)
-                      ~corr:default_id ());
-                 error_result ~id:default_id ~level:Pipeline.Partial
-                   ~line:lineno ("worker crashed: " ^ Printexc.to_string e)
-               | Pool.Cancelled ->
-                 error_result ~id:default_id ~level:Pipeline.Partial
-                   ~line:lineno "cancelled")
-             outcomes)
-      in
-      List.iter
-        (fun r ->
-          incr jobs;
-          if r.ok then incr succeeded else incr failed;
-          (match r.outcome with
-          | Timed_out -> incr timeouts
-          | Retried -> incr retried
-          | Succeeded | Failed -> ());
-          total := add_counts !total r.job_counts;
-          output_string output (J.to_string (result_to_json r));
-          output_char output '\n')
-        results;
+      Array.iteri
+        (fun i outcome ->
+          let it = arr.(i) in
+          let r =
+            match outcome with
+            | Pool.Done r -> r
+            | Pool.Failed (e, _) ->
+              count "serve.worker_crash";
+              Log.error ~event:"serve.worker_crash" ~corr:it.p_default
+                (Printexc.to_string e);
+              ignore
+                (Recorder.dump
+                   ~reason:("worker-crash: " ^ Printexc.to_string e)
+                   ~corr:it.p_default ());
+              error_result ~id:it.p_default ~level:Pipeline.Partial
+                ~line:it.p_line_no ("worker crashed: " ^ Printexc.to_string e)
+            | Pool.Cancelled ->
+              error_result ~id:it.p_default ~level:Pipeline.Partial
+                ~line:it.p_line_no "cancelled"
+          in
+          record r;
+          emit_seq it.p_seq (Some (J.to_string (result_to_json r)));
+          post_hold :=
+            ( it.p_seq,
+              Journal.entry
+                ~kind:(if r.ok then "done" else "failed")
+                ~seq:it.p_seq ~id:r.job_id ~key:it.p_key
+                ~fields:[ ("outcome", J.Str (job_outcome_to_string r.outcome)) ]
+                () )
+            :: !post_hold)
+        outcomes;
       flush output;
+      (* Only now, with the batch's lines flushed, do their done/failed
+         records (and those of any shed lines the flush released) become
+         journal-eligible. *)
+      flush_post ();
       (match stats_every with
       | Some every when !jobs >= !next_stats ->
         emit_stats ();
@@ -641,9 +1008,11 @@ let serve ?cache ?batch ?(policy = Policy.default) ?(chaos = []) ?stats_every
         done
       | _ -> ());
       loop ()
+    end
   in
   loop ();
   if stats_every <> None then emit_stats () else write_metrics ();
   { jobs = !jobs; succeeded = !succeeded; failed = !failed;
-    timeouts = !timeouts; retried = !retried; total = !total;
+    timeouts = !timeouts; retried = !retried; degraded = !degraded;
+    shed = !shed; replayed = !replayed; total = !total;
     wall_ms = Clock.elapsed_ms ~since:t0 }

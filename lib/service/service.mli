@@ -31,12 +31,27 @@
     / [iloc] names the program. A malformed job line yields an in-order
     [ok:false] result carrying the offending input line number rather
     than killing the server; [outcome] is one of ["ok"], ["error"],
-    ["timeout"], ["retried_ok"].
+    ["timeout"], ["retried_ok"], ["degraded"] (served below the
+    requested optimization level — the result then carries ["requested"]
+    and/or ["excised"] fields) and ["shed"] (rejected by admission
+    control before optimization).
+
+    Crash safety: with a {!Journal} attached, serve write-ahead-logs
+    every job ([accepted]/[started] before dispatch, [done]/[failed]
+    after the result line is flushed) so a killed process restarted with
+    [resume] completes the batch — journaled jobs are skipped, in-flight
+    ones re-run exactly once, and the merged output equals an
+    uninterrupted run's.
 
     Counters (routine key ["<service>"]): [serve.ok], [serve.error],
-    [serve.timeout], [serve.retried_ok], [serve.retries],
-    [serve.deadline_exceeded], [serve.bad_line], [serve.worker_crash],
-    and [chaos.*] per injected fault.
+    [serve.timeout], [serve.retried_ok], [serve.degraded], [serve.shed],
+    [serve.replayed], [serve.retries], [serve.degrade_step],
+    [serve.degraded_invalid], [serve.deadline_exceeded],
+    [serve.bad_line], [serve.worker_crash], [breaker.open] /
+    [breaker.half-open] / [breaker.closed] (routine key ["service"]),
+    and [chaos.*] per injected fault. Histograms: [serve.degraded]
+    (latency of degraded jobs) and [queue.depth] (pending-queue depth at
+    each batch dispatch) join the PR 8 set.
 
     Observability (all off the result path — stdout results are
     byte-identical with every sink enabled or disabled):
@@ -65,11 +80,19 @@ type counts = { hits : int; misses : int }
     [cache] consults and fills the persistent cache per routine. [poll]
     is called between routines and passes and may raise to abandon the
     job (deadline enforcement). Stats come back in routine order,
-    byte-identical to the serial uncached path. *)
+    byte-identical to the serial uncached path. [wrap] transforms each
+    routine's pass list before it runs
+    ({!Epre.Pipeline.optimize_routine}); a caller that changes the
+    transformation this way must supply the matching [fingerprint], or
+    cached standard-pipeline results would replay against a different
+    pipeline (default: the level's standard fingerprint). *)
 val optimize_program :
   ?cache:Cache.t ->
   ?pool:Pool.t ->
   ?poll:(unit -> unit) ->
+  ?wrap:
+    (Epre_harness.Harness.named_pass list -> Epre_harness.Harness.named_pass list) ->
+  ?fingerprint:string ->
   level:Epre.Pipeline.level ->
   Program.t ->
   Epre.Pipeline.routine_stats list * counts
@@ -106,9 +129,16 @@ module Policy : sig
     backoff_ms : float;
         (** base delay before attempt [k+1]; grows exponentially with a
             deterministic per-(job, attempt) jitter in [0.5, 1.0) *)
+    degrade : bool;
+        (** when a job fails terminally (permanent failure, exhausted
+            retries, deadline overrun) at a level above Baseline,
+            re-attempt it one optimization level lower, down to -O0 —
+            each rung gets a fresh deadline; success below the requested
+            level reports [outcome = "degraded"] after exec-tier
+            translation validation *)
   }
 
-  (** No deadline, no retries, 50 ms base backoff. *)
+  (** No deadline, no retries, 50 ms base backoff, no degradation. *)
   val default : t
 
   (** Raised by the poll hook when the attempt's deadline has passed. *)
@@ -148,18 +178,26 @@ val job_of_line : default_id:string -> string -> (job, string) result
 (** How a job ended: [Succeeded] ("ok") on the first attempt, [Retried]
     ("retried_ok") after absorbing a transient failure, [Timed_out]
     ("timeout") past its deadline, [Failed] ("error") on a permanent
-    failure. *)
-type job_outcome = Succeeded | Failed | Timed_out | Retried
+    failure, [Degraded] ("degraded") when served below the requested
+    level (or with breaker-excised passes) by the degradation ladder,
+    [Shed] ("shed") when rejected by admission control. *)
+type job_outcome = Succeeded | Failed | Timed_out | Retried | Degraded | Shed
 
-(** The wire name: ["ok"] / ["error"] / ["timeout"] / ["retried_ok"]. *)
+(** The wire name: ["ok"] / ["error"] / ["timeout"] / ["retried_ok"] /
+    ["degraded"] / ["shed"]. *)
 val job_outcome_to_string : job_outcome -> string
 
 type result_line = {
   job_id : string;
   ok : bool;
   outcome : job_outcome;
-  attempts : int;  (** 1 unless retries fired *)
-  job_level : Epre.Pipeline.level;
+  attempts : int;  (** total across retries and ladder rungs *)
+  job_level : Epre.Pipeline.level;  (** the level actually served *)
+  requested : Epre.Pipeline.level option;
+      (** the requested level, when it differs (degraded results) *)
+  excised : string list;
+      (** breaker-opened passes excised from the pipeline (only when no
+          standard lower level avoided them) *)
   routines : int;
   job_counts : counts;
   latency_ms : float;  (** total wall, across every attempt and backoff *)
@@ -170,32 +208,60 @@ type result_line = {
 
 val result_to_json : result_line -> Epre_telemetry.Tjson.t
 
+(** The pass [chaos:pass-poison] breaks under the current (or given)
+    seed: a deterministic pick among the passes that exist above Baseline
+    but not in it, so the degradation floor always survives. [None] only
+    if that candidate set were empty. *)
+val poisoned_pass : ?seed:int -> unit -> string option
+
 (** Execute one job serially (parallelism in the server is across jobs):
     load the program, optimize it at the job's level through [cache],
     measure wall latency. Never raises — failures come back as
     [ok = false] with a classified {!job_outcome}. [policy] arms a fresh
-    deadline per attempt and grants retries to transient failures;
-    [chaos] enables service-fault injection keyed deterministically on
-    the job id ({!Epre_harness.Chaos.fires}). *)
+    deadline per attempt and grants retries to transient failures (and,
+    with [degrade], walks the ladder down to Baseline on terminal
+    failures — every result served below the requested level, or with
+    passes excised, is translation-checked at the exec tier against the
+    freshly loaded program before reporting [Degraded]; a mismatch keeps
+    descending). [breaker] consults/updates the per-pass circuit-breaker
+    registry: opened passes are avoided by serving the highest level
+    whose sequence lacks them (pure level run, standard fingerprint), or
+    excised pass-by-pass when even the floor contains one. [chaos]
+    enables service-fault injection keyed deterministically on the job
+    id ({!Epre_harness.Chaos.fires}). *)
 val run_job :
   ?cache:Cache.t ->
   ?policy:Policy.t ->
   ?chaos:Epre_harness.Chaos.service_fault list ->
+  ?breaker:Breaker.t ->
   job ->
   result_line
 
 (** Whole-batch totals, for the closing stderr line and the smoke test.
-    [timeouts] and [retried] break down [failed] and [succeeded]
-    respectively. *)
+    [timeouts] breaks down [failed]; [retried] and [degraded] break down
+    [succeeded]. [jobs] counts result lines emitted by {e this} run;
+    [shed] of them were rejected by admission control. [replayed] counts
+    jobs skipped on resume because the journal proved a previous
+    incarnation already emitted their lines (not included in [jobs]). *)
 type summary = {
   jobs : int;
   succeeded : int;
   failed : int;
   timeouts : int;
   retried : int;
+  degraded : int;
+  shed : int;
+  replayed : int;
   total : counts;
   wall_ms : float;
 }
+
+(** Raised (after flushing [output] and fsyncing the journal) when
+    [chaos:kill-self] fires: the process is expected to die — the CLI
+    converts it into a real SIGKILL. The journal is consistent: the
+    doomed batch is recorded [started] but none of its results were
+    emitted, so a [resume] run completes the batch exactly. *)
+exception Killed
 
 (** Read job lines from [input] until EOF, batching up to [batch] jobs
     (default [max 32 (4 * pool size)]) per {!Pool.map_outcomes} round,
@@ -205,6 +271,16 @@ type summary = {
     the service layer itself is contained to that job's slot. No job is
     ever lost or reordered.
 
+    [journal] write-ahead-logs every job's lifecycle ({!Journal});
+    [resume] additionally loads the journal first and skips the jobs
+    whose [(seq, content-hash)] it records as emitted. [breaker] is
+    threaded to every {!run_job}. [max_pending] bounds the pending-job
+    queue (also bounding stdin read-ahead — backpressure); under
+    [shed_policy = `Block] (default) the producer simply waits, under
+    [`Reject] a saturated queue deterministically sheds the next
+    [high - low] input lines as [outcome = "shed"] results (never a
+    silent drop; [low = max 1 (max_pending / 2)]).
+
     [stats_every] emits a one-line progress summary to [stats_sink]
     (default stderr) after every N completed jobs and once at the end:
     job count, throughput, cache hit rate, p50/p99 job latency from the
@@ -212,7 +288,9 @@ type summary = {
     writes the full Prometheus-style exposition
     ({!Epre_telemetry.Exposition.write}, atomic temp+rename) on each
     stats tick and once when the input is drained. Neither touches
-    [output]. *)
+    [output].
+
+    @raise Killed when [chaos:kill-self] fires (see {!Killed}). *)
 val serve :
   ?cache:Cache.t ->
   ?batch:int ->
@@ -221,6 +299,11 @@ val serve :
   ?stats_every:int ->
   ?metrics_out:string ->
   ?stats_sink:(string -> unit) ->
+  ?journal:Journal.t ->
+  ?resume:bool ->
+  ?breaker:Breaker.t ->
+  ?max_pending:int ->
+  ?shed_policy:[ `Block | `Reject ] ->
   pool:Pool.t ->
   input:in_channel ->
   output:out_channel ->

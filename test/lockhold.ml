@@ -1,0 +1,10 @@
+(* Test helper: hold an advisory [lockf] lock on argv.(1), touch argv.(2)
+   to signal readiness, then linger until killed. Used by the cache-sweep
+   test — OCaml 5 forbids [Unix.fork] once domains exist, so the live
+   concurrent writer must be a real separate process. *)
+let () =
+  let target = Sys.argv.(1) and ready = Sys.argv.(2) in
+  let fd = Unix.openfile target [ Unix.O_RDWR ] 0 in
+  Unix.lockf fd Unix.F_LOCK 0;
+  close_out (open_out ready);
+  Unix.sleepf 30.0

@@ -1,15 +1,20 @@
 (** The compile service: work-stealing deque invariants, pool ordering /
     exception / nesting semantics, parallel-equals-serial for the whole
     workload suite at every level (bare and supervised), cache hit
-    replay, fingerprint invalidation, poisoned-entry fallback, and the
-    serve job protocol. *)
+    replay, fingerprint invalidation, poisoned-entry fallback, the serve
+    job protocol, and the crash-safety layer — journal round-trips,
+    kill-and-resume byte identity, the graceful-degradation ladder,
+    per-pass circuit breakers, and admission-control shedding. *)
 
 open Epre_ir
 module Deque = Epre_service.Deque
 module Pool = Epre_service.Pool
 module Cache = Epre_service.Cache
 module Service = Epre_service.Service
+module Journal = Epre_service.Journal
+module Breaker = Epre_service.Breaker
 module Pipeline = Epre.Pipeline
+module Tjson = Epre_telemetry.Tjson
 
 let fresh_dir =
   let n = ref 0 in
@@ -615,7 +620,8 @@ let test_run_job_timeout () =
      are for transient failures only. *)
   let id = chaos_id Chaos.Slow_job ~firing:true in
   let policy =
-    { Service.Policy.timeout_ms = Some 25.0; retries = 2; backoff_ms = 1.0 }
+    { Service.Policy.timeout_ms = Some 25.0; retries = 2; backoff_ms = 1.0;
+      degrade = false }
   in
   let r = Service.run_job ~policy ~chaos:[ Chaos.Slow_job ] (iloc_job id) in
   Alcotest.(check bool) "not ok" false r.Service.ok;
@@ -788,6 +794,343 @@ let test_serve_malformed_line_numbers () =
   Sys.remove in_path;
   Sys.remove out_path
 
+(* ------------------------------------------------------------------ *)
+(* Crash safety: journal, kill/resume, ladder, breakers, shedding *)
+
+(* Run [Service.serve] over [input] (a full NDJSON batch as one string),
+   returning the summary (or [Error `Killed] if chaos:kill-self struck)
+   and the emitted result lines. *)
+let serve_to_lines ?cache ?batch ?policy ?chaos ?journal ?(resume = false)
+    ?breaker ?max_pending ?shed_policy ~jobs input =
+  let in_path = Filename.temp_file "eprec-serve" ".jobs" in
+  let out_path = Filename.temp_file "eprec-serve" ".out" in
+  let oc = open_out_bin in_path in
+  output_string oc input;
+  close_out oc;
+  let ic = open_in_bin in_path and out = open_out_bin out_path in
+  let res =
+    match
+      Pool.with_pool ~jobs (fun pool ->
+          Service.serve ?cache ?batch ?policy ?chaos ?journal ~resume ?breaker
+            ?max_pending ?shed_policy ~pool ~input:ic ~output:out ())
+    with
+    | s -> Ok s
+    | exception Service.Killed -> Error `Killed
+  in
+  close_in_noerr ic;
+  close_out_noerr out;
+  let lines = ref [] in
+  let ic = open_in out_path in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> close_in_noerr ic);
+  Sys.remove in_path;
+  Sys.remove out_path;
+  (res, List.rev !lines)
+
+(* A result line with its latency field dropped — wall clock is the one
+   legitimately non-reproducible field. *)
+let norm_line l =
+  match Tjson.parse l with
+  | Ok (Tjson.Obj ms) ->
+    Tjson.to_string (Tjson.Obj (List.filter (fun (k, _) -> k <> "latency_ms") ms))
+  | Ok _ -> Alcotest.failf "result line is not an object: %s" l
+  | Error m -> Alcotest.failf "bad result line: %s" m
+
+let test_journal_roundtrip () =
+  let dir = fresh_dir () in
+  let path = Filename.concat dir "journal.jsonl" in
+  let j = Journal.open_ ~path in
+  Journal.append j
+    [ Journal.entry ~kind:"accepted" ~seq:1 ~id:"a" ~key:"k1"
+        ~fields:[ ("line", Tjson.Int 1) ] ();
+      Journal.entry ~kind:"started" ~seq:1 ~id:"a" ~key:"k1"
+        ~fields:[ ("fingerprint", Tjson.Str "fp") ] () ];
+  Journal.append j
+    [ Journal.entry ~kind:"done" ~seq:1 ~id:"a" ~key:"k1"
+        ~fields:[ ("outcome", Tjson.Str "ok") ] () ];
+  Journal.close j;
+  (* A crash mid-append leaves a torn trailing line; load must skip it. *)
+  let oc = open_out_gen [ Open_append; Open_binary ] 0o644 path in
+  output_string oc "{\"type\":\"done\",\"seq\":2";
+  close_out oc;
+  let entries = Journal.load ~path in
+  Alcotest.(check int) "torn tail skipped" 3 (List.length entries);
+  (match entries with
+  | first :: _ ->
+    Alcotest.(check string) "kind" "accepted" first.Journal.kind;
+    Alcotest.(check int) "seq" 1 first.Journal.seq;
+    Alcotest.(check bool) "extra field preserved" true
+      (List.mem_assoc "line" first.Journal.fields)
+  | [] -> Alcotest.fail "no entries");
+  Alcotest.(check (list (pair int string)))
+    "only done/failed count as emitted"
+    [ (1, "k1") ]
+    (Journal.emitted entries)
+
+let test_serve_kill_resume_byte_identical () =
+  (* The crash drill, in-process: a run killed mid-batch by
+     chaos:kill-self, resumed from its journal, must complete the batch
+     such that killed-output ++ resumed-output is byte-identical (modulo
+     wall clock) to an undisturbed run over the same input. *)
+  let input =
+    String.concat ""
+      (List.init 12 (fun i ->
+           Printf.sprintf
+             "{\"id\":\"j%d\",\"workload\":\"saxpy\",\"level\":\"distribution\",\"emit\":false}\n"
+             (i + 1)))
+  in
+  let ref_res, ref_lines =
+    serve_to_lines ~cache:(Cache.create ~dir:(fresh_dir ()) ()) ~batch:4
+      ~jobs:1 input
+  in
+  (match ref_res with
+  | Ok s -> Alcotest.(check int) "reference all ok" 12 s.Service.succeeded
+  | Error `Killed -> Alcotest.fail "reference run must not be killed");
+  let saved = !Chaos.default_seed in
+  Fun.protect ~finally:(fun () -> Chaos.default_seed := saved) @@ fun () ->
+  (* Seed 1 deterministically fires kill-self on a later batch, so some
+     output precedes the crash. *)
+  Chaos.default_seed := 1;
+  let dir = fresh_dir () in
+  let jpath = Filename.concat dir "journal.jsonl" in
+  let journal = Journal.open_ ~path:jpath in
+  let killed_res, killed_lines =
+    serve_to_lines ~cache:(Cache.create ~dir ()) ~batch:4 ~jobs:1
+      ~chaos:[ Chaos.Kill_self ] ~journal input
+  in
+  Journal.close journal;
+  Alcotest.(check bool) "killed mid-batch" true (killed_res = Error `Killed);
+  let emitted = List.length killed_lines in
+  Alcotest.(check bool)
+    (Printf.sprintf "partial output (%d lines)" emitted)
+    true
+    (emitted > 0 && emitted < 12);
+  Chaos.default_seed := saved;
+  let journal = Journal.open_ ~path:jpath in
+  let resume_res, resume_lines =
+    serve_to_lines ~cache:(Cache.create ~dir ()) ~batch:4 ~jobs:1 ~journal
+      ~resume:true input
+  in
+  Journal.close journal;
+  (match resume_res with
+  | Ok s ->
+    Alcotest.(check int) "emitted prefix replayed, not re-run" emitted
+      s.Service.replayed;
+    Alcotest.(check int) "in-flight jobs re-run exactly once" (12 - emitted)
+      s.Service.jobs;
+    Alcotest.(check int) "no failures" 0 s.Service.failed
+  | Error `Killed -> Alcotest.fail "resume run must complete");
+  Alcotest.(check (list string)) "merged output == undisturbed run"
+    (List.map norm_line ref_lines)
+    (List.map norm_line (killed_lines @ resume_lines))
+
+(* The lowest level whose pipeline contains the deterministically
+   poisoned pass — requesting it guarantees chaos:pass-poison strikes. *)
+let poisoned_level () =
+  let target =
+    match Service.poisoned_pass () with
+    | Some p -> p
+    | None -> Alcotest.fail "no poison candidates"
+  in
+  let level =
+    List.find
+      (fun l -> List.mem target (Pipeline.level_stages ~level:l))
+      Pipeline.all_levels
+  in
+  (target, level)
+
+let test_degraded_byte_identical_and_oracle () =
+  (* Ladder property, over fuzz programs: a degraded result must be
+     byte-identical to a direct serial run at the degraded level, and
+     observationally equal to the unoptimized (-O0) program. *)
+  let _, requested = poisoned_level () in
+  let policy = { Service.Policy.default with degrade = true } in
+  let fuel = Epre_harness.Harness.default_config.Epre_harness.Harness.fuel in
+  List.iter
+    (fun i ->
+      let src = Epre_fuzz.Gen.source i in
+      let job level =
+        { Service.id = Printf.sprintf "fuzz-%d" i; level;
+          input = Service.Source src; emit = true }
+      in
+      let r =
+        Service.run_job ~policy ~chaos:[ Chaos.Pass_poison ] (job requested)
+      in
+      Alcotest.(check bool) "served" true r.Service.ok;
+      Alcotest.(check bool) "outcome degraded" true
+        (r.Service.outcome = Service.Degraded);
+      Alcotest.(check bool) "served below request" true
+        (r.Service.job_level < requested
+        && r.Service.requested = Some requested);
+      let direct = Service.run_job (job r.Service.job_level) in
+      Alcotest.(check bool) "byte-identical to direct run at degraded level"
+        true
+        (r.Service.iloc = direct.Service.iloc);
+      let reference = Epre_frontend.Frontend.compile_string src in
+      let optimized = Ir_text.parse_program (Option.get r.Service.iloc) in
+      Alcotest.(check bool) "oracle-equal to -O0" true
+        (Epre_harness.Harness.obs_equal
+           (Epre_harness.Harness.observe ~fuel reference)
+           (Epre_harness.Harness.observe ~fuel optimized)))
+    [ 1; 2; 3; 4; 5 ]
+
+let test_breaker_opens_and_short_circuits () =
+  (* Three consecutive poisoned failures open the pass's breaker; from
+     then on jobs skip the poisoned rung entirely (one attempt, served
+     degraded) — 100% completion, no failures. *)
+  let target, requested = poisoned_level () in
+  let breaker = Breaker.create ~threshold:3 ~probe_after:100 () in
+  let policy = { Service.Policy.default with degrade = true } in
+  let results =
+    List.init 6 (fun i ->
+        Service.run_job ~policy ~chaos:[ Chaos.Pass_poison ] ~breaker
+          { (iloc_job (Printf.sprintf "bp%d" i)) with Service.level = requested })
+  in
+  List.iteri
+    (fun i r ->
+      Alcotest.(check bool) (Printf.sprintf "job %d completes" i) true
+        (r.Service.ok && r.Service.outcome = Service.Degraded))
+    results;
+  let last = List.nth results 5 in
+  Alcotest.(check int) "open breaker short-circuits: one attempt" 1
+    last.Service.attempts;
+  Alcotest.(check bool) "ladder pays an extra attempt before it opens" true
+    ((List.hd results).Service.attempts > 1);
+  Alcotest.(check bool)
+    (Printf.sprintf "breaker open for %s" target)
+    true
+    (List.mem_assoc target (Breaker.snapshot breaker)
+    && List.assoc target (Breaker.snapshot breaker) = "open")
+
+let test_breaker_half_open_probe () =
+  let b = Breaker.create ~threshold:2 ~probe_after:2 () in
+  let passes = [ "p"; "q" ] in
+  Alcotest.(check (list string)) "closed: nothing excluded" []
+    (Breaker.excluded b ~passes);
+  Breaker.failure b ~pass:"p";
+  Breaker.failure b ~pass:"p";
+  Alcotest.(check (list string)) "open after threshold" [ "p" ]
+    (Breaker.excluded b ~passes);
+  (* Second skipped execution expires the probe timer: half-open, and the
+     pass is *not* excluded — that run is its probe. *)
+  Alcotest.(check (list string)) "half-open probe runs the pass" []
+    (Breaker.excluded b ~passes);
+  Breaker.failure b ~pass:"p";
+  Alcotest.(check (list string)) "failed probe re-opens" [ "p" ]
+    (Breaker.excluded b ~passes);
+  Alcotest.(check (list string)) "probe again" []
+    (Breaker.excluded b ~passes);
+  Breaker.success b ~pass:"p";
+  Alcotest.(check (list string)) "successful probe closes" []
+    (Breaker.excluded b ~passes);
+  Alcotest.(check (list (pair string string))) "snapshot" [ ("p", "closed") ]
+    (Breaker.snapshot b)
+
+let test_serve_shed_deterministic () =
+  (* Overload with a bounded queue and reject policy: sheds are
+     deterministic — same jobs shed, in input order, on every run. *)
+  let input =
+    String.concat ""
+      (List.init 10 (fun i ->
+           Printf.sprintf "{\"id\":\"s%d\",\"workload\":\"saxpy\",\"emit\":false}\n"
+             (i + 1)))
+  in
+  let run () =
+    serve_to_lines ~batch:2 ~jobs:1 ~max_pending:2 ~shed_policy:`Reject input
+  in
+  let res1, lines1 = run () in
+  let res2, lines2 = run () in
+  let s1 = match res1 with Ok s -> s | Error `Killed -> Alcotest.fail "killed" in
+  let s2 = match res2 with Ok s -> s | Error `Killed -> Alcotest.fail "killed" in
+  Alcotest.(check bool) "queue pressure sheds" true (s1.Service.shed > 0);
+  Alcotest.(check int) "every job accounted" 10 s1.Service.jobs;
+  Alcotest.(check int) "served + shed = jobs" 10
+    (s1.Service.succeeded + s1.Service.shed);
+  Alcotest.(check int) "shed not counted as failed" 0 s1.Service.failed;
+  Alcotest.(check int) "deterministic shed count" s1.Service.shed
+    s2.Service.shed;
+  Alcotest.(check (list string)) "deterministic output" (List.map norm_line lines1)
+    (List.map norm_line lines2);
+  (* Input order survives shedding, and shed lines are well-formed. *)
+  let ids =
+    List.map
+      (fun l ->
+        match Tjson.parse l with
+        | Ok j -> (
+          match Tjson.member "id" j with
+          | Some (Tjson.Str s) -> s
+          | _ -> Alcotest.fail "result without id")
+        | Error m -> Alcotest.failf "bad result line: %s" m)
+      lines1
+  in
+  Alcotest.(check (list string)) "input order"
+    (List.init 10 (fun i -> Printf.sprintf "s%d" (i + 1)))
+    ids;
+  let sheds =
+    List.filter
+      (fun l ->
+        match Tjson.parse l with
+        | Ok j -> Tjson.member "outcome" j = Some (Tjson.Str "shed")
+        | Error _ -> false)
+      lines1
+  in
+  Alcotest.(check int) "shed lines match the summary" s1.Service.shed
+    (List.length sheds)
+
+let test_cache_sweep_spares_locked () =
+  (* A stale-looking temp file whose writer is alive (holds its advisory
+     lock) survives the sweep; the truly orphaned one is reclaimed. *)
+  let dir = fresh_dir () in
+  let cache = Cache.create ~dir () in
+  let shard = Filename.concat dir "ab" in
+  List.iter
+    (fun d ->
+      try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ())
+    [ dir; shard ];
+  let held = Filename.concat shard "entry-held.tmp" in
+  let stale = Filename.concat shard "entry-stale.tmp" in
+  List.iter
+    (fun p ->
+      let oc = open_out_bin p in
+      output_string oc "half-written entry";
+      close_out oc)
+    [ held; stale ];
+  let old = Unix.gettimeofday () -. 3600.0 in
+  Unix.utimes held old old;
+  Unix.utimes stale old old;
+  let ready = Filename.concat dir "ready" in
+  (* The live writer must be a real separate process (fork is unavailable
+     once domains exist): a helper that locks the file, signals
+     readiness, and lingers until killed. *)
+  let helper =
+    Filename.concat (Filename.dirname Sys.executable_name) "lockhold.exe"
+  in
+  let pid =
+    Unix.create_process helper [| helper; held; ready |] Unix.stdin Unix.stdout
+      Unix.stderr
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+      ignore (Unix.waitpid [] pid))
+    (fun () ->
+      let rec wait_ready n =
+        if not (Sys.file_exists ready) then
+          if n > 1000 then Alcotest.fail "helper never took the lock"
+          else begin
+            Unix.sleepf 0.005;
+            wait_ready (n + 1)
+          end
+      in
+      wait_ready 0;
+      let swept = Cache.sweep_temp cache in
+      Alcotest.(check int) "only the orphan swept" 1 swept;
+      Alcotest.(check bool) "held file spared" true (Sys.file_exists held);
+      Alcotest.(check bool) "orphan gone" false (Sys.file_exists stale))
+
 let suite =
   [
     Alcotest.test_case "deque lifo/fifo" `Quick test_deque_lifo_fifo;
@@ -831,4 +1174,18 @@ let suite =
     Alcotest.test_case "serve streams in order" `Quick test_serve_stream;
     Alcotest.test_case "malformed lines carry line numbers" `Quick
       test_serve_malformed_line_numbers;
+    Alcotest.test_case "journal round-trips, tolerates torn tail" `Quick
+      test_journal_roundtrip;
+    Alcotest.test_case "kill-and-resume completes byte-identically" `Quick
+      test_serve_kill_resume_byte_identical;
+    Alcotest.test_case "degraded == direct run at lower level, oracle-equal"
+      `Slow test_degraded_byte_identical_and_oracle;
+    Alcotest.test_case "breaker opens and short-circuits the ladder" `Quick
+      test_breaker_opens_and_short_circuits;
+    Alcotest.test_case "breaker half-open probe protocol" `Quick
+      test_breaker_half_open_probe;
+    Alcotest.test_case "admission control sheds deterministically" `Quick
+      test_serve_shed_deterministic;
+    Alcotest.test_case "sweep spares a live writer's temp file" `Quick
+      test_cache_sweep_spares_locked;
   ]
