@@ -845,7 +845,11 @@ let run_soak ~small () =
     let out_path = Filename.temp_file "eprec-soak" ".out" in
     let run ~chaos ~resume () =
       let cache = Epre_service.Cache.create ~dir () in
-      let journal = Epre_service.Journal.open_ ~path:jpath in
+      let journal =
+        Epre_service.Journal.open_
+          ~mode:(if resume then `Resume else `Fresh)
+          ~path:jpath ()
+      in
       let ic = open_in_bin jobs_path
       and out =
         open_out_gen [ Open_append; Open_creat; Open_binary ] 0o644 out_path

@@ -1073,9 +1073,10 @@ let serve_cmd =
       & info [ "shed-policy" ] ~docv:"POLICY"
           ~doc:
             "What a saturated queue does to new jobs: $(b,block) \
-             (default) stops reading input until it drains below the low \
-             watermark; $(b,reject) shed them deterministically as \
-             $(b,outcome:shed) result lines.")
+             (default) simply stops reading input at the bound — pure \
+             stdin backpressure; $(b,reject) sheds the overflow \
+             deterministically as $(b,outcome:shed) result lines, down \
+             to the low watermark (half the bound).")
   in
   let cache_sweep_age_arg =
     Arg.(
@@ -1205,9 +1206,14 @@ let serve_cmd =
     let journal =
       match cache with
       | Some c ->
+        (* A fresh serve truncates any stale journal (unless another live
+           serve holds it) and stamps a new run id; --resume continues
+           the previous incarnation's run id instead. *)
         Some
           (Epre_service.Journal.open_
-             ~path:(Filename.concat (Epre_service.Cache.dir c) "journal.jsonl"))
+             ~mode:(if resume then `Resume else `Fresh)
+             ~path:(Filename.concat (Epre_service.Cache.dir c) "journal.jsonl")
+             ())
       | None ->
         if resume then begin
           Fmt.epr "serve: --resume needs the journal, which lives in the \

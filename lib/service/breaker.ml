@@ -74,8 +74,9 @@ let excluded t ~passes =
     (fun pass ->
       match state t pass with
       | Closed _ | Half_open -> false
-      | Open k when k <= 1 ->
-        (* Probe time: let this pipeline run the pass and report back. *)
+      | Open k when k <= 0 ->
+        (* Countdown spent — probe_after executions were skipped. Probe
+           time: let this pipeline run the pass and report back. *)
         transition t ~pass ~from:(Open k) ~to_:Half_open;
         false
       | Open k ->

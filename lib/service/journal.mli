@@ -3,10 +3,10 @@
     An append-only JSONL file (by convention [<cache-dir>/journal.jsonl])
     recording the lifecycle of every job in a serve batch:
 
-    {v {"type":"accepted","seq":3,"id":"job-3","key":"<md5 of raw line>","line":7}
-       {"type":"started","seq":3,"id":"job-3","key":"...","fingerprint":"epre-pipeline-v1|..."}
-       {"type":"done","seq":3,"id":"job-3","key":"...","outcome":"ok"}
-       {"type":"failed","seq":4,"id":"job-4","key":"...","outcome":"error"} v}
+    {v {"type":"accepted","seq":3,"id":"job-3","key":"<md5 of raw line>","run":"<run id>","line":7}
+       {"type":"started","seq":3,"id":"job-3","key":"...","run":"...","fingerprint":"epre-pipeline-v1|..."}
+       {"type":"done","seq":3,"id":"job-3","key":"...","run":"...","outcome":"ok"}
+       {"type":"failed","seq":4,"id":"job-4","key":"...","run":"...","outcome":"error"} v}
 
     [seq] is the job's 1-based position among the non-blank input lines,
     [key] the MD5 of the raw input line (content hash), [fingerprint] the
@@ -18,6 +18,17 @@
     exactly once. (A crash inside the flush-then-journal window can
     re-emit an already-flushed line — the protocol is at-least-once per
     line, exactly-once per journaled line.)
+
+    [run] stamps every record with the id of the serve incarnation that
+    wrote it. A non-resume open mints a fresh run id and — when no live
+    process still holds the journal's advisory lock — truncates the file,
+    so records from a {e completed} previous batch over the same input
+    can never satisfy a later [--resume] (same [(seq, key)], different
+    batch) and silently swallow its lines. A resume open continues the
+    last run id found in the file, so chained resumes honor every record
+    of the same logical batch; {!emitted} filters by run id, keeping
+    interleaved records from a concurrent serve (which the lock left
+    untruncated) out of the replay set.
 
     Each {!append} issues a single [write] on an [O_APPEND] descriptor
     followed by [fsync], so records from concurrent serves interleave at
@@ -32,7 +43,7 @@ type entry = {
   id : string;
   key : string;
   fields : (string * Epre_telemetry.Tjson.t) list;
-      (** extra fields: ["line"], ["fingerprint"], ["outcome"], ... *)
+      (** extra fields: ["run"], ["line"], ["fingerprint"], ["outcome"], ... *)
 }
 
 val entry :
@@ -44,13 +55,27 @@ val entry :
   unit ->
   entry
 
-(** Open (creating if absent) for appending. *)
-val open_ : path:string -> t
+(** Open (creating if absent) for appending. [`Fresh] (default) starts a
+    new run: mints a run id and truncates any stale journal no live
+    process holds. [`Resume] continues the last run recorded in the file
+    (minting a fresh id only if the journal is empty) and never
+    truncates. The journal holds an advisory [lockf] lock on the file
+    for its lifetime. *)
+val open_ : ?mode:[ `Fresh | `Resume ] -> path:string -> unit -> t
 
 val path : t -> string
 
+(** The run id this journal stamps on every appended record. *)
+val run : t -> string
+
 (** Append the entries as JSONL in one write, then [fsync]. No-op on []. *)
 val append : t -> entry list -> unit
+
+(** Decode the journal's current on-disk contents through its own file
+    descriptor (an [open_in] on the path would drop this process's
+    advisory lock when closed — POSIX fcntl semantics). Same tolerance
+    as {!load}. *)
+val entries : t -> entry list
 
 val close : t -> unit
 
@@ -58,6 +83,15 @@ val close : t -> unit
     undecodable lines (torn tail, foreign garbage) are skipped. *)
 val load : path:string -> entry list
 
+(** The run id a record was stamped with, if any. *)
+val run_of : entry -> string option
+
+(** The run id of the last stamped entry — the incarnation a [`Resume]
+    open continues. *)
+val last_run : entry list -> string option
+
 (** The [(seq, key)] pairs of [done]/[failed] entries in [entries] — the
-    jobs whose result lines provably reached the output stream. *)
-val emitted : entry list -> (int * string) list
+    jobs whose result lines provably reached the output stream. With
+    [?run], only entries stamped with that run id count (records from
+    other serve incarnations sharing the file are ignored). *)
+val emitted : ?run:string -> entry list -> (int * string) list

@@ -756,16 +756,18 @@ let serve ?cache ?batch ?(policy = Policy.default) ?(chaos = []) ?stats_every
          hit_rate (q 0.5) (q 0.99) per_domain);
     write_metrics ()
   in
-  (* Result lines a previous incarnation provably emitted (journal
-     [done]/[failed] records), keyed (seq, content-hash): on --resume
-     those jobs are skipped, everything else re-runs exactly once. *)
+  (* Result lines a previous incarnation of THIS run provably emitted
+     (journal [done]/[failed] records stamped with the run id the resume
+     journal continues), keyed (seq, content-hash): on --resume those
+     jobs are skipped, everything else re-runs exactly once. Filtering
+     by run id keeps a concurrent serve's interleaved records out. *)
   let emitted_before =
     match (resume, journal) with
     | true, Some jr ->
       let tbl = Hashtbl.create 64 in
       List.iter
         (fun sk -> Hashtbl.replace tbl sk ())
-        (Journal.emitted (Journal.load ~path:(Journal.path jr)));
+        (Journal.emitted ~run:(Journal.run jr) (Journal.entries jr));
       tbl
     | _ -> Hashtbl.create 1
   in

@@ -842,7 +842,7 @@ let norm_line l =
 let test_journal_roundtrip () =
   let dir = fresh_dir () in
   let path = Filename.concat dir "journal.jsonl" in
-  let j = Journal.open_ ~path in
+  let j = Journal.open_ ~path () in
   Journal.append j
     [ Journal.entry ~kind:"accepted" ~seq:1 ~id:"a" ~key:"k1"
         ~fields:[ ("line", Tjson.Int 1) ] ();
@@ -868,7 +868,67 @@ let test_journal_roundtrip () =
   Alcotest.(check (list (pair int string)))
     "only done/failed count as emitted"
     [ (1, "k1") ]
-    (Journal.emitted entries)
+    (Journal.emitted entries);
+  (* Every record is stamped with the writing journal's run id, and the
+     run filter keeps foreign runs out of the replay set. *)
+  let r = match Journal.last_run entries with
+    | Some r -> r
+    | None -> Alcotest.fail "records not run-stamped"
+  in
+  List.iter
+    (fun e ->
+      Alcotest.(check (option string)) "stamped" (Some r) (Journal.run_of e))
+    entries;
+  Alcotest.(check (list (pair int string)))
+    "emitted filtered by run id" [ (1, "k1") ]
+    (Journal.emitted ~run:r entries);
+  Alcotest.(check (list (pair int string)))
+    "foreign run id matches nothing" []
+    (Journal.emitted ~run:"someone-else" entries)
+
+let test_journal_run_isolation () =
+  (* The stale-journal hazard: batch 1 completes (done records on disk);
+     the same input is re-served in the same cache dir WITHOUT --resume;
+     that run is killed mid-way and resumed. The resume must not let
+     batch 1's done records — same (seq, key)! — masquerade as batch 2's
+     and silently swallow its lines. *)
+  let dir = fresh_dir () in
+  let path = Filename.concat dir "journal.jsonl" in
+  let j1 = Journal.open_ ~path () in
+  Journal.append j1
+    [ Journal.entry ~kind:"done" ~seq:1 ~id:"a" ~key:"k1"
+        ~fields:[ ("outcome", Tjson.Str "ok") ] () ];
+  Journal.close j1;
+  (* Batch 2, fresh serve: the completed run's journal is truncated (no
+     live holder) and records carry a new run id. *)
+  let j2 = Journal.open_ ~path () in
+  Alcotest.(check int) "fresh open truncates a stale journal" 0
+    (List.length (Journal.entries j2));
+  Alcotest.(check bool) "fresh open mints a new run id" true
+    (Journal.run j2 <> Journal.run j1);
+  Journal.append j2
+    [ Journal.entry ~kind:"started" ~seq:1 ~id:"a" ~key:"k1" () ];
+  Journal.close j2;
+  (* "Crash" after started; --resume continues batch 2's run id and must
+     re-run seq 1: no done record in THIS run. *)
+  let j3 = Journal.open_ ~mode:`Resume ~path () in
+  Alcotest.(check string) "resume continues the last run id"
+    (Journal.run j2) (Journal.run j3);
+  Alcotest.(check (list (pair int string)))
+    "stale done records do not count as emitted" []
+    (Journal.emitted ~run:(Journal.run j3) (Journal.entries j3));
+  (* The resumed incarnation finishes the job; a chained resume now sees
+     it as emitted. *)
+  Journal.append j3
+    [ Journal.entry ~kind:"done" ~seq:1 ~id:"a" ~key:"k1"
+        ~fields:[ ("outcome", Tjson.Str "ok") ] () ];
+  Journal.close j3;
+  let j4 = Journal.open_ ~mode:`Resume ~path () in
+  Alcotest.(check (list (pair int string)))
+    "chained resume honors the whole logical batch"
+    [ (1, "k1") ]
+    (Journal.emitted ~run:(Journal.run j4) (Journal.entries j4));
+  Journal.close j4
 
 let test_serve_kill_resume_byte_identical () =
   (* The crash drill, in-process: a run killed mid-batch by
@@ -896,7 +956,7 @@ let test_serve_kill_resume_byte_identical () =
   Chaos.default_seed := 1;
   let dir = fresh_dir () in
   let jpath = Filename.concat dir "journal.jsonl" in
-  let journal = Journal.open_ ~path:jpath in
+  let journal = Journal.open_ ~path:jpath () in
   let killed_res, killed_lines =
     serve_to_lines ~cache:(Cache.create ~dir ()) ~batch:4 ~jobs:1
       ~chaos:[ Chaos.Kill_self ] ~journal input
@@ -909,7 +969,7 @@ let test_serve_kill_resume_byte_identical () =
     true
     (emitted > 0 && emitted < 12);
   Chaos.default_seed := saved;
-  let journal = Journal.open_ ~path:jpath in
+  let journal = Journal.open_ ~mode:`Resume ~path:jpath () in
   let resume_res, resume_lines =
     serve_to_lines ~cache:(Cache.create ~dir ()) ~batch:4 ~jobs:1 ~journal
       ~resume:true input
@@ -1014,12 +1074,17 @@ let test_breaker_half_open_probe () =
   Breaker.failure b ~pass:"p";
   Alcotest.(check (list string)) "open after threshold" [ "p" ]
     (Breaker.excluded b ~passes);
-  (* Second skipped execution expires the probe timer: half-open, and the
-     pass is *not* excluded — that run is its probe. *)
+  Alcotest.(check (list string)) "second skipped execution" [ "p" ]
+    (Breaker.excluded b ~passes);
+  (* probe_after = 2 executions have been skipped: the timer is spent,
+     the breaker goes half-open, and the pass is *not* excluded — that
+     run is its probe. *)
   Alcotest.(check (list string)) "half-open probe runs the pass" []
     (Breaker.excluded b ~passes);
   Breaker.failure b ~pass:"p";
   Alcotest.(check (list string)) "failed probe re-opens" [ "p" ]
+    (Breaker.excluded b ~passes);
+  Alcotest.(check (list string)) "re-opened: full countdown again" [ "p" ]
     (Breaker.excluded b ~passes);
   Alcotest.(check (list string)) "probe again" []
     (Breaker.excluded b ~passes);
@@ -1176,6 +1241,8 @@ let suite =
       test_serve_malformed_line_numbers;
     Alcotest.test_case "journal round-trips, tolerates torn tail" `Quick
       test_journal_roundtrip;
+    Alcotest.test_case "stale journal cannot satisfy a later resume" `Quick
+      test_journal_run_isolation;
     Alcotest.test_case "kill-and-resume completes byte-identically" `Quick
       test_serve_kill_resume_byte_identical;
     Alcotest.test_case "degraded == direct run at lower level, oracle-equal"
