@@ -11,6 +11,8 @@
      verify    run the static verifier (structural + type rules) over a
                program, a workload or the whole suite, at any level
      lint      verify plus the L0xx lint rules
+     analyze   audit PRE effectiveness (A0xx rules): residual redundancy,
+               down-safety, path lengths and register pressure
      passes    list the pass registry (including the chaos:* fault injectors)
      workloads list or differentially check the built-in workload suite
      serve     batch compile server: JSON jobs on stdin, parallel + cached,
@@ -136,6 +138,17 @@ let chaos_seed_arg =
     & info [ "chaos-seed" ] ~docv:"N"
         ~doc:"Seed for the chaos fault injectors (replayable corruption).")
 
+let audit_arg =
+  Arg.(
+    value & flag
+    & info [ "audit" ]
+        ~doc:
+          "Run the redundancy auditor after each audited pass (the \
+           $(b,A0xx) rule family: residual redundancy, down-safety, \
+           pressure). Findings land in the supervision report's meta and \
+           the $(b,analyze.*) telemetry counters; they never roll a pass \
+           back. Implies supervision.")
+
 let stats_arg =
   Arg.(
     value & flag
@@ -255,24 +268,29 @@ type supervision = {
   report : [ `Json ] option;
   chaos : string option;
   chaos_seed : int option;
+  audit : bool;
 }
 
 let supervision_term =
-  let mk safe validate report chaos chaos_seed =
+  let mk safe validate report chaos chaos_seed audit =
     (match chaos_seed with
     | Some s -> Epre_harness.Chaos.default_seed := s
     | None -> ());
-    { safe; validate; report; chaos; chaos_seed }
+    { safe; validate; report; chaos; chaos_seed; audit }
   in
-  Term.(const mk $ safe_arg $ validate_arg $ report_arg $ chaos_arg $ chaos_seed_arg)
+  Term.(
+    const mk $ safe_arg $ validate_arg $ report_arg $ chaos_arg
+    $ chaos_seed_arg $ audit_arg)
 
-let supervised sup = sup.safe || sup.validate <> None || sup.chaos <> None
+let supervised sup =
+  sup.safe || sup.validate <> None || sup.chaos <> None || sup.audit
 
 let harness_config sup =
   { Epre_harness.Harness.validation =
       Option.value sup.validate ~default:Epre_harness.Harness.Ir;
     fuel = Epre_interp.Interp.default_fuel;
     keep_going = sup.safe;
+    audit = sup.audit;
   }
 
 let print_report sup ppf records =
@@ -887,6 +905,151 @@ let lint_cmd =
       const run $ verify_file_arg $ verify_workload_arg $ verify_workloads_arg
       $ level_arg $ all_levels_arg $ rules_arg $ json_arg $ telemetry_term)
 
+(* --- analyze ----------------------------------------------------------- *)
+
+(* PRE runs at every level above Baseline, so that's where residual
+   redundancy (A001/A002) becomes an error rather than expected input. *)
+let expect_pre_at = function
+  | Epre.Pipeline.Baseline -> false
+  | Epre.Pipeline.Partial | Epre.Pipeline.Reassociation
+  | Epre.Pipeline.Distribution ->
+    true
+
+let run_analyze file workload workloads level all_levels rules json tel =
+  let rule_filter =
+    match rules with
+    | None -> None
+    | Some spec -> begin
+      match Epre_verify.Rules.parse_spec spec with
+      | Ok ids -> Some ids
+      | Error id ->
+        Fmt.epr "unknown rule id %S (see DESIGN.md)@." id;
+        exit 1
+    end
+  in
+  let inputs = verify_inputs file workload workloads in
+  let levels =
+    if all_levels then None :: List.map Option.some Epre.Pipeline.all_levels
+    else [ level ]
+  in
+  let total_errors = ref 0 in
+  let total_warnings = ref 0 in
+  let reports = ref [] in
+  with_telemetry tel (fun () ->
+      List.iter
+        (fun (name, compile) ->
+          List.iter
+            (fun lvl ->
+              let prog, expect_pre, baseline =
+                match lvl with
+                | None -> (compile (), false, None)
+                | Some level ->
+                  let reference = compile () in
+                  let prog = compile () in
+                  ignore (Epre.Pipeline.optimize ~level prog);
+                  (prog, expect_pre_at level, Some reference)
+              in
+              let routine_reports, diags =
+                Epre_verify.Analyze.check_program ~expect_pre ?baseline prog
+              in
+              let diags =
+                match rule_filter with
+                | None -> diags
+                | Some ids ->
+                  List.filter
+                    (fun (d : Epre_verify.Diag.t) ->
+                      List.mem d.Epre_verify.Diag.rule ids)
+                    diags
+              in
+              Epre_verify.Analyze.record_metrics diags;
+              let errs = List.length (Epre_verify.Verify.errors diags) in
+              let warns = List.length (Epre_verify.Verify.warnings diags) in
+              total_errors := !total_errors + errs;
+              total_warnings := !total_warnings + warns;
+              if json then
+                reports :=
+                  Epre_telemetry.Tjson.Obj
+                    [ ("input", Epre_telemetry.Tjson.Str name);
+                      ("level", Epre_telemetry.Tjson.Str (level_label lvl));
+                      ( "routines",
+                        Epre_telemetry.Tjson.Arr
+                          (List.map
+                             (fun (rn, rep) ->
+                               Epre_verify.Analyze.report_to_tjson ~routine:rn
+                                 rep)
+                             routine_reports) );
+                      ("report", Epre_verify.Verify.to_tjson diags) ]
+                  :: !reports
+              else begin
+                if diags <> [] then begin
+                  Fmt.pr "== %s (%s)@." name (level_label lvl);
+                  Fmt.pr "%s@." (Epre_verify.Verify.render diags)
+                end;
+                let residual =
+                  List.fold_left
+                    (fun acc (_, rep) ->
+                      acc + Epre_verify.Analyze.Audit.residual rep)
+                    0 routine_reports
+                in
+                if residual > 0 && lvl <> None then
+                  Fmt.pr "%s (%s): %d redundant evaluation(s) left@." name
+                    (level_label lvl) residual
+              end)
+            levels)
+        inputs);
+  if json then
+    print_endline
+      (Epre_telemetry.Tjson.to_string
+         (Epre_telemetry.Tjson.Arr (List.rev !reports)))
+  else
+    Fmt.pr "analyze: %d error(s), %d warning(s) over %d check(s)@."
+      !total_errors !total_warnings
+      (List.length inputs * List.length levels);
+  emit_metrics tel [];
+  if !total_errors > 0 then exit 1
+
+let analyze_cmd =
+  let doc =
+    "audit PRE effectiveness: residual redundancy, down-safety and \
+     register pressure (A0xx rules)"
+  in
+  let man =
+    [ `S Manpage.s_description;
+      `P
+        "Compiles the input (a source FILE, $(b,--workload) NAME or every \
+         built-in workload with $(b,--workloads)), optimizes it at $(b,-O) \
+         (or at every level with $(b,--all-levels)), and runs the \
+         redundancy auditor over the result: every expression evaluation \
+         site is classified as $(b,full)y redundant (available on every \
+         path — rule A001), $(b,partial)ly redundant (a safe placement \
+         could remove it — A002), $(b,value)-redundant (a congruent \
+         register already holds the value — A007) or clean, and each site \
+         gets a down-safety verdict (its result is read on every path \
+         from the site).";
+      `P
+        "When the program was optimized, the unoptimized compile of the \
+         same input serves as the baseline for the delta rules: \
+         speculative evaluations introduced (A003), a path's evaluation \
+         count of one expression increased (A004) and peak register \
+         pressure grew (A005). Long expression lifetimes warn under A006 \
+         at any level.";
+      `P
+        "$(b,--json) emits one object per (input, level) with the \
+         per-routine site classifications, per-block pressure, deltas and \
+         the residual score, plus the diagnostics in the $(b,verify) \
+         report schema.";
+      `S Manpage.s_exit_status;
+      `P
+        "0 when the audit reports no error-severity finding (A001–A003); \
+         1 when any error-severity finding is reported, or on an unknown \
+         workload or rule id; 124 on command-line parse errors." ]
+  in
+  Cmd.v (Cmd.info "analyze" ~doc ~man)
+    Term.(
+      const run_analyze $ verify_file_arg $ verify_workload_arg
+      $ verify_workloads_arg $ level_arg $ all_levels_arg $ rules_arg
+      $ json_arg $ telemetry_term)
+
 let serve_cmd =
   let doc = "batch compile server: JSON jobs in, JSON results out" in
   let man =
@@ -1375,6 +1538,26 @@ let workloads_cmd =
           Printf.bprintf logs "FAIL %-12s verifier: %d warning(s) (--strict)\n"
             name (List.length vwarns)
         end;
+        (* Redundancy audit of the optimized program against the
+           unoptimized reference: residual-redundancy errors (A001/A002)
+           fail the workload like verifier errors. The advisory A
+           warnings fire on legitimate engine trade-offs (see `eprec
+           analyze`), so they never gate the check, strict or not. *)
+        let _, adiags =
+          Epre_verify.Analyze.check_program ~expect_pre:(expect_pre_at level)
+            ~baseline:reference prog
+        in
+        Epre_verify.Analyze.record_metrics adiags;
+        let aerrs = Epre_verify.Verify.errors adiags in
+        List.iter
+          (fun d ->
+            Printf.bprintf logs "     %s\n" (Epre_verify.Diag.to_string d))
+          aerrs;
+        if aerrs <> [] then begin
+          incr failed;
+          Printf.bprintf logs "FAIL %-12s auditor: %d error(s)\n" name
+            (List.length aerrs)
+        end;
         let fuel = Epre_interp.Interp.default_fuel in
         let before = Epre_harness.Harness.observe ~fuel reference in
         let after = Epre_harness.Harness.observe ~fuel prog in
@@ -1418,6 +1601,6 @@ let main =
   let doc = "effective partial redundancy elimination (Briggs & Cooper, PLDI 1994)" in
   Cmd.group (Cmd.info "eprec" ~doc)
     [ compile_cmd; run_cmd; bisect_cmd; fuzz_cmd; table1_cmd; table2_cmd; hierarchy_cmd;
-      verify_cmd; lint_cmd; passes_cmd; workloads_cmd; serve_cmd ]
+      verify_cmd; lint_cmd; analyze_cmd; passes_cmd; workloads_cmd; serve_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -1,0 +1,484 @@
+(** The redundancy auditor. See the interface. *)
+
+open Epre_util
+open Epre_ir
+
+type classification = Clean | Full | Partial | Value
+
+let classification_to_string = function
+  | Clean -> "clean"
+  | Full -> "full"
+  | Partial -> "partial"
+  | Value -> "value"
+
+type site = {
+  block : int;
+  index : int;
+  dst : Instr.reg;
+  text : string;
+  cls : classification;
+  value_regs : Instr.reg list;
+  speculative : bool;
+}
+
+type finding = {
+  rule : string;
+  block : int option;
+  index : int option;
+  message : string;
+}
+
+type report = {
+  findings : finding list;
+  sites : site list;
+  block_pressure : (int * int) list;
+  max_pressure : int;
+  baseline_max_pressure : int option;
+  speculative_count : int;
+  baseline_speculative_count : int option;
+}
+
+let lifetime_threshold = 8
+
+(* ------------------------------------------------------------------ *)
+(* Down-safety: the backward must-use system over registers.            *)
+(* A register is "anticipated" at a point when every path from it reads *)
+(* the register before redefining it — the register-level analog of     *)
+(* expression anticipability, and the test for whether an evaluation's  *)
+(* result was actually wanted where it was placed.                      *)
+
+let must_use (r : Routine.t) =
+  let cfg = r.Routine.cfg in
+  let width = max 1 r.Routine.next_reg in
+  let nblocks = Cfg.num_blocks cfg in
+  let gen = Array.init nblocks (fun _ -> Bitset.create width) in
+  let kill = Array.init nblocks (fun _ -> Bitset.create width) in
+  Cfg.iter_blocks
+    (fun b ->
+      let id = b.Block.id in
+      let read u =
+        if u >= 0 && u < width && not (Bitset.mem kill.(id) u) then
+          Bitset.add gen.(id) u
+      in
+      List.iter
+        (fun i ->
+          (match i with
+          | Instr.Phi _ -> ()
+          | _ -> List.iter read (Instr.uses i));
+          match Instr.def i with
+          | Some d when d >= 0 && d < width -> Bitset.add kill.(id) d
+          | _ -> ())
+        b.Block.instrs;
+      List.iter read (Instr.term_uses b.Block.term))
+    cfg;
+  Dataflow.solve_backward cfg
+    {
+      Dataflow.width;
+      gen = (fun id -> gen.(id));
+      kill = (fun id -> kill.(id));
+      boundary = Bitset.create width;
+      meet = Dataflow.Inter;
+    }
+
+(* Is the evaluation at [idx] (defining [dst]) speculative? Scan the rest
+   of the block: a read settles it, a redefinition wastes it, and past
+   the terminator the block-exit must-use fact decides. *)
+let speculative_at must (b : Block.t) ~dst ~idx =
+  let rec tail n = function
+    | [] ->
+      if List.mem dst (Instr.term_uses b.Block.term) then false
+      else not (Bitset.mem must.Dataflow.outs.(b.Block.id) dst)
+    | i :: rest ->
+      if n <= idx then tail (n + 1) rest
+      else begin
+        let reads =
+          match i with Instr.Phi _ -> false | _ -> List.mem dst (Instr.uses i)
+        in
+        if reads then false
+        else if Instr.def i = Some dst then true
+        else tail (n + 1) rest
+      end
+  in
+  tail 0 b.Block.instrs
+
+(* ------------------------------------------------------------------ *)
+(* Path evaluation counts per expression shape (A004).                  *)
+(* Shapes expand operands through unique definitions to a bounded       *)
+(* depth, naming parameters positionally so the form survives register  *)
+(* renaming; any unresolvable operand poisons the shape ("?") and the   *)
+(* shape is dropped rather than over-merged.                            *)
+
+let shape_depth = 3
+
+let shapes_of (r : Routine.t) order =
+  let cfg = r.Routine.cfg in
+  let width = max 1 r.Routine.next_reg in
+  let def_count = Array.make width 0 in
+  let def_instr = Array.make width None in
+  Cfg.iter_blocks
+    (fun b ->
+      List.iter
+        (fun i ->
+          match Instr.def i with
+          | Some d when d >= 0 && d < width ->
+            def_count.(d) <- def_count.(d) + 1;
+            def_instr.(d) <- Some i
+          | _ -> ())
+        b.Block.instrs)
+    cfg;
+  let param_index = Array.make width (-1) in
+  List.iteri
+    (fun i p -> if p >= 0 && p < width && def_count.(p) = 0 then param_index.(p) <- i)
+    r.Routine.params;
+  let rec operand depth u =
+    if u < 0 || u >= width then "?"
+    else if param_index.(u) >= 0 then Printf.sprintf "p%d" param_index.(u)
+    else if depth = 0 || def_count.(u) <> 1 then "?"
+    else
+      match def_instr.(u) with
+      | Some (Instr.Const { value; _ }) -> Value.to_string value
+      | Some (Instr.Copy { src; _ }) -> operand (depth - 1) src
+      | Some (Instr.Unop { op; src; _ }) ->
+        Printf.sprintf "%s(%s)" (Op.unop_name op) (operand (depth - 1) src)
+      | Some (Instr.Binop { op; a; b; _ }) ->
+        let sa = operand (depth - 1) a and sb = operand (depth - 1) b in
+        let sa, sb = if Op.commutative op && sb < sa then (sb, sa) else (sa, sb) in
+        Printf.sprintf "%s(%s,%s)" (Op.binop_name op) sa sb
+      | _ -> "?"
+  in
+  let shape_of_instr i =
+    match i with
+    | Instr.Const { value; _ } -> Some (Value.to_string value)
+    | Instr.Unop { op; src; _ } ->
+      Some (Printf.sprintf "%s(%s)" (Op.unop_name op) (operand shape_depth src))
+    | Instr.Binop { op; a; b; _ } ->
+      let sa = operand shape_depth a and sb = operand shape_depth b in
+      let sa, sb = if Op.commutative op && sb < sa then (sb, sa) else (sa, sb) in
+      Some (Printf.sprintf "%s(%s,%s)" (Op.binop_name op) sa sb)
+    | _ -> None
+  in
+  (* Per-shape, per-block evaluation counts over the reachable blocks. *)
+  let counts : (string, int array) Hashtbl.t = Hashtbl.create 32 in
+  let nblocks = Cfg.num_blocks cfg in
+  Cfg.iter_blocks
+    (fun b ->
+      let id = b.Block.id in
+      if Order.is_reachable order id then
+        List.iter
+          (fun i ->
+            match shape_of_instr i with
+            | Some s when not (String.contains s '?') ->
+              let arr =
+                match Hashtbl.find_opt counts s with
+                | Some a -> a
+                | None ->
+                  let a = Array.make nblocks 0 in
+                  Hashtbl.add counts s a;
+                  a
+              in
+              arr.(id) <- arr.(id) + 1
+            | _ -> ())
+          b.Block.instrs)
+    cfg;
+  (* Longest acyclic path: drop retreating edges (RPO does not grow along
+     them), leaving a DAG that reverse postorder topologically sorts. *)
+  let rpo = Order.reverse_postorder order in
+  let preds = Cfg.preds cfg in
+  let dag_preds j =
+    List.filter
+      (fun i ->
+        Order.is_reachable order i
+        && Order.rpo_number order i < Order.rpo_number order j)
+      preds.(j)
+  in
+  let metric arr =
+    let best = Array.make nblocks 0 in
+    let result = ref 0 in
+    Array.iter
+      (fun j ->
+        let inherit_ =
+          List.fold_left (fun acc i -> max acc best.(i)) 0 (dag_preds j)
+        in
+        best.(j) <- arr.(j) + inherit_;
+        result := max !result best.(j))
+      rpo;
+    !result
+  in
+  Hashtbl.fold (fun s arr acc -> (s, metric arr) :: acc) counts []
+
+(* ------------------------------------------------------------------ *)
+(* Core measurement of one routine.                                     *)
+
+type core = {
+  c_sites : site list;
+  c_deletable : (int * int, unit) Hashtbl.t;
+      (** (block, index) of sites one LCM round would delete *)
+  c_pressure : Pressure.t;
+  c_shapes : (string * int) list;
+  c_spec : int;
+}
+
+let core_of (r : Routine.t) =
+  let cfg = r.Routine.cfg in
+  let order = Order.compute cfg in
+  let fl = Expr_flow.build r in
+  let uni = fl.Expr_flow.uni in
+  let avail = Expr_flow.availability fl in
+  let pav = Expr_flow.partial_availability fl in
+  let vn = Valnum.compute r in
+  let init = Initialized.compute r in
+  let must = must_use r in
+  let del = Expr_flow.lcm_delete fl in
+  let deletable = Hashtbl.create 16 in
+  let width = max 1 r.Routine.next_reg in
+  let sites = ref [] in
+  Cfg.iter_blocks
+    (fun b ->
+      let id = b.Block.id in
+      if Order.is_reachable order id then begin
+        (* Walk the block against the availability sets at the exact
+           program point, applying each instruction's comp/kill. *)
+        let cur_av = Bitset.copy avail.Dataflow.ins.(id) in
+        let cur_pav = Bitset.copy pav.Dataflow.ins.(id) in
+        let cur_init = Bitset.copy (Initialized.on_entry init id) in
+        (* The LCM deletion sweep covers evaluations before the first
+           kill of their expression in a DELETE block. *)
+        let killed = Bitset.create (max 1 fl.Expr_flow.width) in
+        List.iteri
+          (fun idx i ->
+            (match (Expr_universe.key_of i, Instr.def i) with
+            | Some _, Some dst ->
+              (match Expr_universe.expr_of_name uni dst with
+              | Some e
+                when Bitset.mem del.(id) e.Expr_universe.index
+                     && not (Bitset.mem killed e.Expr_universe.index) ->
+                Hashtbl.replace deletable (id, idx) ()
+              | _ -> ());
+              let cls, value_regs =
+                let named =
+                  match Expr_universe.expr_of_name uni dst with
+                  | Some e when Bitset.mem cur_av e.Expr_universe.index ->
+                    Some Full
+                  | Some e when Bitset.mem cur_pav e.Expr_universe.index ->
+                    Some Partial
+                  | _ -> None
+                in
+                match named with
+                | Some c -> (c, [])
+                | None ->
+                  let holders =
+                    List.filter
+                      (fun s -> s <> dst && s < width && Bitset.mem cur_init s)
+                      (Valnum.congruent_holders vn i)
+                  in
+                  if holders <> [] then (Value, holders) else (Clean, [])
+              in
+              sites :=
+                {
+                  block = id;
+                  index = idx;
+                  dst;
+                  text = Pp.instr_to_string i;
+                  cls;
+                  value_regs;
+                  speculative = speculative_at must b ~dst ~idx;
+                }
+                :: !sites
+            | _ -> ());
+            (* Transfer: the evaluation lands, then the kills. *)
+            (match (Expr_universe.key_of i, Instr.def i) with
+            | Some _, Some dst -> (
+              match Expr_universe.expr_of_name uni dst with
+              | Some e ->
+                Bitset.add cur_av e.Expr_universe.index;
+                Bitset.add cur_pav e.Expr_universe.index
+              | None -> ())
+            | _ -> ());
+            let reg_kills, mem_kills = Expr_universe.kills_of_instr uni i in
+            List.iter
+              (fun k ->
+                Bitset.remove cur_av k;
+                Bitset.remove cur_pav k;
+                Bitset.add killed k)
+              reg_kills;
+            List.iter
+              (fun k ->
+                Bitset.remove cur_av k;
+                Bitset.remove cur_pav k;
+                Bitset.add killed k)
+              mem_kills;
+            match Instr.def i with
+            | Some d when d >= 0 && d < width -> Bitset.add cur_init d
+            | _ -> ())
+          b.Block.instrs
+      end)
+    cfg;
+  let sites =
+    List.sort
+      (fun (a : site) (b : site) ->
+        compare (a.block, a.index) (b.block, b.index))
+      !sites
+  in
+  {
+    c_sites = sites;
+    c_deletable = deletable;
+    c_pressure = Pressure.compute r;
+    c_shapes = shapes_of r order;
+    c_spec = List.length (List.filter (fun s -> s.speculative) sites);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Findings                                                             *)
+
+let site_finding rule (s : site) message =
+  { rule; block = Some s.block; index = Some s.index; message }
+
+let run ?(expect_pre = false) ?baseline (r : Routine.t) =
+  let c = core_of r in
+  let base = Option.map core_of baseline in
+  let findings = ref [] in
+  let add f = findings := f :: !findings in
+  (* A001/A002: redundancy residue — only meaningful after a PRE level. *)
+  if expect_pre then
+    List.iter
+      (fun s ->
+        match s.cls with
+        | Full ->
+          add
+            (site_finding "A001" s
+               (Printf.sprintf
+                  "%s survives although the expression is available on every \
+                   path to this point"
+                  s.text))
+        | Partial ->
+          (* Partial availability alone over-approximates what code
+             motion can remove (insertion must also be safe); only flag
+             what one more LCM round would actually delete. *)
+          if Hashtbl.mem c.c_deletable (s.block, s.index) then
+            add
+              (site_finding "A002" s
+                 (Printf.sprintf
+                    "%s survives although it is partially redundant and a \
+                     safe lazy placement would delete it"
+                    s.text))
+        | Value | Clean -> ())
+      c.c_sites;
+  (* A003: speculative evaluations introduced (vs the baseline). *)
+  (match base with
+  | Some b when c.c_spec > b.c_spec ->
+    let first =
+      List.find_opt (fun s -> s.speculative) c.c_sites
+    in
+    let block = Option.map (fun (s : site) -> s.block) first in
+    let index = Option.map (fun (s : site) -> s.index) first in
+    add
+      {
+        rule = "A003";
+        block;
+        index;
+        message =
+          Printf.sprintf
+            "code motion left %d speculative evaluation(s) whose result is \
+             not needed on every path (baseline had %d) — an inserted \
+             computation is not down-safe"
+            c.c_spec b.c_spec;
+      }
+  | _ -> ());
+  (* A004: a path's evaluation count of some shape grew. *)
+  (match base with
+  | Some b ->
+    List.iter
+      (fun (shape, n) ->
+        let before =
+          match List.assoc_opt shape b.c_shapes with Some m -> m | None -> 0
+        in
+        if n > before then
+          add
+            {
+              rule = "A004";
+              block = None;
+              index = None;
+              message =
+                Printf.sprintf
+                  "a path now evaluates %s %d time(s), up from %d — code \
+                   motion lengthened an execution path"
+                  shape n before;
+            })
+      c.c_shapes
+  | None -> ());
+  (* A005: peak pressure grew. *)
+  (match base with
+  | Some b
+    when Pressure.max_pressure c.c_pressure
+         > Pressure.max_pressure b.c_pressure ->
+    add
+      {
+        rule = "A005";
+        block = None;
+        index = None;
+        message =
+          Printf.sprintf
+            "peak register pressure rose from %d to %d simultaneously live \
+             registers"
+            (Pressure.max_pressure b.c_pressure)
+            (Pressure.max_pressure c.c_pressure);
+      }
+  | _ -> ());
+  (* A006: long-lived expression temporaries. *)
+  begin
+    let live = Liveness.compute r in
+    let order = Order.compute r.Routine.cfg in
+    let width = Liveness.nregs live in
+    let span = Array.make (max 1 width) 0 in
+    Cfg.iter_blocks
+      (fun b ->
+        if Order.is_reachable order b.Block.id then
+          Bitset.iter
+            (fun reg -> span.(reg) <- span.(reg) + 1)
+            (Liveness.live_in live b.Block.id))
+      r.Routine.cfg;
+    let warned = Hashtbl.create 7 in
+    List.iter
+      (fun s ->
+        if
+          s.dst < Array.length span
+          && span.(s.dst) >= lifetime_threshold
+          && not (Hashtbl.mem warned s.dst)
+        then begin
+          Hashtbl.add warned s.dst ();
+          add
+            (site_finding "A006" s
+               (Printf.sprintf
+                  "%s stays live across %d blocks — a long expression \
+                   lifetime PRE placement could shorten"
+                  s.text span.(s.dst)))
+        end)
+      c.c_sites
+  end;
+  (* A007: value-redundant evaluations. *)
+  List.iter
+    (fun s ->
+      match (s.cls, s.value_regs) with
+      | Value, holder :: _ ->
+        add
+          (site_finding "A007" s
+             (Printf.sprintf
+                "%s recomputes a value r%d already holds on every path to \
+                 this point"
+                s.text holder))
+      | _ -> ())
+    c.c_sites;
+  {
+    findings = List.rev !findings;
+    sites = c.c_sites;
+    block_pressure = Pressure.per_block c.c_pressure;
+    max_pressure = Pressure.max_pressure c.c_pressure;
+    baseline_max_pressure =
+      Option.map (fun b -> Pressure.max_pressure b.c_pressure) base;
+    speculative_count = c.c_spec;
+    baseline_speculative_count = Option.map (fun b -> b.c_spec) base;
+  }
+
+let residual report =
+  List.length
+    (List.filter (fun s -> s.cls = Full || s.cls = Partial) report.sites)

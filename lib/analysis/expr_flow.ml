@@ -1,0 +1,132 @@
+(** The shared expression-level data-flow client. See the interface. *)
+
+open Epre_util
+open Epre_ir
+
+type t = {
+  uni : Expr_universe.t;
+  local : Expr_universe.local;
+  width : int;
+  cfg : Cfg.t;
+}
+
+let build ?(include_loads = true) (r : Routine.t) =
+  let uni = Expr_universe.build r in
+  let width = Expr_universe.size uni in
+  let local = Expr_universe.compute_local uni r in
+  if not include_loads then
+    Array.iter
+      (fun (e : Expr_universe.expr) ->
+        if Expr_universe.is_load e.Expr_universe.key then begin
+          let i = e.Expr_universe.index in
+          Array.iter (fun s -> Bitset.remove s i) local.Expr_universe.antloc;
+          Array.iter (fun s -> Bitset.remove s i) local.Expr_universe.comp
+        end)
+      (Expr_universe.exprs uni);
+  { uni; local; width; cfg = r.Routine.cfg }
+
+let system t ~gen ~meet =
+  {
+    Dataflow.width = t.width;
+    gen = (fun id -> gen.(id));
+    kill = (fun id -> t.local.Expr_universe.kill.(id));
+    boundary = Bitset.create t.width;
+    meet;
+  }
+
+let availability t =
+  Dataflow.solve_forward t.cfg
+    (system t ~gen:t.local.Expr_universe.comp ~meet:Dataflow.Inter)
+
+let anticipability t =
+  Dataflow.solve_backward t.cfg
+    (system t ~gen:t.local.Expr_universe.antloc ~meet:Dataflow.Inter)
+
+let partial_availability t =
+  Dataflow.solve_forward t.cfg
+    (system t ~gen:t.local.Expr_universe.comp ~meet:Dataflow.Union)
+
+let partial_anticipability t =
+  Dataflow.solve_backward t.cfg
+    (system t ~gen:t.local.Expr_universe.antloc ~meet:Dataflow.Union)
+
+type placement = {
+  laterin : Bitset.t array;
+  later : int -> int -> Bitset.t;
+  later_virtual : Bitset.t;
+}
+
+let lcm_placement t =
+  let cfg = t.cfg in
+  let width = t.width in
+  let antloc = t.local.Expr_universe.antloc in
+  let kill = t.local.Expr_universe.kill in
+  let avail = availability t in
+  let ant = anticipability t in
+  let antin = ant.Dataflow.ins and antout = ant.Dataflow.outs in
+  let avout = avail.Dataflow.outs in
+  (* EARLIEST over a real edge (i, j). *)
+  let earliest i j =
+    let s = Bitset.copy antin.(j) in
+    Bitset.diff_into ~dst:s avout.(i);
+    let guard = Bitset.copy kill.(i) in
+    let not_antout = Bitset.copy antout.(i) in
+    (* kill(i) ∨ ¬antout(i): complement via full-universe diff *)
+    let all = Bitset.full width in
+    Bitset.diff_into ~dst:all not_antout;
+    Bitset.union_into ~dst:guard all;
+    Bitset.inter_into ~dst:s guard;
+    s
+  in
+  let order = Order.compute cfg in
+  let rpo = Order.reverse_postorder order in
+  let preds = Cfg.preds cfg in
+  let entry = Cfg.entry cfg in
+  let nblocks = Cfg.num_blocks cfg in
+  let laterin = Array.init nblocks (fun _ -> Bitset.full width) in
+  (* LATER over a real edge, given current laterin. *)
+  let later i j =
+    let s = earliest i j in
+    let flow = Bitset.copy laterin.(i) in
+    Bitset.diff_into ~dst:flow antloc.(i);
+    Bitset.union_into ~dst:s flow;
+    s
+  in
+  (* Virtual entry edge: LATER(V, entry) = ANTIN(entry). *)
+  let later_virtual = Bitset.copy antin.(entry) in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Array.iter
+      (fun j ->
+        let contributions =
+          (if j = entry then [ later_virtual ] else [])
+          @ List.filter_map
+              (fun i ->
+                if Order.is_reachable order i then Some (later i j) else None)
+              preds.(j)
+        in
+        let new_in =
+          match contributions with
+          | [] -> Bitset.create width
+          | first :: rest ->
+            let acc = Bitset.copy first in
+            List.iter (fun s -> Bitset.inter_into ~dst:acc s) rest;
+            acc
+        in
+        if not (Bitset.equal new_in laterin.(j)) then begin
+          Bitset.assign ~dst:laterin.(j) new_in;
+          changed := true
+        end)
+      rpo
+  done;
+  { laterin; later; later_virtual }
+
+let lcm_delete t =
+  let p = lcm_placement t in
+  Array.mapi
+    (fun id li ->
+      let d = Bitset.copy t.local.Expr_universe.antloc.(id) in
+      Bitset.diff_into ~dst:d li;
+      d)
+    p.laterin

@@ -1,0 +1,36 @@
+(** Conservative value numbering over registers, without SSA.
+
+    GVN proper (the partition refinement of [Epre_gvn]) needs SSA; the
+    auditor runs after SSA is torn down. This is the sound non-SSA
+    fragment: call a register {e stable} when it has exactly one
+    definition, that definition is a pure expression (constant, copy,
+    unary or binary operator — no loads, calls or phis), and every
+    operand is a parameter or itself stable. A stable register's value is
+    a fixed function of the invocation's parameters, so two congruent
+    stable registers hold equal values whenever both have been assigned —
+    which makes "another register already holds this value" checkable
+    with plain definite assignment. Congruence is the usual optimistic
+    hashing on (operator, operand classes) to a fixed point, with copies
+    merged into their source's class. *)
+
+open Epre_ir
+
+type t
+
+val compute : Routine.t -> t
+
+(** Single pure acyclic definition; parameters are stable leaves. *)
+val stable : t -> Instr.reg -> bool
+
+(** Congruence-class representative of a stable register. *)
+val class_of : t -> Instr.reg -> Instr.reg option
+
+val same_class : t -> Instr.reg -> Instr.reg -> bool
+
+(** Stable registers congruent to the value [i] computes (the instruction
+    need not define a stable register itself — only its operands must be
+    stable). The instruction's own destination is included when it
+    qualifies; [[]] when the value cannot be placed in a class. Restricted
+    to [Unop]/[Binop] evaluations — constant and copy redundancy belongs
+    to constant propagation and coalescing, not the auditor. *)
+val congruent_holders : t -> Instr.t -> Instr.reg list

@@ -158,9 +158,21 @@ type hierarchy_row = {
   dom_cse : int;  (** method 1: dominator-based *)
   avail_cse : int;  (** method 2: available expressions *)
   pre : int;  (** method 3: partial redundancy elimination *)
+  dom_cse_residual : int;  (** static effectiveness: redundant sites left *)
+  avail_cse_residual : int;
+  pre_residual : int;
 }
 
 type cse_method = Dom_cse | Avail_cse | Full_pre
+
+(* Static effectiveness of an engine variant: evaluation sites the
+   redundancy auditor still classifies fully or partially redundant
+   after the variant ran — 0 means nothing left on the table. *)
+let residual_count (p : Program.t) =
+  List.fold_left
+    (fun acc (r : Routine.t) ->
+      acc + Epre_analysis.Audit.residual (Epre_analysis.Audit.run r))
+    0 (Program.routines p)
 
 (* Reassociation + GVN (encode value equivalence into names, as Section 5.3
    assumes), then one of the three eliminators, then the baseline cleanup
@@ -187,28 +199,43 @@ let run_hierarchy_level prog m =
       ignore (Epre_opt.Clean.run r);
       Routine.validate r)
     (Program.routines p);
-  dynamic_count p
+  (dynamic_count p, residual_count p)
 
 let hierarchy_row (w : Workloads.t) =
   experiment_span ("hierarchy:" ^ w.Workloads.name) (fun () ->
       let prog = Workloads.compile w in
+      let dom_cse, dom_cse_residual = run_hierarchy_level prog Dom_cse in
+      let avail_cse, avail_cse_residual = run_hierarchy_level prog Avail_cse in
+      let pre, pre_residual = run_hierarchy_level prog Full_pre in
       {
         name = w.Workloads.name;
-        dom_cse = run_hierarchy_level prog Dom_cse;
-        avail_cse = run_hierarchy_level prog Avail_cse;
-        pre = run_hierarchy_level prog Full_pre;
+        dom_cse;
+        avail_cse;
+        pre;
+        dom_cse_residual;
+        avail_cse_residual;
+        pre_residual;
       })
 
 let hierarchy ?(workloads = Workloads.all) () =
   experiment_span "hierarchy" (fun () -> List.map hierarchy_row workloads)
 
+(* Dynamic operation counts, and in parentheses the static effectiveness
+   score: redundant evaluation sites the auditor still sees ("left"). *)
 let render_hierarchy rows =
   let buf = Buffer.create 2048 in
   Buffer.add_string buf
-    (Printf.sprintf "%-12s %12s %12s %12s\n" "routine" "dominator" "available" "pre");
+    (Printf.sprintf "%-12s %19s %19s %19s\n" "routine" "dominator" "available"
+       "pre");
   List.iter
     (fun r ->
+      let cell count residual =
+        Printf.sprintf "%d (%d left)" count residual
+      in
       Buffer.add_string buf
-        (Printf.sprintf "%-12s %12d %12d %12d\n" r.name r.dom_cse r.avail_cse r.pre))
+        (Printf.sprintf "%-12s %19s %19s %19s\n" r.name
+           (cell r.dom_cse r.dom_cse_residual)
+           (cell r.avail_cse r.avail_cse_residual)
+           (cell r.pre r.pre_residual)))
     (List.sort (fun a b -> compare a.name b.name) rows);
   Buffer.contents buf

@@ -39,6 +39,12 @@ type hierarchy_row = {
   dom_cse : int;
   avail_cse : int;
   pre : int;
+  dom_cse_residual : int;
+      (** static effectiveness score of the variant: evaluation sites the
+        redundancy auditor still classifies fully or partially redundant
+        after it ran (0 = nothing left on the table) *)
+  avail_cse_residual : int;
+  pre_residual : int;
 }
 
 val hierarchy_row : Epre_workloads.Workloads.t -> hierarchy_row
@@ -46,4 +52,5 @@ val hierarchy_row : Epre_workloads.Workloads.t -> hierarchy_row
 val hierarchy :
   ?workloads:Epre_workloads.Workloads.t list -> unit -> hierarchy_row list
 
+(** Dynamic counts with each variant's residual score in parentheses. *)
 val render_hierarchy : hierarchy_row list -> string

@@ -103,6 +103,7 @@ let level_passes_into ~level ~acc_for =
         p "gvn" (fun a r -> a.s_gvn <- Some (Epre_gvn.Gvn.run r));
         p "pre" (fun a r -> a.s_pre <- Some (Epre_pre.Pre.run r)) ]
   in
+  let has_pre = front <> [] in
   front
   @ [ p "constprop" (fun a r -> a.s_constants <- a.s_constants + Epre_opt.Constprop.run r);
       p "peephole"
@@ -111,8 +112,32 @@ let level_passes_into ~level ~acc_for =
             a.s_peephole
             + Epre_opt.Peephole.run ~config:{ Epre_opt.Peephole.mul_to_shift = true } r);
       p "dce" (fun a r -> a.s_dce <- a.s_dce + Epre_opt.Dce.run r);
-      p "coalesce" (fun a r -> a.s_coalesce <- a.s_coalesce + Epre_opt.Coalesce.run r);
-      p "clean" (fun _ r -> ignore (Epre_opt.Clean.run r)) ]
+      p "coalesce" (fun a r -> a.s_coalesce <- a.s_coalesce + Epre_opt.Coalesce.run r) ]
+  (* Coalescing merges copy webs, which can turn distinct evaluations
+     into literally identical expressions — fresh PRE opportunities the
+     main round could not see. A late cleanup round collects them, so
+     the PRE levels actually deliver the paper's "no removable
+     redundancy survives" contract (the redundancy auditor's A002
+     checks exactly this). *)
+  @ (if has_pre then
+       [ p "pre"
+           (fun a r ->
+             let s2 = Epre_pre.Pre.run r in
+             a.s_pre <-
+               Some
+                 (match a.s_pre with
+                 | None -> s2
+                 | Some s1 ->
+                   Epre_pre.Pre.
+                     {
+                       inserted = s1.inserted + s2.inserted;
+                       deleted = s1.deleted + s2.deleted;
+                       cse_deleted = s1.cse_deleted + s2.cse_deleted;
+                       rounds = s1.rounds + s2.rounds;
+                     }));
+         p "dce" (fun a r -> a.s_dce <- a.s_dce + Epre_opt.Dce.run r) ]
+     else [])
+  @ [ p "clean" (fun _ r -> ignore (Epre_opt.Clean.run r)) ]
 
 let level_passes ~level =
   let shared = fresh_acc () in

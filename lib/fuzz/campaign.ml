@@ -80,6 +80,28 @@ let handle_failure (config : config) ocfg ~case_seed ~ast ~source (f : Oracle.fa
     else (None, ast)
   in
   let repro_source = Ast_ops.print_program repro_ast in
+  (* Tag the entry with the first redundancy-audit rule the repro trips
+     after a clean (chaos-free) optimization at the failing level —
+     "clean" when the auditor finds nothing — so corpus triage can group
+     entries by what the auditor thinks was left behind. The repro is a
+     failure by construction, so every step is allowed to blow up; an
+     unanalyzable repro simply carries no tag. *)
+  let analyze_rule =
+    match Frontend.compile_string repro_source with
+    | exception _ -> None
+    | reference -> (
+      try
+        let prog, _stats = Pipeline.optimized_copy ~level:f.level reference in
+        let expect_pre = f.level <> Pipeline.Baseline in
+        let _, diags =
+          Epre_verify.Analyze.check_program ~expect_pre ~baseline:reference
+            prog
+        in
+        match diags with
+        | [] -> Some "clean"
+        | d :: _ -> Some d.Epre_verify.Diag.rule
+      with _ -> None)
+  in
   let id = Corpus.entry_id ~seed:case_seed ~level:f.level ~cls:f.cls in
   let repro_path =
     Option.map
@@ -98,6 +120,13 @@ let handle_failure (config : config) ocfg ~case_seed ~ast ~source (f : Oracle.fa
           record.Harness.meta
           @ [ ("fuzz_original_stmts", Tjson.Int st.original_stmts);
               ("fuzz_reduced_stmts", Tjson.Int st.reduced_stmts) ] }
+  in
+  let record =
+    match analyze_rule with
+    | None -> record
+    | Some rule ->
+      { record with
+        Harness.meta = record.Harness.meta @ [ ("analyze_rule", Tjson.Str rule) ] }
   in
   let saved =
     match config.corpus_dir with

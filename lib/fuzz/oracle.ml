@@ -61,7 +61,12 @@ let check_level config ~reference ~budget prog level =
   let passes = passes_for config level in
   let copy = Program.copy prog in
   let sup =
-    { Harness.validation = Harness.Ir; fuel = config.fuel; keep_going = false }
+    {
+      Harness.validation = Harness.Ir;
+      fuel = config.fuel;
+      keep_going = false;
+      audit = false;
+    }
   in
   match Harness.supervise sup ~passes copy with
   | exception Harness.Supervision_failed r ->

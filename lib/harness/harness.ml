@@ -38,10 +38,20 @@ type record = {
   meta : (string * Epre_telemetry.Tjson.t) list;
 }
 
-type config = { validation : validation; fuel : int; keep_going : bool }
+type config = {
+  validation : validation;
+  fuel : int;
+  keep_going : bool;
+  audit : bool;
+}
 
 let default_config =
-  { validation = Ir; fuel = Epre_interp.Interp.default_fuel; keep_going = true }
+  {
+    validation = Ir;
+    fuel = Epre_interp.Interp.default_fuel;
+    keep_going = true;
+    audit = false;
+  }
 
 exception Supervision_failed of record
 
@@ -186,7 +196,39 @@ let supervise ?(dump = fun _ _ -> ()) ?only config ~passes (p : Program.t) =
                 ~meta:[ ("verify_rule", Epre_telemetry.Tjson.Str rule) ]
                 (Ir_violation m)
             | Ok warns -> begin
+              (* The audit tier: the redundancy auditor's A rules as
+                 post-pass checks against the pre-pass snapshot. Audit
+                 findings are effectiveness judgements, not correctness
+                 ones — they land in the record's meta and telemetry but
+                 NEVER roll the pass back. *)
+              let audit_meta =
+                if not config.audit then []
+                else
+                  match
+                    Epre_verify.Analyze.check_post_pass ~pass:np.pass_name
+                      ~baseline:snapshot r
+                  with
+                  | [] -> []
+                  | diags ->
+                    Epre_verify.Analyze.record_metrics diags;
+                    let rules =
+                      List.sort_uniq compare
+                        (List.map
+                           (fun (d : Epre_verify.Diag.t) -> d.Epre_verify.Diag.rule)
+                           diags)
+                    in
+                    [
+                      ( "audit_findings",
+                        Epre_telemetry.Tjson.Int (List.length diags) );
+                      ( "audit_rules",
+                        Epre_telemetry.Tjson.Arr
+                          (List.map (fun id -> Epre_telemetry.Tjson.Str id) rules)
+                      );
+                    ]
+              in
               let meta =
+                audit_meta
+                @
                 if warns > 0 then
                   [ ("verify_warnings", Epre_telemetry.Tjson.Int warns) ]
                 else []

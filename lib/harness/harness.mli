@@ -65,9 +65,16 @@ type config = {
       (** [true] (the [--safe] mode): roll back and continue with the
           remaining passes; [false]: roll back, then raise
           [Supervision_failed] *)
+  audit : bool;
+      (** run the redundancy auditor ([Epre_verify.Analyze]) after each
+          audited pass, against the pre-pass snapshot. Findings are
+          recorded in the record's meta ([audit_findings] count,
+          [audit_rules] ids) and as [analyze.*] telemetry counters;
+          they never roll a pass back *)
 }
 
-(** [Ir] validation, [Interp.default_fuel], [keep_going = true]. *)
+(** [Ir] validation, [Interp.default_fuel], [keep_going = true], audit
+    off. *)
 val default_config : config
 
 exception Supervision_failed of record

@@ -14,21 +14,12 @@ open Epre_analysis
 
 let run (r : Routine.t) =
   if r.Routine.in_ssa then invalid_arg "Cse_avail.run: requires non-SSA code";
-  let uni = Expr_universe.build r in
-  let width = Expr_universe.size uni in
+  let fl = Expr_flow.build r in
+  let uni = fl.Expr_flow.uni in
+  let width = fl.Expr_flow.width in
   if width = 0 then 0
   else begin
-    let local = Expr_universe.compute_local uni r in
-    let system =
-      {
-        Dataflow.width;
-        gen = (fun id -> local.Expr_universe.comp.(id));
-        kill = (fun id -> local.Expr_universe.kill.(id));
-        boundary = Bitset.create width;
-        meet = Dataflow.Inter;
-      }
-    in
-    let avail = Dataflow.solve_forward r.Routine.cfg system in
+    let avail = Expr_flow.availability fl in
     let deleted = ref 0 in
     Cfg.iter_blocks
       (fun b ->

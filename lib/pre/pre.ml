@@ -4,7 +4,7 @@
     Drechsler–Stadel style edge-placement formulation in its unidirectional
     earliest/later form (equivalent to Knoop–Rüthing–Steffen lazy code
     motion; Drechsler and Stadel themselves recast their simplification this
-    way) over the expression universe of [Epre_opt.Expr_universe]:
+    way) over the expression universe of [Epre_analysis.Expr_universe]:
 
     - availability (forward, intersection) and anticipability (backward,
       intersection) from the usual ANTLOC/COMP/KILL local sets;
@@ -50,90 +50,20 @@ let instr_of_key (key : Expr_universe.key) ~dst =
 let lcm_round ?(include_loads = true) (r : Routine.t) =
   ignore (Epre_ssa.Critical_edges.split_all r);
   let cfg = r.Routine.cfg in
-  let uni = Expr_universe.build r in
-  let width = Expr_universe.size uni in
+  let fl = Expr_flow.build ~include_loads r in
+  let uni = fl.Expr_flow.uni in
+  let width = fl.Expr_flow.width in
   if width = 0 then (0, 0)
   else begin
-    let local = Expr_universe.compute_local uni r in
-    let antloc = local.Expr_universe.antloc in
-    let comp = local.Expr_universe.comp in
-    let kill = local.Expr_universe.kill in
-    if not include_loads then
-      Array.iter
-        (fun (e : Expr_universe.expr) ->
-          if Expr_universe.is_load e.Expr_universe.key then begin
-            let i = e.Expr_universe.index in
-            Array.iter (fun s -> Bitset.remove s i) antloc;
-            Array.iter (fun s -> Bitset.remove s i) comp
-          end)
-        (Expr_universe.exprs uni);
-    let empty = Bitset.create width in
-    let avail =
-      Dataflow.solve_forward cfg
-        { Dataflow.width; gen = (fun id -> comp.(id)); kill = (fun id -> kill.(id));
-          boundary = empty; meet = Dataflow.Inter }
-    in
-    let ant =
-      Dataflow.solve_backward cfg
-        { Dataflow.width; gen = (fun id -> antloc.(id)); kill = (fun id -> kill.(id));
-          boundary = empty; meet = Dataflow.Inter }
-    in
-    let antin = ant.Dataflow.ins and antout = ant.Dataflow.outs in
-    let avout = avail.Dataflow.outs in
-    (* EARLIEST over a real edge (i, j). *)
-    let earliest i j =
-      let s = Bitset.copy antin.(j) in
-      Bitset.diff_into ~dst:s avout.(i);
-      let guard = Bitset.copy kill.(i) in
-      let not_antout = Bitset.copy antout.(i) in
-      (* kill(i) ∨ ¬antout(i): complement via full-universe diff *)
-      let all = Bitset.full width in
-      Bitset.diff_into ~dst:all not_antout;
-      Bitset.union_into ~dst:guard all;
-      Bitset.inter_into ~dst:s guard;
-      s
-    in
+    let antloc = fl.Expr_flow.local.Expr_universe.antloc in
     let order = Order.compute cfg in
-    let rpo = Order.reverse_postorder order in
     let preds = Cfg.preds cfg in
     let entry = Cfg.entry cfg in
-    let nblocks = Cfg.num_blocks cfg in
-    let laterin = Array.init nblocks (fun _ -> Bitset.full width) in
-    (* LATER over a real edge, given current laterin. *)
-    let later i j =
-      let s = earliest i j in
-      let flow = Bitset.copy laterin.(i) in
-      Bitset.diff_into ~dst:flow antloc.(i);
-      Bitset.union_into ~dst:s flow;
-      s
+    (* The earliest/later placement, shared with the redundancy auditor
+       (see [Expr_flow.lcm_placement] for the equations). *)
+    let { Expr_flow.laterin; later; later_virtual } =
+      Expr_flow.lcm_placement fl
     in
-    (* Virtual entry edge: LATER(V, entry) = ANTIN(entry). *)
-    let later_virtual = Bitset.copy antin.(entry) in
-    let changed = ref true in
-    while !changed do
-      changed := false;
-      Array.iter
-        (fun j ->
-          let contributions =
-            (if j = entry then [ later_virtual ] else [])
-            @ List.filter_map
-                (fun i -> if Order.is_reachable order i then Some (later i j) else None)
-                preds.(j)
-          in
-          let new_in =
-            match contributions with
-            | [] -> Bitset.create width
-            | first :: rest ->
-              let acc = Bitset.copy first in
-              List.iter (fun s -> Bitset.inter_into ~dst:acc s) rest;
-              acc
-          in
-          if not (Bitset.equal new_in laterin.(j)) then begin
-            Bitset.assign ~dst:laterin.(j) new_in;
-            changed := true
-          end)
-        rpo
-    done;
     (* --- Transformation --- *)
     let exprs = Expr_universe.exprs uni in
     let inserted = ref 0 in

@@ -3,7 +3,7 @@
 
     The Drechsler–Stadel edge-placement formulation in its unidirectional
     earliest/later form (equivalent to lazy code motion), run over the
-    expression universe of [Epre_opt.Expr_universe] and iterated to a fixed
+    expression universe of [Epre_analysis.Expr_universe] and iterated to a fixed
     point so composite expressions move as chains; each round ends with an
     available-expression deletion sweep, which also subsumes global CSE.
 
@@ -21,7 +21,7 @@ type stats = {
 
 (** Rebuild the evaluation of an expression key targeting [dst]; shared
     with [Pre_classic]. *)
-val instr_of_key : Epre_opt.Expr_universe.key -> dst:Instr.reg -> Instr.t
+val instr_of_key : Epre_analysis.Expr_universe.key -> dst:Instr.reg -> Instr.t
 
 (** Run to a fixed point (bounded). [include_loads] (default true) lets
     loads participate, killed by stores and calls. Requires non-SSA code

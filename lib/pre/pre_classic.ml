@@ -36,34 +36,15 @@ type stats = {
 
 let mr_round ?(include_loads = true) (r : Routine.t) =
   let cfg = r.Routine.cfg in
-  let uni = Expr_universe.build r in
-  let width = Expr_universe.size uni in
+  let fl = Expr_flow.build ~include_loads r in
+  let uni = fl.Expr_flow.uni in
+  let width = fl.Expr_flow.width in
   if width = 0 then (0, 0)
   else begin
-    let local = Expr_universe.compute_local uni r in
-    let antloc = local.Expr_universe.antloc in
-    let comp = local.Expr_universe.comp in
-    let kill = local.Expr_universe.kill in
-    if not include_loads then
-      Array.iter
-        (fun (e : Expr_universe.expr) ->
-          if Expr_universe.is_load e.Expr_universe.key then begin
-            let i = e.Expr_universe.index in
-            Array.iter (fun s -> Bitset.remove s i) antloc;
-            Array.iter (fun s -> Bitset.remove s i) comp
-          end)
-        (Expr_universe.exprs uni);
-    let empty = Bitset.create width in
-    let avail =
-      Dataflow.solve_forward cfg
-        { Dataflow.width; gen = (fun id -> comp.(id)); kill = (fun id -> kill.(id));
-          boundary = empty; meet = Dataflow.Inter }
-    in
-    let ant =
-      Dataflow.solve_backward cfg
-        { Dataflow.width; gen = (fun id -> antloc.(id)); kill = (fun id -> kill.(id));
-          boundary = empty; meet = Dataflow.Inter }
-    in
+    let antloc = fl.Expr_flow.local.Expr_universe.antloc in
+    let kill = fl.Expr_flow.local.Expr_universe.kill in
+    let avail = Expr_flow.availability fl in
+    let ant = Expr_flow.anticipability fl in
     let avout = avail.Dataflow.outs in
     let antin = ant.Dataflow.ins in
     let order = Order.compute cfg in

@@ -40,6 +40,14 @@ let all =
     w "L005" "redundant phi (all arguments identical)";
     w "L006" "dead phi (pruned-SSA violation)";
     w "L007" "reassociable operands out of rank order";
+    (* Audit: static PRE effectiveness (the redundancy auditor) *)
+    e "A001" "fully redundant expression evaluation survives";
+    e "A002" "partially redundant evaluation a safe placement could remove";
+    w "A003" "code motion added a speculative (not down-safe) evaluation";
+    w "A004" "a path's evaluation count of an expression increased";
+    w "A005" "peak register pressure increased";
+    w "A006" "long-lived expression temporary spans many blocks";
+    w "A007" "value-redundant evaluation survives (a congruent register holds it)";
   ]
 
 let find id = List.find_opt (fun r -> r.id = id) all
@@ -49,6 +57,11 @@ let mem id = Option.is_some (find id)
 let lint_ids =
   List.filter_map
     (fun r -> if String.length r.id > 0 && r.id.[0] = 'L' then Some r.id else None)
+    all
+
+let audit_ids =
+  List.filter_map
+    (fun r -> if String.length r.id > 0 && r.id.[0] = 'A' then Some r.id else None)
     all
 
 let parse_spec spec =

@@ -193,6 +193,8 @@ let flow_non_ssa (r : Routine.t) =
 (* Driver                                                             *)
 (* ------------------------------------------------------------------ *)
 
+let structurally_sound r = structural_fatal r = []
+
 let apply_filter config diags =
   match config.rules with
   | None -> diags

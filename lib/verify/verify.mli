@@ -25,6 +25,12 @@ val default : config
 (** Everything, lints included. *)
 val lint_config : config
 
+(** No fatal structural defect (missing entry, dangling terminator
+    target, register out of range) — the precondition for any analysis
+    that indexes arrays by block id or register, including the
+    redundancy auditor ([Analyze]). *)
+val structurally_sound : Routine.t -> bool
+
 (** Diagnostics for one routine. [program] supplies call-graph context
     for the type rules (signatures of callees). *)
 val check_routine : ?config:config -> program:Program.t -> Routine.t -> Diag.t list

@@ -65,7 +65,7 @@ let discipline_holds (r : Routine.t) =
     (fun b ->
       List.iter
         (fun i ->
-          match Epre_opt.Expr_universe.key_of i, Instr.def i with
+          match Epre_analysis.Expr_universe.key_of i, Instr.def i with
           | Some key, Some dst -> begin
             (match Hashtbl.find_opt name_of_key key with
             | Some d when d <> dst -> ok := false

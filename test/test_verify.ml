@@ -7,6 +7,7 @@
 
 open Epre_ir
 module Verify = Epre_verify.Verify
+module Analyze = Epre_verify.Analyze
 module Diag = Epre_verify.Diag
 module Rules = Epre_verify.Rules
 module Harness = Epre_harness.Harness
@@ -35,6 +36,20 @@ let negatives : (string * (unit -> Diag.t list)) list =
   let check ?(lints = false) prog =
     let config = if lints then Verify.lint_config else Verify.default in
     Verify.check_program ~config prog
+  in
+  (* Audit negatives: run the redundancy auditor over routine [f],
+     optionally against a baseline text (the "before" of the
+     transformation under audit). *)
+  let audit ?expect_pre ?baseline text =
+    let baseline =
+      Option.map (fun b -> Program.find_exn (parse b) "f") baseline
+    in
+    match
+      Analyze.check_routine ?expect_pre ?baseline
+        (Program.find_exn (parse text) "f")
+    with
+    | Some (_, diags) -> diags
+    | None -> []
   in
   [
     ( "V001",
@@ -467,6 +482,162 @@ B0:
   return r2
 }
 |}))
+    );
+    ( "A001",
+      fun () ->
+        (* The expression is re-evaluated into its canonical name while
+           still available — a deletion CSE/PRE at ≥ the partial level
+           must not leave behind. *)
+        audit ~expect_pre:true
+          {|
+routine f(r0, r1) entry B0 regs 4 {
+B0:
+  r2 = add r0, r1
+  r3 = mul r2, r0
+  r2 = add r0, r1
+  return r2
+}
+|}
+    );
+    ( "A002",
+      fun () ->
+        (* The diamond's join re-evaluates what one arm already computed;
+           a safe placement on the other arm's edge would cover it. *)
+        audit ~expect_pre:true
+          {|
+routine f(r0, r1) entry B0 regs 4 {
+B0:
+  cbr r0, B1, B2
+B1:
+  r2 = add r0, r1
+  jump B3
+B2:
+  jump B3
+B3:
+  r2 = add r0, r1
+  return r2
+}
+|}
+    );
+    ( "A003",
+      fun () ->
+        (* "Code motion" hoisted the evaluation above the branch; the B2
+           path never needs it — not down-safe. *)
+        audit
+          ~baseline:
+            {|
+routine f(r0, r1) entry B0 regs 4 {
+B0:
+  cbr r0, B1, B2
+B1:
+  r2 = add r0, r1
+  return r2
+B2:
+  return r0
+}
+|}
+          {|
+routine f(r0, r1) entry B0 regs 4 {
+B0:
+  r2 = add r0, r1
+  cbr r0, B1, B2
+B1:
+  return r2
+B2:
+  return r0
+}
+|}
+    );
+    ( "A004",
+      fun () ->
+        (* The only path now evaluates add(r0, r1) twice. *)
+        audit
+          ~baseline:
+            {|
+routine f(r0, r1) entry B0 regs 3 {
+B0:
+  r2 = add r0, r1
+  return r2
+}
+|}
+          {|
+routine f(r0, r1) entry B0 regs 4 {
+B0:
+  r2 = add r0, r1
+  r3 = add r0, r1
+  return r3
+}
+|}
+    );
+    ( "A005",
+      fun () ->
+        (* Three temporaries overlap where the baseline chained them:
+           peak pressure 3 against 2. *)
+        audit
+          ~baseline:
+            {|
+routine f(r0) entry B0 regs 4 {
+B0:
+  r1 = add r0, r0
+  r2 = mul r1, r1
+  r3 = add r2, r0
+  return r3
+}
+|}
+          {|
+routine f(r0) entry B0 regs 7 {
+B0:
+  r1 = add r0, r0
+  r2 = mul r0, r0
+  r3 = sub r0, r0
+  r5 = add r1, r2
+  r6 = add r5, r3
+  return r6
+}
+|}
+    );
+    ( "A006",
+      fun () ->
+        (* The temporary stays live across the whole 8-block chain. *)
+        audit
+          {|
+routine f(r0) entry B0 regs 2 {
+B0:
+  r1 = add r0, r0
+  jump B1
+B1:
+  jump B2
+B2:
+  jump B3
+B3:
+  jump B4
+B4:
+  jump B5
+B5:
+  jump B6
+B6:
+  jump B7
+B7:
+  jump B8
+B8:
+  return r1
+}
+|}
+    );
+    ( "A007",
+      fun () ->
+        (* r3 recomputes the value r2 definitely holds — congruent by
+           the conservative non-SSA value numbering. *)
+        audit
+          {|
+routine f(r0, r1) entry B0 regs 5 {
+B0:
+  r2 = add r0, r1
+  r3 = add r0, r1
+  r4 = mul r2, r3
+  return r4
+}
+|}
     );
   ]
 
